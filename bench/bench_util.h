@@ -1,0 +1,27 @@
+// Shared console helpers for the reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/strings.h"
+
+namespace pf::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n%s\n%s\n", title.c_str(),
+              std::string(title.size(), '=').c_str());
+}
+
+inline void subheading(const std::string& title) {
+  std::printf("\n-- %s --\n", title.c_str());
+}
+
+// "measured X vs paper Y" line for EXPERIMENTS.md-style reporting.
+inline void compare_line(const std::string& what, const std::string& ours,
+                         const std::string& paper) {
+  std::printf("  %-46s measured %-12s paper %s\n", what.c_str(), ours.c_str(),
+              paper.c_str());
+}
+
+}  // namespace pf::bench

@@ -1,0 +1,64 @@
+// Appendix C.1 reproduction: synchronous pipelines + PipeFisher vs
+// asynchronous (flushless, PipeDream-style) pipelines.
+//
+// Both are "bubble filling" designs. The async pipeline fills bubbles with
+// the NEXT mini-batch's forward/backward — near-perfect utilization but
+// gradients computed from weights up to D steps old. PipeFisher keeps the
+// synchronous semantics (fresh gradients) and fills bubbles with K-FAC's
+// curvature work, accepting staleness only in the curvature estimate.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/pipefisher.h"
+#include "src/pipeline/async_pipeline.h"
+#include "src/trace/ascii_gantt.h"
+
+using namespace pf;
+
+int main() {
+  bench::heading("Appendix C.1: PipeFisher vs asynchronous pipelines");
+
+  PipeFisherConfig cfg;
+  cfg.schedule = "1f1b";
+  cfg.arch = bert_base();
+  cfg.hw = p100();
+  cfg.n_stages = 4;
+  cfg.blocks_per_stage = 3;
+  cfg.n_micro = 4;
+  cfg.b_micro = 32;
+  const auto sync = run_pipefisher(cfg);
+
+  StepCosts costs = derive_step_costs(cfg, false);
+  const auto async = simulate_async_1f1b(cfg.n_stages, cfg.n_micro,
+                                         /*iterations=*/6, costs);
+
+  bench::subheading("utilization and staleness");
+  std::printf("%-34s %12s %22s %22s\n", "scheme", "utilization",
+              "gradient staleness", "curvature staleness");
+  std::printf("%-34s %12s %22s %22s\n", "1F1B + first-order (sync)",
+              percent(sync.utilization_baseline).c_str(), "0 steps", "-");
+  std::printf("%-34s %12s %22s %19d st\n", "1F1B + PipeFisher (sync)",
+              percent(sync.utilization).c_str(), "0 steps",
+              sync.refresh_interval_steps);
+  std::printf("%-34s %12s %19.0f st %22s\n", "async 1F1B (no flush)",
+              percent(async.utilization).c_str(), async.max_staleness, "-");
+
+  std::printf("\nper-stage max gradient staleness in the async stream "
+              "(mini-batches):\n  ");
+  for (std::size_t s = 0; s < async.staleness_per_stage.size(); ++s)
+    std::printf("stage %zu: %.0f   ", s, async.staleness_per_stage[s]);
+  std::printf("\n");
+
+  bench::subheading("async stream (steady state, device-local updates U)");
+  GanttOptions opt;
+  opt.width = 110;
+  std::printf("%s", render_ascii_gantt(async.timeline, opt).c_str());
+
+  std::printf(
+      "\nShape check (paper App. C.1): the async pipeline reaches the "
+      "highest utilization\nbut pays with gradient staleness that grows "
+      "towards the early stages (up to D);\nPipeFisher keeps gradients "
+      "fresh and confines staleness to the curvature, which\nit refreshes "
+      "every few steps using the bubbles.\n");
+  return 0;
+}

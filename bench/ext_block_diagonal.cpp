@@ -1,0 +1,62 @@
+// Appendix A.2 reproduction: PipeFisher for larger Transformers via
+// K-block-diagonal curvature approximation.
+//
+// The paper: if d_model and d_ff are multiplied by K and each curvature
+// matrix is approximated by a K-block-diagonal matrix, the inversion work
+// of one (huge) factor splits into K small inversions, memory and
+// per-matrix work stop exploding, and "a similar work assignment can be
+// used" — the (curvature+inversion)/bubble ratio stays workable instead of
+// growing with the width.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/perfmodel/perf_model.h"
+
+using namespace pf;
+
+namespace {
+
+TransformerConfig scaled_bert(std::size_t k) {
+  TransformerConfig cfg = bert_base();
+  cfg.name = "bert-base-x" + std::to_string(k);
+  cfg.d_model *= k;
+  cfg.d_ff *= k;
+  cfg.n_heads *= k;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Appendix A.2: K-block-diagonal factors for wide models");
+
+  std::printf("%-16s %4s %10s %10s %10s %8s %8s\n", "arch", "K",
+              "Tcurv(ms)", "Tinv(ms)", "Tbub(ms)", "ratio", "refresh");
+  for (std::size_t k : {1u, 2u, 4u}) {
+    for (bool blocked : {false, true}) {
+      if (k == 1 && blocked) continue;
+      PerfModelInput in;
+      in.cfg = scaled_bert(k);
+      in.hw = p100();
+      in.family = ScheduleFamily::kChimera;
+      in.depth = 8;
+      in.n_micro = 8;
+      in.b_micro = 32;
+      in.block_diag_k = blocked ? k : 1;
+      const auto r = run_perf_model(in);
+      std::printf("%-16s %4zu %10.1f %10.1f %10.1f %8.2f %7dst   %s\n",
+                  in.cfg.name.c_str(), in.block_diag_k,
+                  in.n_micro * r.t_curvature * 1e3, r.t_inversion * 1e3,
+                  r.t_bubble * 1e3, r.curv_inv_bubble_ratio, r.refresh_steps,
+                  blocked ? "(K-block diagonal)" : "(full factors)");
+    }
+  }
+
+  std::printf(
+      "\nShape check (paper App. A.2): with full factors the inversion work "
+      "explodes\ncubically as the model widens (the d_ff=12288 factor alone "
+      "would not fit GPU\nmemory); with the K-block-diagonal approximation "
+      "the ratio stays in the same\nband as the unscaled model, so the same "
+      "bubble assignment works.\n");
+  return 0;
+}

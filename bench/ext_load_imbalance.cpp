@@ -1,0 +1,82 @@
+// §5 discussion reproduction: "PipeFisher for non-Transformer
+// architectures".
+//
+// Transformers pipeline well because every block costs the same. CNN-style
+// models have stages with very different costs (feature maps shrink,
+// channels grow), and the inversion work grows with the CUBE of the layer
+// width — so both the pipeline and the K-FAC work become imbalanced. This
+// bench quantifies that claim with heterogeneous per-stage costs.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/pipefisher.h"
+#include "src/trace/ascii_gantt.h"
+
+using namespace pf;
+
+namespace {
+
+double run_uniform() {
+  PipeFisherConfig cfg;
+  cfg.schedule = "gpipe";
+  cfg.arch = bert_base();
+  cfg.hw = p100();
+  cfg.n_stages = 4;
+  cfg.blocks_per_stage = 3;
+  cfg.n_micro = 4;
+  cfg.b_micro = 32;
+  const auto rep = run_pipefisher(cfg);
+  std::printf("%-36s utilization %s -> %s, refresh %d steps\n",
+              "uniform transformer stages",
+              percent(rep.utilization_baseline).c_str(),
+              percent(rep.utilization).c_str(), rep.refresh_interval_steps);
+  return rep.utilization_baseline;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("§5 discussion: load imbalance for non-uniform stages");
+
+  const double uniform_util = run_uniform();
+
+  // CNN-like imbalance: stage costs 2.0 / 1.3 / 0.8 / 0.5 of the mean —
+  // early stages carry big feature maps.
+  PipeFisherConfig cfg;
+  cfg.schedule = "gpipe";
+  cfg.arch = bert_base();
+  cfg.hw = p100();
+  cfg.n_stages = 4;
+  cfg.blocks_per_stage = 3;
+  cfg.n_micro = 4;
+  cfg.b_micro = 32;
+  StepCosts costs = derive_step_costs(cfg, false);
+  costs.stage_cost_scale = {2.0, 1.3, 0.8, 0.5};
+  const auto spec = build_schedule(cfg);
+  const auto imbalanced = simulate_step(spec, costs);
+  const double util =
+      imbalanced.timeline.utilization(0.0, imbalanced.step_time);
+  std::printf("%-36s utilization %s (pipeline alone)\n",
+              "CNN-like stages (2.0/1.3/0.8/0.5x)", percent(util).c_str());
+
+  GanttOptions opt;
+  opt.width = 100;
+  std::printf("\n%s", render_ascii_gantt(imbalanced.timeline, opt).c_str());
+
+  // Inversion-work imbalance: cube of the factor widths.
+  bench::subheading("inversion work vs layer width (cubic)");
+  const CostModel cm(cfg.hw);
+  std::printf("%-12s %14s\n", "width", "T_inv(factor)");
+  for (std::size_t d : {256u, 512u, 1024u, 2048u, 4096u})
+    std::printf("%-12zu %14s\n", d,
+                human_time(cm.time_inversion_factor(d)).c_str());
+
+  std::printf(
+      "\nShape checks (paper §5): the slowest stage gates the imbalanced "
+      "pipeline, so its\nutilization (%s) falls well below the uniform "
+      "transformer's (%s); and since\ninversion cost is cubic in the layer "
+      "width, a single wide layer would monopolize\nits device's bubbles — "
+      "why transformers are 'a particularly good match' for\nPipeFisher.\n",
+      percent(util).c_str(), percent(uniform_util).c_str());
+  return 0;
+}

@@ -1,0 +1,87 @@
+// §5 extension reproduction: "Extra work for other types of algorithms".
+//
+// The paper argues the bubble-filling idea generalizes beyond K-FAC and
+// names two candidates:
+//  * Shampoo — Kronecker-factored matrices of the same shapes as K-FAC,
+//    but each needs an eigendecomposition, "computationally more expensive
+//    than an inversion", so "a method that divides the work for a single
+//    matrix into multiple pieces would be necessary".
+//  * SAM — "requires an additional forward and backward for every training
+//    step ... it contains twice the work of regular SGD and has the
+//    potential to double the accelerator utilization".
+//
+// This bench fills GPipe bubbles with both kinds of work and reports the
+// same quantities as the K-FAC experiments.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/extra_work.h"
+#include "src/core/pipefisher.h"
+#include "src/trace/ascii_gantt.h"
+
+using namespace pf;
+
+int main() {
+  bench::heading("§5 extensions: filling bubbles with Shampoo and SAM work");
+
+  PipeFisherConfig cfg;
+  cfg.schedule = "gpipe";
+  cfg.arch = bert_base();
+  cfg.hw = p100();
+  cfg.n_stages = 4;
+  cfg.blocks_per_stage = 3;
+  cfg.n_micro = 4;
+  cfg.b_micro = 32;
+
+  const auto spec = build_schedule(cfg);
+  const CostModel cm(cfg.hw);
+  const auto base = simulate_step(spec, derive_step_costs(cfg, false));
+  const double base_util = base.timeline.utilization(0.0, base.step_time);
+  std::printf("baseline GPipe utilization: %s\n", percent(base_util).c_str());
+
+  // --- K-FAC (reference) ---
+  const auto kfac_rep = run_pipefisher(cfg);
+
+  // --- Shampoo ---
+  const auto shampoo_tasks = make_shampoo_tasks(
+      spec, base, cm, cfg.arch, static_cast<std::size_t>(cfg.blocks_per_stage),
+      static_cast<std::size_t>(cfg.b_micro));
+  const auto shampoo = assign_to_bubbles(base.timeline, base.step_time,
+                                         shampoo_tasks);
+
+  // --- SAM ---
+  const auto sam_tasks = make_sam_tasks(
+      spec, base, cm, cfg.arch, static_cast<std::size_t>(cfg.blocks_per_stage),
+      static_cast<std::size_t>(cfg.b_micro));
+  const auto sam = assign_to_bubbles(base.timeline, base.step_time,
+                                     sam_tasks);
+
+  bench::subheading("comparison");
+  std::printf("%-26s %12s %16s\n", "extra work", "utilization",
+              "refresh interval");
+  std::printf("%-26s %12s %16s\n", "none (first-order)",
+              percent(base_util).c_str(), "-");
+  std::printf("%-26s %12s %13d st\n", "K-FAC (PipeFisher)",
+              percent(kfac_rep.utilization).c_str(),
+              kfac_rep.refresh_interval_steps);
+  std::printf("%-26s %12s %13d st\n", "Shampoo statistics+eig",
+              percent(shampoo.utilization_after).c_str(), shampoo.steps_used);
+  std::printf("%-26s %12s %13d st\n", "SAM extra fwd/bwd",
+              percent(sam.utilization_after).c_str(), sam.steps_used);
+
+  bench::subheading("Shampoo schedule (eigendecompositions E split across "
+                    "bubbles)");
+  GanttOptions opt;
+  opt.width = 110;
+  std::printf("%s", render_ascii_gantt(shampoo.schedule, opt).c_str());
+
+  bench::subheading("SAM schedule (s/S = extra forward/backward)");
+  std::printf("%s", render_ascii_gantt(sam.schedule, opt).c_str());
+
+  std::printf(
+      "\nShape checks (paper §5): Shampoo's eigendecompositions take more "
+      "steps of bubbles\nthan K-FAC's Cholesky inversions (they are ~6x the "
+      "FLOPs) and only fit because they\nare split; SAM's doubled work "
+      "drives utilization towards ~2x the baseline.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 3 reproduction: GPU utilization of GPipe and 1F1B with a
+// first-order optimizer vs with PipeFisher, without and with data &
+// inversion parallelism.
+//
+// Paper setup: BERT-Base (L=12), 4 stages x 3 layers/stage, 4 or 8 P100
+// GPUs, 4 micro-batches of size 32, sequence length 128.
+// Paper numbers: GPipe 41.7% -> 89.0%; 1F1B 41.5% -> 88.7%;
+//                w/ data & inversion parallelism (8 GPUs): 86.2% / 86.3%.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/pipefisher.h"
+#include "src/trace/ascii_gantt.h"
+
+using namespace pf;
+
+namespace {
+
+PipeFisherConfig base_config(const std::string& schedule) {
+  PipeFisherConfig cfg;
+  cfg.schedule = schedule;
+  cfg.arch = bert_base();
+  cfg.hw = p100();
+  cfg.n_stages = 4;
+  cfg.blocks_per_stage = 3;
+  cfg.n_micro = 4;
+  cfg.b_micro = 32;
+  return cfg;
+}
+
+void run_case(const std::string& schedule, const char* paper_base,
+              const char* paper_pf, const char* paper_pf8) {
+  auto cfg = base_config(schedule);
+  const auto rep = run_pipefisher(cfg);
+
+  bench::subheading(schedule + " (4 GPUs)");
+  bench::compare_line("baseline GPU utilization",
+                      percent(rep.utilization_baseline), paper_base);
+  bench::compare_line("w/ PipeFisher GPU utilization",
+                      percent(rep.utilization), paper_pf);
+  bench::compare_line("curvature+inverse refresh interval",
+                      format("%d steps", rep.refresh_interval_steps),
+                      "<= 2 steps");
+  bench::compare_line("step-time overhead (precondition only)",
+                      format("+%.1f%%", rep.overhead_fraction() * 100),
+                      "small");
+
+  GanttOptions opt;
+  opt.width = 100;
+  std::printf("\nbaseline step:\n%s",
+              render_ascii_gantt(rep.baseline_step, opt).c_str());
+  std::printf("\nPipeFisher refresh window (%d steps):\n%s",
+              rep.refresh_interval_steps,
+              render_ascii_gantt(rep.pipefisher_window, opt).c_str());
+
+  cfg.data_parallel_world = 2;
+  cfg.inversion_parallel = true;
+  const auto rep8 = run_pipefisher(cfg);
+  bench::subheading(schedule + " w/ PipeFisher + data & inversion parallel "
+                               "(8 GPUs)");
+  bench::compare_line("GPU utilization", percent(rep8.utilization),
+                      paper_pf8);
+  bench::compare_line("refresh interval",
+                      format("%d steps", rep8.refresh_interval_steps),
+                      "<= 2 steps");
+}
+
+}  // namespace
+
+int main() {
+  bench::heading(
+      "Figure 3: GPipe & 1F1B utilization, BERT-Base, D=4 x 3 layers, "
+      "B_micro=32, S=128, P100");
+  run_case("gpipe", "41.7%", "89.0%", "86.2%");
+  run_case("1f1b", "41.5%", "88.7%", "86.3%");
+  std::printf(
+      "\nShape check: PipeFisher roughly doubles utilization; the 8-GPU\n"
+      "data+inversion-parallel variant stays slightly below the 4-GPU one\n"
+      "because of the sync-curvature collectives, as in the paper.\n");
+  return 0;
+}

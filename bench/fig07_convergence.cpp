@@ -1,0 +1,163 @@
+// Figure 7 (and Figure 8) reproduction: Phase-1 pretraining loss of
+// NVLAMB vs K-FAC, against steps and against simulated wall-clock time.
+//
+// Paper methodology, reproduced here end to end:
+//  1. Train the same model with both optimizers, identical hyperparameters
+//     except the LR warmup (2000 -> 600 out of 7038 steps; here scaled to
+//     28% -> 8.5% of the run). The K-FAC run tolerates the more aggressive
+//     early schedule; the first-order baseline does not benefit from it.
+//  2. Smooth both curves, find where K-FAC first reaches the baseline's
+//     final loss (paper: 2961 of 7038 steps = 42.0%).
+//  3. Convert steps to time with per-step costs measured on the pipeline:
+//     Chimera for NVLAMB (847.8 ms/step, util 75.9%) vs Chimera w/
+//     PipeFisher for K-FAC (980.2 ms/step, util 93.2%) — paper result:
+//     48.4 min vs 99.4 min (48.7%).
+//
+// Substitution: a scaled-down BERT on a synthetic Zipf-Markov corpus
+// (DESIGN.md §2); the claim under test is relative (step fraction < ~60%,
+// time fraction ~50-75%), not absolute.
+//
+// Environment: PF_FIG7_STEPS overrides the 600-step default (e.g. 150 for a
+// quick run, 1200 for a tighter curve).
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/core/pipefisher.h"
+#include "src/trace/ascii_plot.h"
+#include "src/optim/kfac_optimizer.h"
+#include "src/optim/lamb.h"
+#include "src/train/convergence.h"
+
+using namespace pf;
+
+namespace {
+
+TrainTrace run_training(const BertConfig& cfg, const MlmBatcher& batcher,
+                        std::size_t steps, bool use_kfac) {
+  Rng rng(7);  // same init for both runs
+  BertModel model(cfg, rng);
+  TrainerConfig tc;
+  tc.batch_size = 32;
+  tc.total_steps = steps;
+  // NVLAMB warms up for 28% of the run (2000/7038); K-FAC for 8.5%
+  // (600/7038) — the paper's only hyperparameter difference.
+  const std::size_t warmup = use_kfac ? steps * 85 / 1000 : steps * 28 / 100;
+  tc.schedule = PolyWarmupSchedule(2e-2, warmup, steps);
+  std::unique_ptr<Optimizer> opt;
+  if (use_kfac) {
+    KfacOptimizerOptions o;
+    o.kfac.damping = 1e-3;
+    o.curvature_interval = 1;
+    o.inverse_interval = 3;  // PipeFisher-style frequent refresh
+    opt = std::make_unique<KfacOptimizer>(model.kfac_linears(),
+                                          std::make_unique<Lamb>(), o);
+  } else {
+    opt = std::make_unique<Lamb>();
+  }
+  Trainer trainer(model, batcher, std::move(opt), tc);
+  return trainer.run();
+}
+
+}  // namespace
+
+int main() {
+  std::size_t steps = 600;
+  if (const char* env = std::getenv("PF_FIG7_STEPS"))
+    steps = static_cast<std::size_t>(std::atoi(env));
+
+  bench::heading(format(
+      "Figure 7: pretraining convergence, NVLAMB vs K-FAC (%zu steps)",
+      steps));
+
+  BertConfig cfg;
+  cfg.vocab = 40;
+  cfg.d_model = 32;
+  cfg.d_ff = 64;
+  cfg.n_heads = 4;
+  cfg.n_layers = 2;
+  cfg.seq_len = 16;
+  CorpusConfig cc;
+  cc.vocab = cfg.vocab;
+  cc.structure_prob = 0.9;
+  cc.successors = 2;
+  SyntheticCorpus corpus(cc);
+  MlmBatcherConfig bc;
+  bc.seq_len = cfg.seq_len;
+  MlmBatcher batcher(corpus, bc);
+  std::printf("corpus conditional-entropy floor: %.3f nats (ln V = %.3f)\n",
+              corpus.conditional_entropy(),
+              std::log(static_cast<double>(corpus.n_words())));
+
+  std::printf("training NVLAMB baseline...\n");
+  const auto lamb_trace = run_training(cfg, batcher, steps, false);
+  std::printf("training K-FAC...\n");
+  const auto kfac_trace = run_training(cfg, batcher, steps, true);
+
+  // Per-step times from the pipeline simulation (paper: 256 P100 GPUs,
+  // Chimera, 4 stages; we use the same D=4 Chimera configuration).
+  PipeFisherConfig pcfg;
+  pcfg.schedule = "chimera";
+  pcfg.arch = bert_base();
+  pcfg.hw = p100();
+  pcfg.n_stages = 4;
+  pcfg.blocks_per_stage = 3;
+  pcfg.n_micro = 4;
+  pcfg.b_micro = 32;
+  const auto prep = run_pipefisher(pcfg);
+
+  const auto cmp = compare_convergence(lamb_trace, kfac_trace,
+                                       prep.step_time_baseline,
+                                       prep.step_time, 15, steps / 15);
+
+  bench::subheading("loss vs steps (smoothed)");
+  const auto ls = smooth_moving_average(lamb_trace.loss, 15);
+  const auto ks = smooth_moving_average(kfac_trace.loss, 15);
+  AsciiPlotOptions popt;
+  popt.width = 100;
+  popt.height = 18;
+  popt.title = "pretraining loss (smoothed)";
+  std::printf("%s\n",
+              render_ascii_plot({ls, ks}, {"NVLAMB", "K-FAC"}, popt).c_str());
+  std::printf("%6s %10s %10s    %8s %8s\n", "step", "NVLAMB", "K-FAC",
+              "lr(LAMB)", "lr(KFAC)");
+  for (std::size_t i = 0; i < steps; i += std::max<std::size_t>(1, steps / 15))
+    std::printf("%6zu %10.4f %10.4f    %8.5f %8.5f\n", i, ls[i], ks[i],
+                lamb_trace.lr[i], kfac_trace.lr[i]);
+  std::printf("%6zu %10.4f %10.4f\n", steps - 1, ls.back(), ks.back());
+
+  bench::subheading("Figure 7 headline numbers");
+  bench::compare_line("NVLAMB final loss (smoothed)",
+                      format("%.3f", cmp.baseline_final_loss), "3.41");
+  bench::compare_line(
+      "K-FAC steps to reach it",
+      cmp.challenger_steps_to_match >= 0
+          ? format("%ld/%ld (%.1f%%)", cmp.challenger_steps_to_match,
+                   cmp.baseline_steps, cmp.step_fraction * 100)
+          : std::string("not reached"),
+      "2961/7038 (42.0%)");
+  bench::compare_line("NVLAMB time/step (Chimera)",
+                      human_time(prep.step_time_baseline), "847.8 ms");
+  bench::compare_line("K-FAC time/step (Chimera w/ PipeFisher)",
+                      human_time(prep.step_time), "980.2 ms");
+  bench::compare_line("NVLAMB utilization",
+                      percent(prep.utilization_baseline), "75.9%");
+  bench::compare_line("PipeFisher utilization", percent(prep.utilization),
+                      "93.2%");
+  bench::compare_line("simulated time, NVLAMB",
+                      human_time(cmp.baseline_time), "99.4 min");
+  bench::compare_line("simulated time, K-FAC w/ PipeFisher",
+                      human_time(cmp.challenger_time), "48.4 min");
+  bench::compare_line("time fraction",
+                      format("%.1f%%", cmp.time_fraction * 100), "48.7%");
+
+  bench::subheading("Figure 8: learning-rate schedules");
+  std::printf(
+      "K-FAC's shorter warmup gives it larger learning rates early on (see "
+      "the lr columns above),\nwhich the K-FAC run tolerates but diverges "
+      "under NVLAMB — the paper's observation.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Introduction reproduction: the model-partitioning tradeoff that motivates
+// PipeFisher. Operator parallelism and ZeRO-style state partitioning pay in
+// COMMUNICATION that grows with W or with model size; pipelining pays in
+// IDLE bubbles — an overhead PipeFisher can reclaim as a resource.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/perfmodel/partitioning.h"
+
+using namespace pf;
+
+int main() {
+  bench::heading(
+      "Intro: operator parallelism vs state partitioning vs pipelining");
+
+  for (const char* arch : {"bert-base", "bert-large"}) {
+    for (const char* hw : {"p100", "v100"}) {
+      bench::subheading(std::string(arch) + " on " + hw +
+                        " (throughput in seqs/s; overhead seconds/step)");
+      std::printf("%4s | %10s %10s %10s | %9s %9s %9s | %s\n", "W",
+                  "operator", "zero", "pipeline", "comm(op)", "comm(zr)",
+                  "bubble", "best");
+      for (std::size_t w : {2u, 4u, 8u, 12u}) {
+        PartitioningInput in;
+        in.cfg = transformer_by_name(arch);
+        in.hw = hardware_by_name(hw);
+        in.world = w;
+        in.b_micro = 32;
+        in.n_micro = w;  // N = D for the pipeline
+        const auto r = analyze_partitioning(in);
+        std::printf(
+            "%4zu | %10.1f %10.1f %10.1f | %9.3f %9.3f %9.3f | %s\n", w,
+            r.thr_operator_parallel, r.thr_state_partitioning,
+            r.thr_pipeline, r.comm_operator_parallel,
+            r.comm_state_partitioning, r.bubble_pipeline, r.best);
+      }
+    }
+  }
+
+  bench::subheading(
+      "bert-large over a slow (Ethernet-class, 1.5 GB/s) interconnect");
+  std::printf("%4s | %10s %10s %10s | %9s %9s %9s | %s\n", "W", "operator",
+              "zero", "pipeline", "comm(op)", "comm(zr)", "bubble", "best");
+  for (std::size_t w : {2u, 4u, 8u, 12u}) {
+    PartitioningInput in;
+    in.cfg = bert_large();
+    auto hw = p100();
+    hw.link_bandwidth = 1.5e9;
+    in.hw = hw;
+    in.world = w;
+    in.b_micro = 32;
+    in.n_micro = 3 * w;  // enough micro-batches to amortize the bubble
+    const auto r = analyze_partitioning(in);
+    std::printf("%4zu | %10.1f %10.1f %10.1f | %9.3f %9.3f %9.3f | %s\n", w,
+                r.thr_operator_parallel, r.thr_state_partitioning,
+                r.thr_pipeline, r.comm_operator_parallel,
+                r.comm_state_partitioning, r.bubble_pipeline, r.best);
+  }
+
+  std::printf(
+      "\nShape checks (paper intro + Appendix B.2): with fast interconnects "
+      "and models that\nfit device memory, plain data parallelism wins — "
+      "exactly why the paper's own BERT-Base\ntraining used data "
+      "parallelism on 32 GPUs (App. B.2). Operator-parallel and ZeRO\n"
+      "overheads are communication, growing with W (activations) or model "
+      "size (parameters);\non slow interconnects the pipeline's "
+      "communication-free design takes over, and its\nonly overhead — "
+      "bubble idleness — is the resource PipeFisher reclaims.\n");
+  return 0;
+}

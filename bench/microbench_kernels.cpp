@@ -1,0 +1,72 @@
+// Kernel microbenchmarks (google-benchmark): the measurement hooks that
+// would calibrate the cost model on real hardware. On the GPUs of the paper
+// these are the Nsight-profiled kernels; here they time our CPU kernels for
+// GEMM (forward/backward), SYRK-style curvature, Cholesky + inverse
+// (inversion work) and the two-sided precondition product.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/linalg/cholesky.h"
+#include "src/linalg/gemm.h"
+
+namespace {
+
+using pf::Matrix;
+
+void BM_GemmForward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  pf::Rng rng(1);
+  const Matrix x = Matrix::randn(n, n, rng);
+  const Matrix w = Matrix::randn(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pf::matmul(x, w));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmForward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_CurvatureFactor(benchmark::State& state) {
+  // A_l = XᵀX/N for N tokens of dimension d.
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const std::size_t tokens = 256;
+  pf::Rng rng(2);
+  const Matrix x = Matrix::randn(tokens, d, rng);
+  for (auto _ : state) {
+    Matrix a(d, d, 0.0);
+    pf::matmul_tn_acc(x, x, a, 1.0 / static_cast<double>(tokens));
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations() * tokens * d * d);
+}
+BENCHMARK(BM_CurvatureFactor)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_InversionWork(benchmark::State& state) {
+  // Cholesky + cholesky_inverse of a damped SPD factor.
+  const auto d = static_cast<std::size_t>(state.range(0));
+  pf::Rng rng(3);
+  const Matrix u = Matrix::randn(d, d, rng);
+  Matrix spd = pf::matmul_tn(u, u);
+  spd *= 1.0 / static_cast<double>(d);
+  pf::add_diagonal(spd, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pf::cholesky_inverse(pf::cholesky(spd)));
+  }
+}
+BENCHMARK(BM_InversionWork)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_PreconditionWork(benchmark::State& state) {
+  // B⁻¹ · G · A⁻¹ for a d×4d layer (the FFN shape).
+  const auto d = static_cast<std::size_t>(state.range(0));
+  pf::Rng rng(4);
+  const Matrix a_inv = Matrix::randn(d, d, rng);
+  const Matrix b_inv = Matrix::randn(4 * d, 4 * d, rng);
+  const Matrix g = Matrix::randn(d, 4 * d, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pf::matmul(pf::matmul(a_inv, g), b_inv));
+  }
+}
+BENCHMARK(BM_PreconditionWork)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

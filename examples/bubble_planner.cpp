@@ -1,0 +1,56 @@
+// Example: capacity planning with the §3.3 performance model — given an
+// architecture and hardware, how should you pick the pipeline schedule,
+// depth and micro-batch size so the K-FAC work actually fits the bubbles?
+//
+//   $ ./bubble_planner [arch] [hw]
+//
+// Prints, per (schedule, D, B_micro): throughput, how many steps a curvature
+// refresh takes, and whether device memory fits, flagging the paper's
+// recommended operating points.
+#include <cstdio>
+
+#include "src/common/strings.h"
+#include "src/perfmodel/perf_model.h"
+
+int main(int argc, char** argv) {
+  using namespace pf;
+  const auto cfg = transformer_by_name(argc > 1 ? argv[1] : "bert-base");
+  const auto hw = hardware_by_name(argc > 2 ? argv[2] : "p100");
+
+  std::printf("bubble planning for %s on %s (memory %s)\n\n",
+              cfg.name.c_str(), hw.name.c_str(),
+              human_bytes(hw.memory_capacity).c_str());
+  std::printf("%-10s %3s %5s | %9s %8s %7s | %9s %6s\n", "schedule", "D",
+              "B", "thr(PF)", "refresh", "ratio", "memory", "fits?");
+
+  for (const auto family :
+       {ScheduleFamily::kGpipe1F1B, ScheduleFamily::kChimera}) {
+    const char* name =
+        family == ScheduleFamily::kChimera ? "chimera" : "gpipe/1f1b";
+    for (std::size_t d : {4, 8, 16}) {
+      for (std::size_t b : {8, 16, 32, 64}) {
+        PerfModelInput in;
+        in.cfg = cfg;
+        in.hw = hw;
+        in.family = family;
+        in.depth = d;
+        in.n_micro = d;
+        in.b_micro = b;
+        const auto r = run_perf_model(in);
+        const bool fits = r.memory.total() < hw.memory_capacity;
+        std::printf("%-10s %3zu %5zu | %9.1f %7dst %7.2f | %9s %6s\n", name,
+                    d, b, r.throughput_pipefisher, r.refresh_steps,
+                    r.curv_inv_bubble_ratio,
+                    human_bytes(r.memory.total()).c_str(),
+                    fits ? "yes" : "NO");
+      }
+    }
+  }
+
+  std::printf(
+      "\nReading the table: pick the highest-throughput row whose refresh "
+      "interval is a\nfew steps and whose memory fits; if memory is the "
+      "binding constraint, enable\nactivation recomputation (R) — it trades "
+      "throughput for memory AND refresh frequency.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Example: interactive schedule exploration from the command line.
+//
+//   $ ./schedule_explorer [schedule] [arch] [hw] [D] [N_micro] [B_micro]
+//   $ ./schedule_explorer chimera bert-large p100 8 8 32
+//
+// Prints the simulated timeline, utilization before/after PipeFisher, the
+// refresh interval, the closed-form §3.3 performance model for the same
+// shape, and writes a Chrome trace.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/strings.h"
+#include "src/core/pipefisher.h"
+#include "src/perfmodel/perf_model.h"
+#include "src/trace/ascii_gantt.h"
+#include "src/trace/chrome_trace.h"
+
+int main(int argc, char** argv) {
+  using namespace pf;
+  PipeFisherConfig cfg;
+  cfg.schedule = argc > 1 ? argv[1] : "chimera";
+  cfg.arch = transformer_by_name(argc > 2 ? argv[2] : "bert-base");
+  cfg.hw = hardware_by_name(argc > 3 ? argv[3] : "p100");
+  cfg.n_stages = argc > 4 ? std::atoi(argv[4]) : 8;
+  cfg.n_micro = argc > 5 ? std::atoi(argv[5]) : cfg.n_stages;
+  cfg.b_micro = argc > 6 ? std::atoi(argv[6]) : 32;
+  cfg.blocks_per_stage = 1;
+
+  std::printf("schedule=%s arch=%s hw=%s D=%d N=%d B=%d\n",
+              cfg.schedule.c_str(), cfg.arch.name.c_str(),
+              cfg.hw.name.c_str(), cfg.n_stages, cfg.n_micro, cfg.b_micro);
+
+  const auto rep = run_pipefisher(cfg);
+  std::printf("\nstep time   : %s -> %s (+%.1f%%)\n",
+              human_time(rep.step_time_baseline).c_str(),
+              human_time(rep.step_time).c_str(),
+              rep.overhead_fraction() * 100);
+  std::printf("utilization : %s -> %s\n",
+              percent(rep.utilization_baseline).c_str(),
+              percent(rep.utilization).c_str());
+  std::printf("refresh     : every %d steps\n", rep.refresh_interval_steps);
+  std::printf("bubble/step : %s per device\n",
+              human_time(rep.bubble_per_step).c_str());
+
+  GanttOptions opt;
+  opt.width = 110;
+  std::printf("\n%s", render_ascii_gantt(rep.pipefisher_window, opt).c_str());
+
+  // Closed-form §3.3 model for the same shape.
+  PerfModelInput in;
+  in.cfg = cfg.arch;
+  in.hw = cfg.hw;
+  in.family = schedule_family_by_name(cfg.schedule);
+  in.depth = static_cast<std::size_t>(cfg.n_stages);
+  in.blocks_per_stage = static_cast<std::size_t>(cfg.blocks_per_stage);
+  in.n_micro = static_cast<std::size_t>(cfg.n_micro);
+  in.b_micro = static_cast<std::size_t>(cfg.b_micro);
+  const auto pm = run_perf_model(in);
+  std::printf("\nclosed-form model: T_pipe=%s  T_bubble=%s  ratio=%.2f "
+              "(refresh every %d steps)\n",
+              human_time(pm.t_pipe).c_str(), human_time(pm.t_bubble).c_str(),
+              pm.curv_inv_bubble_ratio, pm.refresh_steps);
+  std::printf("throughputs (seqs/s): pipeline %.1f | PipeFisher %.1f | "
+              "K-FAC+skip %.1f | naive K-FAC %.1f\n",
+              pm.throughput_pipeline, pm.throughput_pipefisher,
+              pm.throughput_kfac_skip, pm.throughput_kfac_naive);
+
+  const std::string trace = "schedule_explorer_trace.json";
+  write_chrome_trace(rep.pipefisher_window, trace);
+  std::printf("\nwrote %s\n", trace.c_str());
+  return 0;
+}

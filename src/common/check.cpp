@@ -1,0 +1,13 @@
+#include "src/common/check.h"
+
+namespace pf::detail {
+
+void fail(const char* kind, const char* expr, const char* file, int line,
+          const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace pf::detail

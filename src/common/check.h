@@ -1,0 +1,59 @@
+// Checked error handling for the pipefisher library.
+//
+// All invariant violations throw pf::Error (derived from std::runtime_error)
+// carrying the failing expression and location. Library code uses PF_CHECK
+// for conditions that depend on caller input and PF_ASSERT for internal
+// invariants; both are always on (this library is not performance-bound by
+// branch checks).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pf {
+
+// Exception type thrown by every PF_CHECK / PF_ASSERT failure.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail(const char* kind, const char* expr, const char* file,
+                       int line, const std::string& msg);
+
+// Stream-collecting helper so PF_CHECK(x > 0) << "x=" << x works.
+class FailureStream {
+ public:
+  FailureStream(const char* kind, const char* expr, const char* file, int line)
+      : kind_(kind), expr_(expr), file_(file), line_(line) {}
+  [[noreturn]] ~FailureStream() noexcept(false) {
+    fail(kind_, expr_, file_, line_, os_.str());
+  }
+  template <typename T>
+  FailureStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  const char* kind_;
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace pf
+
+#define PF_CHECK(cond)                                                     \
+  if (cond) {                                                              \
+  } else                                                                   \
+    ::pf::detail::FailureStream("PF_CHECK", #cond, __FILE__, __LINE__)
+
+#define PF_ASSERT(cond)                                                    \
+  if (cond) {                                                              \
+  } else                                                                   \
+    ::pf::detail::FailureStream("PF_ASSERT", #cond, __FILE__, __LINE__)

@@ -1,0 +1,83 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace pf {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  PF_CHECK(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  PF_CHECK(n_ > 0);
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  PF_CHECK(n_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  PF_CHECK(n_ > 0);
+  return max_;
+}
+
+Ema::Ema(double decay) : decay_(decay) {
+  PF_CHECK(decay > 0.0 && decay < 1.0) << "decay=" << decay;
+}
+
+void Ema::add(double x) {
+  acc_ = decay_ * acc_ + (1.0 - decay_) * x;
+  ++n_;
+}
+
+double Ema::value() const {
+  PF_CHECK(n_ > 0);
+  const double correction = 1.0 - std::pow(decay_, static_cast<double>(n_));
+  return acc_ / correction;
+}
+
+std::vector<double> smooth_moving_average(const std::vector<double>& y,
+                                          std::size_t half_window) {
+  std::vector<double> out(y.size());
+  const long n = static_cast<long>(y.size());
+  const long h = static_cast<long>(half_window);
+  for (long i = 0; i < n; ++i) {
+    const long lo = std::max(0L, i - h);
+    const long hi = std::min(n - 1, i + h);
+    double sum = 0.0;
+    for (long j = lo; j <= hi; ++j) sum += y[static_cast<std::size_t>(j)];
+    out[static_cast<std::size_t>(i)] = sum / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+long first_index_at_or_below(const std::vector<double>& y, double target,
+                             std::size_t ignore_first) {
+  for (std::size_t i = ignore_first; i < y.size(); ++i) {
+    if (y[i] <= target) return static_cast<long>(i);
+  }
+  return -1;
+}
+
+}  // namespace pf

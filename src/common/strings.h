@@ -1,0 +1,29 @@
+// Formatting helpers used by the reporting/bench layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pf {
+
+// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// "12.3 ms" / "1.20 s" style human-readable duration (seconds in).
+std::string human_time(double seconds);
+
+// "1.5 GB" style human-readable byte count.
+std::string human_bytes(double bytes);
+
+// Percentage with one decimal, e.g. "41.7%".
+std::string percent(double fraction);
+
+// Left/right pad to width with spaces.
+std::string pad_right(const std::string& s, std::size_t width);
+std::string pad_left(const std::string& s, std::size_t width);
+
+// Join with separator.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+}  // namespace pf

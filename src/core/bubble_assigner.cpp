@@ -1,0 +1,179 @@
+#include "src/core/bubble_assigner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "src/common/check.h"
+
+namespace pf {
+
+namespace {
+
+// Free intervals of one device, lazily extended one step at a time.
+class FreeList {
+ public:
+  FreeList(const Timeline& base_step, double step_time, std::size_t device)
+      : base_(base_step), step_time_(step_time), device_(device) {}
+
+  // Ensure gaps exist up to `horizon_steps` steps.
+  void extend_to(int horizon_steps) {
+    while (steps_ < horizon_steps) {
+      const double off = static_cast<double>(steps_) * step_time_;
+      for (const auto& g : base_.gaps(device_, 0.0, step_time_))
+        free_.emplace(off + g.start, off + g.end);
+      ++steps_;
+    }
+  }
+
+  // Earliest placement of a chunk of length `len` (len <= gap capacity)
+  // starting at or after `t0`. Returns start time or +inf if none within
+  // the current horizon. If `any_len` > 0, accept a partial placement of at
+  // least any_len (for splittable tasks): the chosen chunk length is
+  // min(len, available) and returned via *placed_len.
+  double place(double t0, double len, double min_piece, bool splittable,
+               double* placed_len) {
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+      const double s = std::max(it->first, t0);
+      const double avail = it->second - s;
+      if (avail <= 1e-12) continue;
+      double take;
+      if (splittable) {
+        if (avail + 1e-12 < std::min(min_piece, len)) continue;
+        take = std::min(len, avail);
+      } else {
+        if (avail + 1e-12 < len) continue;
+        take = len;
+      }
+      // Consume [s, s+take) from [it->first, it->second).
+      const double gs = it->first, ge = it->second;
+      free_.erase(it);
+      if (s - gs > 1e-12) free_.emplace(gs, s);
+      if (ge - (s + take) > 1e-12) free_.emplace(s + take, ge);
+      *placed_len = take;
+      return s;
+    }
+    return std::numeric_limits<double>::infinity();
+  }
+
+  int horizon() const { return steps_; }
+
+ private:
+  const Timeline& base_;
+  double step_time_;
+  std::size_t device_;
+  int steps_ = 0;
+  std::map<double, double> free_;  // start -> end
+};
+
+}  // namespace
+
+AssignmentResult assign_to_bubbles(const Timeline& base_step,
+                                   double step_time,
+                                   const std::vector<BubbleTask>& tasks,
+                                   const AssignOptions& opts) {
+  PF_CHECK(step_time > 0.0);
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    PF_CHECK(tasks[i].id == i) << "task ids must be dense and ordered";
+
+  const std::size_t n_dev = base_step.n_devices();
+  AssignmentResult res;
+  res.task_end.assign(tasks.size(),
+                      std::numeric_limits<double>::quiet_NaN());
+
+  std::vector<FreeList> free;
+  free.reserve(n_dev);
+  for (std::size_t d = 0; d < n_dev; ++d)
+    free.emplace_back(base_step, step_time, d);
+  int horizon = 1;
+  for (auto& f : free) f.extend_to(horizon);
+
+  // Diagnostics on the unmodified schedule.
+  res.utilization_before = base_step.utilization(0.0, step_time);
+  double bubble = 0.0;
+  for (std::size_t d = 0; d < n_dev; ++d)
+    bubble += base_step.bubble_time(d, 0.0, step_time);
+  res.bubble_per_step = bubble / static_cast<double>(n_dev);
+
+  // Placed intervals collected per device (merged into the schedule later).
+  std::vector<Interval> placed;
+
+  // Process tasks in id order, but a task waits for its deps; since
+  // make_kfac_tasks emits deps with smaller ids (curvature before
+  // inversion), a single forward pass suffices.
+  for (const auto& task : tasks) {
+    PF_CHECK(task.device < n_dev)
+        << "task device " << task.device << " outside timeline";
+    double ready = task.earliest_start;
+    for (std::size_t dep : task.deps) {
+      PF_CHECK(dep < task.id) << "dependency ids must precede the task";
+      PF_CHECK(!std::isnan(res.task_end[dep]));
+      ready = std::max(ready, res.task_end[dep]);
+    }
+
+    double remaining = task.duration;
+    double cursor = ready;
+    while (remaining > 1e-12) {
+      double placed_len = 0.0;
+      const double at = free[task.device].place(
+          cursor, remaining, task.min_chunk, task.splittable, &placed_len);
+      if (!std::isfinite(at)) {
+        ++horizon;
+        PF_CHECK(horizon <= opts.max_steps)
+            << "K-FAC work does not fit within " << opts.max_steps
+            << " steps of bubbles (task kind " << work_kind_name(task.kind)
+            << ", duration " << task.duration << ")";
+        for (auto& f : free) f.extend_to(horizon);
+        continue;
+      }
+      Interval iv;
+      iv.device = task.device;
+      iv.start = at;
+      iv.end = at + placed_len;
+      iv.kind = task.kind;
+      iv.stage = task.stage;
+      iv.micro = task.micro;
+      iv.layer = task.layer;
+      iv.factor = task.factor;
+      placed.push_back(iv);
+      remaining -= placed_len;
+      cursor = iv.end;
+    }
+    res.task_end[task.id] = cursor;
+  }
+
+  // Steps actually consumed by the queue.
+  double last_end = 0.0;
+  for (double e : res.task_end) last_end = std::max(last_end, e);
+  res.steps_used = std::max(
+      1, static_cast<int>(std::ceil(last_end / step_time - 1e-9)));
+  res.window = static_cast<double>(res.steps_used) * step_time;
+
+  // Assemble the final static schedule: base steps + placed intervals.
+  Timeline out(n_dev);
+  std::vector<std::vector<Interval>> per_dev(n_dev);
+  for (int k = 0; k < res.steps_used; ++k) {
+    const double off = static_cast<double>(k) * step_time;
+    for (std::size_t d = 0; d < n_dev; ++d)
+      for (Interval iv : base_step.device_intervals(d)) {
+        iv.start += off;
+        iv.end += off;
+        per_dev[d].push_back(iv);
+      }
+  }
+  for (const auto& iv : placed)
+    if (iv.start < res.window) per_dev[iv.device].push_back(iv);
+  for (std::size_t d = 0; d < n_dev; ++d) {
+    std::sort(per_dev[d].begin(), per_dev[d].end(),
+              [](const Interval& a, const Interval& b) {
+                return a.start < b.start;
+              });
+    for (const auto& iv : per_dev[d]) out.add(iv);
+  }
+  res.schedule = std::move(out);
+  res.utilization_after = res.schedule.utilization(0.0, res.window);
+  return res;
+}
+
+}  // namespace pf

@@ -1,0 +1,50 @@
+// Automatic assignment of K-FAC work to pipeline bubbles (paper §3.1).
+//
+// Input: the profiled timeline of ONE pipeline step (including its tail —
+// sync-grad / precondition / optimizer), the step period, and the queue of
+// K-FAC tasks with readiness rules. The assigner unrolls the step k times
+// (k grows lazily), walks each device's idle gaps in time order, and packs
+// tasks greedily:
+//   * a task may start no earlier than its earliest_start and no earlier
+//     than the completion of its dependencies (curvature before inversion);
+//   * a task that does not fit the current bubble uses subsequent bubbles —
+//     splittable work (blocked SYRK / blocked Cholesky) is placed as chunks
+//     of at least min_chunk, non-splittable work waits for a large enough
+//     bubble;
+//   * once the queue is empty the schedule is finalized; the number of
+//     steps consumed is the curvature refresh interval.
+#pragma once
+
+#include <vector>
+
+#include "src/core/kfac_work.h"
+#include "src/trace/timeline.h"
+
+namespace pf {
+
+struct AssignmentResult {
+  // Base step replicated `steps_used` times with all K-FAC work inserted.
+  Timeline schedule;
+  // Number of pipeline steps needed to drain the queue — how often the
+  // curvature information is refreshed (paper: "once in 2-3 steps").
+  int steps_used = 0;
+  double window = 0.0;           // steps_used * step_time
+  std::vector<double> task_end;  // completion time per task id
+  // Paper-style utilization over the refresh window, and over one base step
+  // for the unmodified schedule.
+  double utilization_before = 0.0;
+  double utilization_after = 0.0;
+  // Mean per-device bubble seconds per step in the base schedule.
+  double bubble_per_step = 0.0;
+};
+
+struct AssignOptions {
+  int max_steps = 256;  // horizon cap; exceeded → pf::Error
+};
+
+AssignmentResult assign_to_bubbles(const Timeline& base_step,
+                                   double step_time,
+                                   const std::vector<BubbleTask>& tasks,
+                                   const AssignOptions& opts = {});
+
+}  // namespace pf

@@ -1,0 +1,105 @@
+#include "src/core/extra_work.h"
+
+namespace pf {
+
+std::vector<BubbleTask> make_shampoo_tasks(const ScheduleSpec& spec,
+                                           const StepSimResult& step,
+                                           const CostModel& cm,
+                                           const TransformerConfig& cfg,
+                                           std::size_t blocks_per_stage,
+                                           std::size_t b_micro) {
+  const std::size_t tokens = b_micro * cfg.seq_len;
+  const auto linears = cfg.kfac_linears_per_block();
+  std::vector<BubbleTask> out;
+
+  for (int pl = 0; pl < spec.n_pipelines; ++pl) {
+    const auto& micros = spec.micros_of_pipeline[static_cast<std::size_t>(pl)];
+    for (int s = 0; s < spec.n_stages; ++s) {
+      const auto dev = static_cast<std::size_t>(spec.device_of(pl, s));
+      for (std::size_t blk = 0; blk < blocks_per_stage; ++blk) {
+        for (std::size_t li = 0; li < linears.size(); ++li) {
+          const auto& shape = linears[li];
+          // Statistics L += GGᵀ, R += GᵀG need the layer gradient, i.e.,
+          // that micro-batch's backward. Cost is SYRK-like (same as
+          // curvature but over the gradient, once per factor pair).
+          std::vector<std::size_t> stat_ids;
+          for (int m : micros) {
+            BubbleTask st;
+            st.id = out.size();
+            st.device = dev;
+            st.kind = WorkKind::kCurvatureB;  // statistics (SYRK) work
+            st.duration = cm.time_curvature_factor(shape.d_in, tokens) +
+                          cm.time_curvature_factor(shape.d_out, tokens);
+            st.earliest_start =
+                step.op_end({OpType::kBackward, pl, s, m});
+            st.stage = s;
+            st.micro = m;
+            st.layer = static_cast<int>(blk);
+            st.factor = static_cast<int>(li);
+            stat_ids.push_back(st.id);
+            out.push_back(std::move(st));
+          }
+          // Inverse-4th-root eigendecompositions for L and R, splittable
+          // into panels (§5: required for efficient bubble utilization).
+          for (std::size_t dim : {shape.d_in, shape.d_out}) {
+            BubbleTask eig;
+            eig.id = out.size();
+            eig.device = dev;
+            eig.kind = WorkKind::kEigendecomposition;
+            eig.duration = cm.time_eigendecomposition_factor(dim);
+            eig.deps = stat_ids;
+            eig.splittable = true;
+            eig.stage = s;
+            eig.layer = static_cast<int>(blk);
+            eig.factor = static_cast<int>(li);
+            out.push_back(std::move(eig));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<BubbleTask> make_sam_tasks(const ScheduleSpec& spec,
+                                       const StepSimResult& step,
+                                       const CostModel& cm,
+                                       const TransformerConfig& cfg,
+                                       std::size_t blocks_per_stage,
+                                       std::size_t b_micro) {
+  const StageShape shape{cfg, blocks_per_stage, b_micro};
+  std::vector<BubbleTask> out;
+  for (int pl = 0; pl < spec.n_pipelines; ++pl) {
+    const auto& micros = spec.micros_of_pipeline[static_cast<std::size_t>(pl)];
+    for (int s = 0; s < spec.n_stages; ++s) {
+      const auto dev = static_cast<std::size_t>(spec.device_of(pl, s));
+      for (int m : micros) {
+        const double ready = step.op_end({OpType::kBackward, pl, s, m});
+        BubbleTask fwd;
+        fwd.id = out.size();
+        fwd.device = dev;
+        fwd.kind = WorkKind::kSamForward;
+        fwd.duration = cm.time_forward_stage(shape);
+        fwd.earliest_start = ready;
+        fwd.splittable = false;  // a pass over a micro-batch is atomic
+        fwd.stage = s;
+        fwd.micro = m;
+        out.push_back(fwd);
+
+        BubbleTask bwd;
+        bwd.id = out.size();
+        bwd.device = dev;
+        bwd.kind = WorkKind::kSamBackward;
+        bwd.duration = cm.time_backward_stage(shape);
+        bwd.deps = {fwd.id};
+        bwd.splittable = false;
+        bwd.stage = s;
+        bwd.micro = m;
+        out.push_back(bwd);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pf

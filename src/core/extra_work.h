@@ -1,0 +1,36 @@
+// Extra-work generators beyond K-FAC (paper §5: "the application of the
+// idea of assigning extra work to bubbles is not limited to K-FAC").
+//
+// * Shampoo: statistics updates (GGᵀ / GᵀG per micro-batch — same shapes as
+//   K-FAC curvature) plus an eigendecomposition per factor. Since a single
+//   eigendecomposition can exceed any bubble, the tasks are splittable —
+//   exactly the "method that divides the work for a single matrix into
+//   multiple pieces" the paper says would be necessary.
+// * SAM: one extra forward and backward per (stage, micro-batch), ready
+//   after that micro-batch's backward (the perturbed weights need the
+//   step's gradient first). Overflowing work slides into the next step's
+//   bubbles, giving the one-step-stale sharpness estimate discussed in the
+//   paper's Appendix C.1 staleness analysis.
+#pragma once
+
+#include "src/core/kfac_work.h"
+
+namespace pf {
+
+// Shampoo bubble tasks for every stage of the schedule.
+std::vector<BubbleTask> make_shampoo_tasks(const ScheduleSpec& spec,
+                                           const StepSimResult& step,
+                                           const CostModel& cm,
+                                           const TransformerConfig& cfg,
+                                           std::size_t blocks_per_stage,
+                                           std::size_t b_micro);
+
+// SAM extra forward/backward bubble tasks.
+std::vector<BubbleTask> make_sam_tasks(const ScheduleSpec& spec,
+                                       const StepSimResult& step,
+                                       const CostModel& cm,
+                                       const TransformerConfig& cfg,
+                                       std::size_t blocks_per_stage,
+                                       std::size_t b_micro);
+
+}  // namespace pf

@@ -1,0 +1,22 @@
+#include "src/core/parallel_kfac.h"
+
+#include "src/common/check.h"
+
+namespace pf {
+
+Timeline replicate_for_data_parallel(const Timeline& base, int world) {
+  PF_CHECK(world >= 1);
+  const std::size_t d0 = base.n_devices();
+  Timeline out(d0 * static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    for (std::size_t d = 0; d < d0; ++d) {
+      for (Interval iv : base.device_intervals(d)) {
+        iv.device = d + static_cast<std::size_t>(r) * d0;
+        out.add(iv);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pf

@@ -1,0 +1,22 @@
+// Combination of PipeFisher with data and inversion parallelism (§3.2).
+//
+// With W data-parallel replicas per pipeline, the base step timeline is
+// replicated onto devices d + r·D (every replica runs the identical pipeline
+// schedule on different micro-batches), a sync-grad collective is appended
+// per step, curvature factors are allreduced across replicas
+// (sync-curvature) and inversion work is split round-robin across the
+// replicas of a stage.
+#pragma once
+
+#include "src/pipeline/simulator.h"
+#include "src/trace/timeline.h"
+
+namespace pf {
+
+// Replicates a one-replica step timeline for `world` data-parallel replicas:
+// the returned timeline has world × base.n_devices() devices with identical
+// per-replica contents. (Replicas process different data but the work shape
+// and therefore the profile is the same.)
+Timeline replicate_for_data_parallel(const Timeline& base, int world);
+
+}  // namespace pf

@@ -1,0 +1,114 @@
+#include "src/core/pipefisher.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/core/parallel_kfac.h"
+#include "src/pipeline/chimera.h"
+#include "src/pipeline/gpipe.h"
+#include "src/pipeline/interleaved_1f1b.h"
+#include "src/pipeline/one_f_one_b.h"
+
+namespace pf {
+
+ScheduleSpec build_schedule(const PipeFisherConfig& cfg) {
+  if (cfg.schedule == "gpipe") return make_gpipe(cfg.n_stages, cfg.n_micro);
+  if (cfg.schedule == "1f1b") return make_1f1b(cfg.n_stages, cfg.n_micro);
+  if (cfg.schedule == "chimera")
+    return make_chimera(cfg.n_stages, cfg.n_micro);
+  if (cfg.schedule == "interleaved-1f1b")
+    // Two virtual chunks per device; `blocks_per_stage` counts blocks per
+    // virtual chunk, so the modeled model is twice as deep.
+    return make_interleaved_1f1b(cfg.n_stages, 2, cfg.n_micro);
+  PF_CHECK(false) << "unknown schedule: " << cfg.schedule;
+  __builtin_unreachable();
+}
+
+StepCosts derive_step_costs(const PipeFisherConfig& cfg, bool with_kfac) {
+  const CostModel cm(cfg.hw);
+  const StageShape shape{cfg.arch, static_cast<std::size_t>(cfg.blocks_per_stage),
+                         static_cast<std::size_t>(cfg.b_micro)};
+  StepCosts c;
+  c.t_forward = cm.time_forward_stage(shape);
+  c.t_backward = cfg.recompute ? cm.time_backward_stage_recompute(shape)
+                               : cm.time_backward_stage(shape);
+  c.t_p2p = cfg.model_p2p ? cm.time_p2p_activation(shape) : 0.0;
+
+  // Gradient sync: Chimera always allreduces across its two pipelines (the
+  // same stage lives on device d and D-1-d); data parallelism multiplies
+  // the group size.
+  std::size_t sync_world = static_cast<std::size_t>(cfg.data_parallel_world);
+  if (cfg.schedule == "chimera") sync_world *= 2;
+  if (sync_world > 1) {
+    // Per device: its stages' gradients. Chimera devices own 2 stages.
+    const std::size_t stages_per_dev = cfg.schedule == "chimera" ? 2 : 1;
+    c.t_sync_grad =
+        cm.time_sync_grad_stage(cfg.arch,
+                                static_cast<std::size_t>(cfg.blocks_per_stage) *
+                                    stages_per_dev,
+                                sync_world);
+  }
+  c.t_optimizer = cm.time_optimizer_update_stage(
+      cfg.arch, static_cast<std::size_t>(cfg.blocks_per_stage));
+  if (with_kfac) {
+    c.t_precondition = cm.time_precondition_stage(
+        cfg.arch, static_cast<std::size_t>(cfg.blocks_per_stage));
+  }
+  return c;
+}
+
+PipeFisherReport run_pipefisher(const PipeFisherConfig& cfg) {
+  PF_CHECK(cfg.data_parallel_world >= 1);
+  PF_CHECK(!cfg.inversion_parallel || cfg.data_parallel_world > 1)
+      << "inversion parallelism needs data-parallel replicas to split over";
+  const CostModel cm(cfg.hw);
+  const auto spec = build_schedule(cfg);
+
+  PipeFisherReport rep;
+
+  // --- Baseline step (first-order optimizer) ---
+  const auto base = simulate_step(spec, derive_step_costs(cfg, false));
+  rep.step_time_baseline = base.step_time;
+  rep.baseline_step =
+      cfg.data_parallel_world > 1
+          ? replicate_for_data_parallel(base.timeline,
+                                        cfg.data_parallel_world)
+          : base.timeline;
+  rep.utilization_baseline =
+      rep.baseline_step.utilization(0.0, base.step_time);
+
+  // --- PipeFisher step: same pipeline + precondition in the tail ---
+  const auto kstep = simulate_step(spec, derive_step_costs(cfg, true));
+  rep.step_time = kstep.step_time;
+  rep.pipe_makespan = kstep.pipe_makespan;
+
+  const Timeline kstep_full =
+      cfg.data_parallel_world > 1
+          ? replicate_for_data_parallel(kstep.timeline,
+                                        cfg.data_parallel_world)
+          : kstep.timeline;
+
+  KfacWorkOptions wopts;
+  wopts.world = cfg.data_parallel_world;
+  wopts.inversion_parallel = cfg.inversion_parallel;
+  const auto tasks = make_kfac_tasks(
+      spec, kstep, cm, cfg.arch,
+      static_cast<std::size_t>(cfg.blocks_per_stage),
+      static_cast<std::size_t>(cfg.b_micro), wopts);
+
+  const auto assignment =
+      assign_to_bubbles(kstep_full, kstep.step_time, tasks);
+  rep.pipefisher_window = assignment.schedule;
+  rep.utilization = assignment.utilization_after;
+  rep.refresh_interval_steps = assignment.steps_used;
+  rep.bubble_per_step = assignment.bubble_per_step;
+
+  double per_dev = 0.0;
+  for (std::size_t d = 0; d < kstep_full.n_devices(); ++d)
+    per_dev += total_task_seconds(tasks, d);
+  rep.curv_inv_seconds_per_device =
+      per_dev / static_cast<double>(kstep_full.n_devices());
+  return rep;
+}
+
+}  // namespace pf

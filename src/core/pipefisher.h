@@ -1,0 +1,63 @@
+// PipeFisher end-to-end driver: builds the pipeline schedule, simulates the
+// base step on the modeled hardware, generates the K-FAC work queue, packs
+// it into the bubbles, and reports the quantities the paper's evaluation
+// uses — per-step time, GPU utilization before/after, refresh interval.
+#pragma once
+
+#include <string>
+
+#include "src/core/bubble_assigner.h"
+#include "src/core/kfac_work.h"
+#include "src/hw/cost_model.h"
+#include "src/pipeline/simulator.h"
+
+namespace pf {
+
+struct PipeFisherConfig {
+  std::string schedule = "chimera";  // "gpipe" | "1f1b" | "chimera"
+  TransformerConfig arch;
+  HardwareProfile hw;
+  int n_stages = 4;          // pipeline depth D
+  int blocks_per_stage = 1;  // transformer blocks per stage
+  int n_micro = 4;           // micro-batches per device per step
+  int b_micro = 32;          // micro-batch size (sequences)
+  int data_parallel_world = 1;     // replicas per stage (W)
+  bool inversion_parallel = false; // split inversion across replicas
+  bool recompute = false;          // activation recomputation (R)
+  // Include P2P latency on stage boundaries (0 disables, as in the paper's
+  // performance model).
+  bool model_p2p = true;
+};
+
+struct PipeFisherReport {
+  // --- Base (first-order optimizer, e.g. Adam/NVLAMB) step ---
+  double step_time_baseline = 0.0;
+  double utilization_baseline = 0.0;
+  Timeline baseline_step;  // one step, includes sync-grad + optimizer
+
+  // --- PipeFisher step ---
+  double step_time = 0.0;  // includes precondition (the only overhead)
+  double utilization = 0.0;              // over the refresh window
+  int refresh_interval_steps = 0;        // steps to drain curvature+inversion
+  double bubble_per_step = 0.0;          // mean per-device bubble seconds
+  double curv_inv_seconds_per_device = 0.0;
+  double pipe_makespan = 0.0;
+  Timeline pipefisher_window;  // refresh_interval steps with K-FAC filled
+
+  // Step-time inflation of PipeFisher over the baseline (≈ precondition).
+  double overhead_fraction() const {
+    return step_time / step_time_baseline - 1.0;
+  }
+};
+
+// Runs the full PipeFisher pipeline-level experiment.
+PipeFisherReport run_pipefisher(const PipeFisherConfig& cfg);
+
+// The base StepCosts used for a config (exposed for tests / perf model
+// cross-checks). `with_kfac` adds the per-stage precondition time.
+StepCosts derive_step_costs(const PipeFisherConfig& cfg, bool with_kfac);
+
+// Builds the ScheduleSpec for cfg.schedule; throws on unknown name.
+ScheduleSpec build_schedule(const PipeFisherConfig& cfg);
+
+}  // namespace pf

@@ -1,0 +1,75 @@
+#include "src/data/mlm_batcher.h"
+
+#include "src/common/check.h"
+
+namespace pf {
+
+MlmBatcher::MlmBatcher(const SyntheticCorpus& corpus,
+                       const MlmBatcherConfig& cfg)
+    : corpus_(corpus), cfg_(cfg) {
+  PF_CHECK(cfg.seq_len >= 8) << "sequence too short for [CLS] A [SEP] B [SEP]";
+  PF_CHECK(cfg.mask_prob > 0.0 && cfg.mask_prob < 1.0);
+  PF_CHECK(cfg.mask_token_frac + cfg.random_token_frac <= 1.0);
+}
+
+BertBatch MlmBatcher::next_batch(std::size_t batch_size, Rng& rng) const {
+  const std::size_t S = cfg_.seq_len;
+  // Layout: [CLS] a₁..a_la [SEP] b₁..b_lb [SEP]; la + lb = S - 3.
+  const std::size_t la = (S - 3) / 2;
+  const std::size_t lb = S - 3 - la;
+
+  BertBatch batch;
+  batch.batch = batch_size;
+  batch.seq = S;
+  batch.ids.resize(batch_size * S);
+  batch.segments.resize(batch_size * S);
+  batch.mlm_labels.assign(batch_size * S, -1);
+  batch.nsp_labels.resize(batch_size);
+
+  for (std::size_t b = 0; b < batch_size; ++b) {
+    const auto a = corpus_.sample_stream(la, rng);
+    const bool is_next = rng.bernoulli(0.5);
+    const auto bb = is_next ? corpus_.continue_stream(a.back(), lb, rng)
+                            : corpus_.sample_stream(lb, rng);
+    batch.nsp_labels[b] = is_next ? 1 : 0;
+
+    std::vector<int> seq;
+    std::vector<int> seg;
+    seq.push_back(SpecialTokens::kCls);
+    seg.push_back(0);
+    for (int t : a) {
+      seq.push_back(t);
+      seg.push_back(0);
+    }
+    seq.push_back(SpecialTokens::kSep);
+    seg.push_back(0);
+    for (int t : bb) {
+      seq.push_back(t);
+      seg.push_back(1);
+    }
+    seq.push_back(SpecialTokens::kSep);
+    seg.push_back(1);
+    PF_CHECK(seq.size() == S);
+
+    for (std::size_t i = 0; i < S; ++i) {
+      int tok = seq[i];
+      const std::size_t flat = b * S + i;
+      batch.segments[flat] = seg[i];
+      const bool maskable = tok >= SpecialTokens::kFirstWord;
+      if (maskable && rng.bernoulli(cfg_.mask_prob)) {
+        batch.mlm_labels[flat] = tok;
+        const double u = rng.uniform();
+        if (u < cfg_.mask_token_frac) {
+          tok = SpecialTokens::kMask;
+        } else if (u < cfg_.mask_token_frac + cfg_.random_token_frac) {
+          tok = SpecialTokens::kFirstWord +
+                static_cast<int>(rng.uniform_int(corpus_.n_words()));
+        }  // else: keep original token
+      }
+      batch.ids[flat] = tok;
+    }
+  }
+  return batch;
+}
+
+}  // namespace pf

@@ -1,0 +1,29 @@
+// Builds BERT pretraining batches from the synthetic corpus:
+// [CLS] segA… [SEP] segB… [SEP] layout, 50% is-next / 50% random NSP pairs,
+// and BERT's 15% MLM masking with the 80/10/10 mask/random/keep split.
+#pragma once
+
+#include "src/data/synthetic_corpus.h"
+#include "src/nn/bert.h"
+
+namespace pf {
+
+struct MlmBatcherConfig {
+  std::size_t seq_len = 16;
+  double mask_prob = 0.15;
+  double mask_token_frac = 0.8;   // → [MASK]
+  double random_token_frac = 0.1; // → random word (rest: keep)
+};
+
+class MlmBatcher {
+ public:
+  MlmBatcher(const SyntheticCorpus& corpus, const MlmBatcherConfig& cfg);
+
+  BertBatch next_batch(std::size_t batch_size, Rng& rng) const;
+
+ private:
+  const SyntheticCorpus& corpus_;
+  MlmBatcherConfig cfg_;
+};
+
+}  // namespace pf

@@ -1,0 +1,92 @@
+#include "src/data/synthetic_corpus.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace pf {
+
+SyntheticCorpus::SyntheticCorpus(const CorpusConfig& cfg) : cfg_(cfg) {
+  PF_CHECK(cfg.vocab > SpecialTokens::kFirstWord + 4)
+      << "vocab too small: " << cfg.vocab;
+  PF_CHECK(cfg.structure_prob >= 0.0 && cfg.structure_prob <= 1.0);
+  n_words_ = cfg.vocab - SpecialTokens::kFirstWord;
+  PF_CHECK(cfg.successors >= 1 && cfg.successors < n_words_);
+
+  unigram_.resize(n_words_);
+  for (std::size_t i = 0; i < n_words_; ++i)
+    unigram_[i] = 1.0 / std::pow(static_cast<double>(i + 1),
+                                 cfg.zipf_exponent);
+
+  // Deterministic successor structure from the corpus seed.
+  Rng structure_rng(cfg.seed);
+  successor_.resize(n_words_);
+  for (std::size_t i = 0; i < n_words_; ++i) {
+    for (std::size_t s = 0; s < cfg.successors; ++s) {
+      successor_[i].push_back(static_cast<int>(
+          structure_rng.uniform_int(n_words_)));
+    }
+  }
+}
+
+int SyntheticCorpus::sample_next(int prev, Rng& rng) const {
+  const auto word = static_cast<std::size_t>(prev - SpecialTokens::kFirstWord);
+  PF_CHECK(word < n_words_);
+  if (rng.bernoulli(cfg_.structure_prob)) {
+    const auto& succ = successor_[word];
+    return SpecialTokens::kFirstWord +
+           succ[rng.uniform_int(succ.size())];
+  }
+  return SpecialTokens::kFirstWord +
+         static_cast<int>(rng.categorical(unigram_));
+}
+
+std::vector<int> SyntheticCorpus::sample_stream(std::size_t n,
+                                                Rng& rng) const {
+  PF_CHECK(n >= 1);
+  std::vector<int> out;
+  out.reserve(n);
+  out.push_back(SpecialTokens::kFirstWord +
+                static_cast<int>(rng.categorical(unigram_)));
+  while (out.size() < n) out.push_back(sample_next(out.back(), rng));
+  return out;
+}
+
+std::vector<int> SyntheticCorpus::continue_stream(int last_token,
+                                                  std::size_t n,
+                                                  Rng& rng) const {
+  std::vector<int> out;
+  out.reserve(n);
+  int cur = last_token;
+  for (std::size_t i = 0; i < n; ++i) {
+    cur = sample_next(cur, rng);
+    out.push_back(cur);
+  }
+  return out;
+}
+
+double SyntheticCorpus::conditional_entropy() const {
+  // H(next | prev) averaged over the stationary-ish unigram of prev.
+  double uz = 0.0;
+  for (double w : unigram_) uz += w;
+
+  double h = 0.0;
+  for (std::size_t prev = 0; prev < n_words_; ++prev) {
+    // P(next = j | prev): structure_prob spread over the successor multiset
+    // plus (1-structure_prob)·unigram.
+    std::vector<double> p(n_words_, 0.0);
+    const auto& succ = successor_[prev];
+    for (int s : succ)
+      p[static_cast<std::size_t>(s)] +=
+          cfg_.structure_prob / static_cast<double>(succ.size());
+    for (std::size_t j = 0; j < n_words_; ++j)
+      p[j] += (1.0 - cfg_.structure_prob) * unigram_[j] / uz;
+    double hp = 0.0;
+    for (double pj : p)
+      if (pj > 0.0) hp -= pj * std::log(pj);
+    h += (unigram_[prev] / uz) * hp;
+  }
+  return h;
+}
+
+}  // namespace pf

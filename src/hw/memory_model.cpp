@@ -1,0 +1,80 @@
+#include "src/hw/memory_model.h"
+
+namespace pf {
+
+namespace {
+constexpr double kFp32Bytes = 4.0;
+}
+
+double mem_params_stage(const TransformerConfig& cfg, std::size_t blocks) {
+  return static_cast<double>(cfg.params_per_block()) *
+         static_cast<double>(blocks) * kFp32Bytes;
+}
+
+double mem_activations_stage(const TransformerConfig& cfg, std::size_t blocks,
+                             std::size_t b_micro) {
+  const double tokens =
+      static_cast<double>(b_micro) * static_cast<double>(cfg.seq_len);
+  return tokens * cfg.activation_floats_per_token() *
+         static_cast<double>(blocks) * kFp32Bytes;
+}
+
+double mem_boundary_activation(const TransformerConfig& cfg,
+                               std::size_t b_micro) {
+  const double tokens =
+      static_cast<double>(b_micro) * static_cast<double>(cfg.seq_len);
+  return tokens * static_cast<double>(cfg.d_model) * kFp32Bytes;
+}
+
+double mem_peak_err_stage(const TransformerConfig& cfg, std::size_t blocks,
+                          std::size_t b_micro) {
+  (void)blocks;  // peak is per-block: errors of other blocks are freed
+  const double tokens =
+      static_cast<double>(b_micro) * static_cast<double>(cfg.seq_len);
+  return tokens * cfg.peak_error_floats_per_token() * kFp32Bytes;
+}
+
+double mem_save_err_stage(const TransformerConfig& cfg, std::size_t blocks,
+                          std::size_t b_micro) {
+  const double tokens =
+      static_cast<double>(b_micro) * static_cast<double>(cfg.seq_len);
+  return tokens * cfg.saved_error_floats_per_token() *
+         static_cast<double>(blocks) * kFp32Bytes;
+}
+
+double mem_curvature_stage(const TransformerConfig& cfg, std::size_t blocks) {
+  double floats = 0.0;
+  for (const auto& l : cfg.kfac_linears_per_block()) {
+    floats += static_cast<double>(l.d_in) * static_cast<double>(l.d_in);
+    floats += static_cast<double>(l.d_out) * static_cast<double>(l.d_out);
+  }
+  return floats * static_cast<double>(blocks) * kFp32Bytes;
+}
+
+MemoryBreakdown model_memory(const MemoryModelInput& in) {
+  MemoryBreakdown out{};
+  const double m_theta =
+      mem_params_stage(in.cfg, in.blocks_per_stage) *
+      static_cast<double>(in.stages_per_device);
+  out.params_and_grads = 2.0 * m_theta;  // parameters + gradients
+  const double n = static_cast<double>(in.n_micro);
+  if (in.recompute) {
+    // Only the stage-input activation of each in-flight micro-batch is kept;
+    // one block's activations exist transiently during recomputation.
+    out.activations =
+        n * mem_boundary_activation(in.cfg, in.b_micro) +
+        mem_activations_stage(in.cfg, 1, in.b_micro);
+  } else {
+    out.activations =
+        n * mem_activations_stage(in.cfg, in.blocks_per_stage, in.b_micro);
+  }
+  out.peak_err = mem_peak_err_stage(in.cfg, in.blocks_per_stage, in.b_micro);
+  out.save_err =
+      n * mem_save_err_stage(in.cfg, in.blocks_per_stage, in.b_micro);
+  // Curvature (A, B) plus their inverses: 2× the factor set.
+  out.curv_plus_inv = 2.0 * mem_curvature_stage(in.cfg, in.blocks_per_stage) *
+                      static_cast<double>(in.stages_per_device);
+  return out;
+}
+
+}  // namespace pf

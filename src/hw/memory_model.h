@@ -1,0 +1,51 @@
+// Memory-consumption model (paper §3.3):
+//
+//   M_pipe  = 2·(D·W/#devices)·M_θ + N_micro·M_act + M_peak_err
+//   M⁺_kfac = M_curv + M_inv + N_micro·M_save_err
+//
+// with the activation-recomputation (R) variant storing only stage-boundary
+// activations. All quantities are per-device worst case, fp32.
+#pragma once
+
+#include "src/hw/transformer_config.h"
+
+namespace pf {
+
+struct MemoryBreakdown {
+  double params_and_grads;  // 2·M_θ·(stages per device)
+  double activations;       // N_micro·M_act (or boundary-only under R)
+  double peak_err;          // M_peak_err
+  double save_err;          // N_micro·M_save_err (K-FAC only)
+  double curv_plus_inv;     // M_curv + M_inv (K-FAC only)
+
+  double pipeline_total() const {
+    return params_and_grads + activations + peak_err;
+  }
+  double kfac_extra() const { return save_err + curv_plus_inv; }
+  double total() const { return pipeline_total() + kfac_extra(); }
+};
+
+struct MemoryModelInput {
+  TransformerConfig cfg;
+  std::size_t blocks_per_stage = 1;
+  std::size_t stages_per_device = 1;  // Chimera w/ 2 pipelines → 2
+  std::size_t b_micro = 8;
+  std::size_t n_micro = 4;
+  bool recompute = false;  // activation recomputation (R)
+};
+
+MemoryBreakdown model_memory(const MemoryModelInput& in);
+
+// Individual terms, exposed for tests and plots.
+double mem_params_stage(const TransformerConfig& cfg, std::size_t blocks);
+double mem_activations_stage(const TransformerConfig& cfg, std::size_t blocks,
+                             std::size_t b_micro);
+double mem_boundary_activation(const TransformerConfig& cfg,
+                               std::size_t b_micro);
+double mem_peak_err_stage(const TransformerConfig& cfg, std::size_t blocks,
+                          std::size_t b_micro);
+double mem_save_err_stage(const TransformerConfig& cfg, std::size_t blocks,
+                          std::size_t b_micro);
+double mem_curvature_stage(const TransformerConfig& cfg, std::size_t blocks);
+
+}  // namespace pf

@@ -1,0 +1,46 @@
+// Curvature work: building the Kronecker factors from layer caches.
+#include "src/common/check.h"
+#include "src/kfac/kfac_engine.h"
+#include "src/linalg/gemm.h"
+
+namespace pf {
+
+KfacEngine::KfacEngine(std::vector<Linear*> layers, const KfacOptions& opts)
+    : layers_(std::move(layers)), opts_(opts) {
+  PF_CHECK(!layers_.empty());
+  PF_CHECK(opts_.ema_decay > 0.0 && opts_.ema_decay < 1.0);
+  PF_CHECK(opts_.damping > 0.0);
+  states_.resize(layers_.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    states_[i].a_ema = Matrix(layers_[i]->d_in(), layers_[i]->d_in(), 0.0);
+    states_[i].b_ema = Matrix(layers_[i]->d_out(), layers_[i]->d_out(), 0.0);
+  }
+}
+
+const KfacFactorState& KfacEngine::state(std::size_t i) const {
+  PF_CHECK(i < states_.size());
+  return states_[i];
+}
+
+void KfacEngine::update_curvature() {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Linear* l = layers_[i];
+    if (!l->has_kfac_caches()) continue;
+    const Matrix& x = l->cached_input();        // a_l  [N × d_in]
+    const Matrix& dy = l->cached_output_grad();  // e_l  [N × d_out]
+    const double n = static_cast<double>(x.rows());
+
+    // A = XᵀX / N ; B = N·dYᵀdY (see kfac_engine.h for the scaling).
+    Matrix a(l->d_in(), l->d_in(), 0.0);
+    matmul_tn_acc(x, x, a, 1.0 / n);
+    Matrix b(l->d_out(), l->d_out(), 0.0);
+    matmul_tn_acc(dy, dy, b, n);
+
+    auto& st = states_[i];
+    st.a_ema.axpby(opts_.ema_decay, a, 1.0 - opts_.ema_decay);
+    st.b_ema.axpby(opts_.ema_decay, b, 1.0 - opts_.ema_decay);
+    ++st.curvature_updates;
+  }
+}
+
+}  // namespace pf

@@ -1,0 +1,28 @@
+#include "src/kfac/factor_state.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace pf {
+
+namespace {
+Matrix corrected(const Matrix& ema, double decay, std::size_t n) {
+  PF_CHECK(n > 0) << "no curvature accumulated yet";
+  const double corr =
+      1.0 - std::pow(decay, static_cast<double>(n));
+  Matrix out = ema;
+  out *= 1.0 / corr;
+  return out;
+}
+}  // namespace
+
+Matrix KfacFactorState::corrected_a(double decay) const {
+  return corrected(a_ema, decay, curvature_updates);
+}
+
+Matrix KfacFactorState::corrected_b(double decay) const {
+  return corrected(b_ema, decay, curvature_updates);
+}
+
+}  // namespace pf

@@ -1,0 +1,29 @@
+// Per-layer Kronecker factor state for K-FAC.
+//
+// Holds the EMA estimates of A_l = ⟨a_l a_lᵀ⟩ and B_l = ⟨e_l e_lᵀ⟩ and their
+// damped inverses. The engine (curvature.h / inversion.h / precondition.h)
+// performs exactly the three kinds of work PipeFisher schedules into
+// bubbles.
+#pragma once
+
+#include "src/linalg/matrix.h"
+
+namespace pf {
+
+struct KfacFactorState {
+  Matrix a_ema;  // [d_in × d_in]
+  Matrix b_ema;  // [d_out × d_out]
+  Matrix a_inv;
+  Matrix b_inv;
+  std::size_t curvature_updates = 0;
+  std::size_t inverse_updates = 0;
+
+  bool has_curvature() const { return curvature_updates > 0; }
+  bool has_inverse() const { return inverse_updates > 0; }
+
+  // Bias-corrected EMA values (Adam-style correction for the warm-up).
+  Matrix corrected_a(double decay) const;
+  Matrix corrected_b(double decay) const;
+};
+
+}  // namespace pf

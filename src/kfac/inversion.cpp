@@ -1,0 +1,79 @@
+// Inversion work: damped Cholesky inverses of the Kronecker factors.
+#include <cmath>
+
+#include "src/kfac/kfac_engine.h"
+#include "src/linalg/cholesky.h"
+
+namespace pf {
+
+namespace {
+
+double trace(const Matrix& m) {
+  double t = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i) t += m(i, i);
+  return t;
+}
+
+// (block-diag_k(m) + damping·I)⁻¹: inverts the k diagonal blocks
+// independently and zeroes all cross-block entries (Appendix A.2).
+Matrix block_diag_inverse(const Matrix& m, double damping, std::size_t k) {
+  const std::size_t n = m.rows();
+  if (k <= 1 || k >= n) {
+    if (k >= n && n > 0) {
+      // Fully diagonal preconditioning.
+      Matrix inv(n, n, 0.0);
+      for (std::size_t i = 0; i < n; ++i)
+        inv(i, i) = 1.0 / (m(i, i) + damping);
+      return inv;
+    }
+    return spd_inverse(m, damping);
+  }
+  Matrix inv(n, n, 0.0);
+  const std::size_t base = n / k;
+  const std::size_t extra = n % k;
+  std::size_t start = 0;
+  for (std::size_t b = 0; b < k; ++b) {
+    const std::size_t size = base + (b < extra ? 1 : 0);
+    if (size == 0) continue;
+    Matrix block(size, size);
+    for (std::size_t i = 0; i < size; ++i)
+      for (std::size_t j = 0; j < size; ++j)
+        block(i, j) = m(start + i, start + j);
+    const Matrix binv = spd_inverse(block, damping);
+    for (std::size_t i = 0; i < size; ++i)
+      for (std::size_t j = 0; j < size; ++j)
+        inv(start + i, start + j) = binv(i, j);
+    start += size;
+  }
+  return inv;
+}
+
+}  // namespace
+
+void KfacEngine::update_inverses() {
+  const double gamma = std::sqrt(opts_.damping);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    auto& st = states_[i];
+    if (!st.has_curvature()) continue;
+    const Matrix a = st.corrected_a(opts_.ema_decay);
+    const Matrix b = st.corrected_b(opts_.ema_decay);
+
+    double damp_a = gamma, damp_b = gamma;
+    if (opts_.pi_correction) {
+      const double mean_tr_a =
+          trace(a) / static_cast<double>(a.rows());
+      const double mean_tr_b =
+          trace(b) / static_cast<double>(b.rows());
+      // Guard against degenerate traces early in training.
+      const double pi = std::sqrt(std::max(mean_tr_a, 1e-12) /
+                                  std::max(mean_tr_b, 1e-12));
+      damp_a = gamma * pi;
+      damp_b = gamma / pi;
+    }
+    st.a_inv = block_diag_inverse(a, damp_a, opts_.block_diag_k);
+    st.b_inv = block_diag_inverse(b, damp_b, opts_.block_diag_k);
+    ++st.inverse_updates;
+  }
+}
+
+}  // namespace pf

@@ -1,0 +1,60 @@
+// K-FAC engine over a set of Linear layers: curvature, inversion and
+// preconditioning — the numeric counterparts of the three work kinds
+// PipeFisher assigns to pipeline bubbles.
+//
+// Conventions (weight stored [d_in × d_out], y = x·W + b, N = rows):
+//   A_l = Xᵀ·X / N                        (activation second moment)
+//   B_l = N · dYᵀ·dY                      (error second moment; dY holds the
+//                                          mean-loss gradient, so ×N undoes
+//                                          one 1/N to estimate the empirical
+//                                          Fisher of per-example errors)
+//   dŴ  = (A_l + π γ I)⁻¹ · dW · (B_l + γ/π I)⁻¹
+// with Tikhonov damping γ = sqrt(damping) split by the standard π-correction
+// π = sqrt( (tr A/d_in) / (tr B/d_out) ) of Martens & Grosse.
+#pragma once
+
+#include <vector>
+
+#include "src/kfac/factor_state.h"
+#include "src/nn/linear.h"
+
+namespace pf {
+
+struct KfacOptions {
+  double ema_decay = 0.95;
+  double damping = 1e-3;
+  bool pi_correction = true;
+  // Appendix A.2: approximate each factor by a k-block diagonal matrix so
+  // very wide layers (d_ff ~ 16384) stay invertible in bubble-sized chunks.
+  // k = 1 is exact K-FAC; k = dim degenerates to diagonal preconditioning.
+  std::size_t block_diag_k = 1;
+};
+
+class KfacEngine {
+ public:
+  KfacEngine(std::vector<Linear*> layers, const KfacOptions& opts);
+
+  // Curvature work: folds each layer's cached (a_l, e_l) into the factor
+  // EMAs. Layers without caches (never ran backward) are skipped.
+  void update_curvature();
+
+  // Inversion work: recomputes the damped inverses from the current EMAs.
+  void update_inverses();
+
+  // Precondition work: replaces each layer's weight gradient with
+  // B⁻¹-and-A⁻¹-preconditioned gradient. Layers whose inverses have never
+  // been computed are left untouched (the paper's "stale inverse" rule
+  // degenerates to identity preconditioning before the first inversion).
+  void precondition();
+
+  std::size_t n_layers() const { return layers_.size(); }
+  const KfacFactorState& state(std::size_t i) const;
+  const KfacOptions& options() const { return opts_; }
+
+ private:
+  std::vector<Linear*> layers_;
+  std::vector<KfacFactorState> states_;
+  KfacOptions opts_;
+};
+
+}  // namespace pf

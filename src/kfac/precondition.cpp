@@ -1,0 +1,16 @@
+// Precondition work: dŴ = A⁻¹ · dW · B⁻¹ (weight layout [d_in × d_out]).
+#include "src/kfac/kfac_engine.h"
+#include "src/linalg/gemm.h"
+
+namespace pf {
+
+void KfacEngine::precondition() {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    auto& st = states_[i];
+    if (!st.has_inverse()) continue;  // stale-inverse rule: identity
+    Linear* l = layers_[i];
+    l->weight().g = matmul(matmul(st.a_inv, l->weight().g), st.b_inv);
+  }
+}
+
+}  // namespace pf

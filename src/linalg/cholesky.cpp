@@ -1,0 +1,101 @@
+#include "src/linalg/cholesky.h"
+
+#include <cmath>
+
+namespace pf {
+
+std::optional<Matrix> try_cholesky(const Matrix& m) {
+  PF_CHECK(m.rows() == m.cols()) << "cholesky needs a square matrix";
+  const std::size_t n = m.rows();
+  Matrix l(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = m(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = m(i, j);
+      const double* lrow_i = l.row(i);
+      const double* lrow_j = l.row(j);
+      for (std::size_t k = 0; k < j; ++k) s -= lrow_i[k] * lrow_j[k];
+      l(i, j) = s / ljj;
+    }
+  }
+  return l;
+}
+
+Matrix cholesky(const Matrix& m) {
+  auto l = try_cholesky(m);
+  PF_CHECK(l.has_value()) << "matrix is not positive definite";
+  return std::move(*l);
+}
+
+std::vector<double> forward_substitute(const Matrix& l,
+                                       const std::vector<double>& b) {
+  const std::size_t n = l.rows();
+  PF_CHECK(l.cols() == n && b.size() == n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    const double* lrow = l.row(i);
+    for (std::size_t k = 0; k < i; ++k) s -= lrow[k] * y[k];
+    y[i] = s / lrow[i];
+  }
+  return y;
+}
+
+std::vector<double> back_substitute(const Matrix& l,
+                                    const std::vector<double>& y) {
+  const std::size_t n = l.rows();
+  PF_CHECK(l.cols() == n && y.size() == n);
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> cholesky_solve(const Matrix& l,
+                                   const std::vector<double>& b) {
+  return back_substitute(l, forward_substitute(l, b));
+}
+
+Matrix cholesky_inverse(const Matrix& l) {
+  const std::size_t n = l.rows();
+  PF_CHECK(l.cols() == n);
+  // Solve (LLᵀ) X = I column by column. O(n³), matching the cost model's
+  // treatment of inversion work as a cubic kernel.
+  Matrix inv(n, n, 0.0);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    const std::vector<double> col = cholesky_solve(l, e);
+    e[j] = 0.0;
+    for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+  }
+  // Symmetrize to wash out round-off asymmetry.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = 0.5 * (inv(i, j) + inv(j, i));
+      inv(i, j) = v;
+      inv(j, i) = v;
+    }
+  return inv;
+}
+
+Matrix spd_inverse(const Matrix& m, double damping) {
+  PF_CHECK(damping >= 0.0);
+  Matrix damped = m;
+  if (damping > 0.0) add_diagonal(damped, damping);
+  return cholesky_inverse(cholesky(damped));
+}
+
+void add_diagonal(Matrix& m, double eps) {
+  PF_CHECK(m.rows() == m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) m(i, i) += eps;
+}
+
+}  // namespace pf

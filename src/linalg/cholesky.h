@@ -1,0 +1,42 @@
+// Cholesky factorization and symmetric positive-definite inversion.
+//
+// K-FAC inverts its Kronecker factors A_l, B_l (symmetric PSD + damping)
+// with exactly this pair of operations — the paper calls
+// torch.linalg.cholesky() followed by torch.linalg.cholesky_inverse().
+#pragma once
+
+#include <optional>
+
+#include "src/linalg/matrix.h"
+
+namespace pf {
+
+// Lower-triangular L with L·Lᵀ = m. Throws pf::Error if m is not
+// (numerically) positive definite or not square.
+Matrix cholesky(const Matrix& m);
+
+// Same, but returns nullopt instead of throwing on a non-PD matrix.
+std::optional<Matrix> try_cholesky(const Matrix& m);
+
+// Solve L·y = b (forward substitution), L lower-triangular.
+std::vector<double> forward_substitute(const Matrix& l,
+                                       const std::vector<double>& b);
+
+// Solve Lᵀ·x = y (back substitution), L lower-triangular.
+std::vector<double> back_substitute(const Matrix& l,
+                                    const std::vector<double>& y);
+
+// Solve (L·Lᵀ)·x = b.
+std::vector<double> cholesky_solve(const Matrix& l,
+                                   const std::vector<double>& b);
+
+// Full inverse (L·Lᵀ)⁻¹ from the factor L (torch.cholesky_inverse analog).
+Matrix cholesky_inverse(const Matrix& l);
+
+// Convenience: (m + damping·I)⁻¹ for symmetric PSD m via Cholesky.
+Matrix spd_inverse(const Matrix& m, double damping = 0.0);
+
+// m += eps·I in place.
+void add_diagonal(Matrix& m, double eps);
+
+}  // namespace pf

@@ -1,0 +1,102 @@
+#include "src/linalg/eig.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pf {
+
+EigResult sym_eig(const Matrix& m, int max_sweeps, double tol) {
+  PF_CHECK(m.rows() == m.cols()) << "sym_eig needs a square matrix";
+  const std::size_t n = m.rows();
+  Matrix a = m;
+  // Symmetrize defensively.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  Matrix v = Matrix::identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += a(i, j) * a(i, j);
+    if (std::sqrt(off) <= tol * std::max(1.0, a.frobenius_norm())) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a(p, p), aqq = a(q, q);
+        const double theta = 0.5 * (aqq - app) / apq;
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/cols p and q of A.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a(x, x) < a(y, y);
+  });
+  EigResult out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    out.values[idx] = a(order[idx], order[idx]);
+    for (std::size_t k = 0; k < n; ++k)
+      out.vectors(k, idx) = v(k, order[idx]);
+  }
+  return out;
+}
+
+Matrix sym_matrix_function(const EigResult& eig,
+                           const std::function<double(double)>& f) {
+  const std::size_t n = eig.values.size();
+  PF_CHECK(eig.vectors.rows() == n && eig.vectors.cols() == n);
+  Matrix out(n, n, 0.0);
+  for (std::size_t e = 0; e < n; ++e) {
+    const double fe = f(eig.values[e]);
+    if (fe == 0.0) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double vie = eig.vectors(i, e) * fe;
+      for (std::size_t j = 0; j < n; ++j)
+        out(i, j) += vie * eig.vectors(j, e);
+    }
+  }
+  return out;
+}
+
+Matrix sym_inverse_pth_root(const Matrix& m, double p, double eps) {
+  PF_CHECK(p >= 1.0);
+  PF_CHECK(eps > 0.0);
+  const auto eig = sym_eig(m);
+  return sym_matrix_function(eig, [p, eps](double lambda) {
+    return std::pow(std::max(lambda, 0.0) + eps, -1.0 / p);
+  });
+}
+
+}  // namespace pf

@@ -1,0 +1,30 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// Needed by the Shampoo optimizer (paper §5: Shampoo requires an
+// eigendecomposition per Kronecker-factored matrix, which is exactly the
+// "extra work" PipeFisher would split across bubbles) and useful for
+// spectral diagnostics of K-FAC factors.
+#pragma once
+
+#include "src/linalg/matrix.h"
+
+namespace pf {
+
+struct EigResult {
+  std::vector<double> values;  // ascending
+  Matrix vectors;              // column i is the eigenvector of values[i]
+};
+
+// Jacobi eigenvalue iteration for a symmetric matrix. Converges to machine
+// precision for modest sizes (the Kronecker-factor regime).
+EigResult sym_eig(const Matrix& m, int max_sweeps = 64, double tol = 1e-12);
+
+// Rebuilds V·diag(f(λ))·Vᵀ — used for inverse p-th roots in Shampoo
+// (f(λ) = (λ+ε)^(-1/p)) and for spectral floors.
+Matrix sym_matrix_function(const EigResult& eig,
+                           const std::function<double(double)>& f);
+
+// Convenience: (m + eps·I)^(-1/p) for symmetric PSD m.
+Matrix sym_inverse_pth_root(const Matrix& m, double p, double eps);
+
+}  // namespace pf

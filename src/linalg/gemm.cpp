@@ -1,0 +1,99 @@
+#include "src/linalg/gemm.h"
+
+#include <algorithm>
+
+namespace pf {
+
+namespace {
+// Block size tuned for L1-resident panels of doubles.
+constexpr std::size_t kBlock = 64;
+}  // namespace
+
+void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha) {
+  const std::size_t M = a.rows(), K = a.cols(), N = b.cols();
+  PF_CHECK(b.rows() == K) << "matmul shape: " << M << "x" << K << " * "
+                          << b.rows() << "x" << N;
+  PF_CHECK(c.rows() == M && c.cols() == N);
+  for (std::size_t i0 = 0; i0 < M; i0 += kBlock) {
+    const std::size_t i1 = std::min(M, i0 + kBlock);
+    for (std::size_t k0 = 0; k0 < K; k0 += kBlock) {
+      const std::size_t k1 = std::min(K, k0 + kBlock);
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double* arow = a.row(i);
+        double* crow = c.row(i);
+        for (std::size_t k = k0; k < k1; ++k) {
+          const double aik = alpha * arow[k];
+          if (aik == 0.0) continue;
+          const double* brow = b.row(k);
+          for (std::size_t j = 0; j < N; ++j) crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols(), 0.0);
+  matmul_acc(a, b, c);
+  return c;
+}
+
+void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha) {
+  // a: (M×K), b: (M×N), c: (K×N) += alpha * aᵀ b.
+  const std::size_t M = a.rows(), K = a.cols(), N = b.cols();
+  PF_CHECK(b.rows() == M) << "matmul_tn shape mismatch";
+  PF_CHECK(c.rows() == K && c.cols() == N);
+  for (std::size_t m = 0; m < M; ++m) {
+    const double* arow = a.row(m);
+    const double* brow = b.row(m);
+    for (std::size_t k = 0; k < K; ++k) {
+      const double v = alpha * arow[k];
+      if (v == 0.0) continue;
+      double* crow = c.row(k);
+      for (std::size_t j = 0; j < N; ++j) crow[j] += v * brow[j];
+    }
+  }
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols(), 0.0);
+  matmul_tn_acc(a, b, c);
+  return c;
+}
+
+void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha) {
+  // a: (M×K), b: (N×K), c: (M×N) += alpha * a bᵀ.
+  const std::size_t M = a.rows(), K = a.cols(), N = b.rows();
+  PF_CHECK(b.cols() == K) << "matmul_nt shape mismatch";
+  PF_CHECK(c.rows() == M && c.cols() == N);
+  for (std::size_t i = 0; i < M; ++i) {
+    const double* arow = a.row(i);
+    double* crow = c.row(i);
+    for (std::size_t j = 0; j < N; ++j) {
+      const double* brow = b.row(j);
+      double s = 0.0;
+      for (std::size_t k = 0; k < K; ++k) s += arow[k] * brow[k];
+      crow[j] += alpha * s;
+    }
+  }
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows(), 0.0);
+  matmul_nt_acc(a, b, c);
+  return c;
+}
+
+std::vector<double> matvec(const Matrix& a, const std::vector<double>& x) {
+  PF_CHECK(a.cols() == x.size());
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += arow[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+}  // namespace pf

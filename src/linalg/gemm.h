@@ -1,0 +1,37 @@
+// Dense matrix products.
+//
+// matmul     : C = A · B
+// matmul_tn  : C = Aᵀ · B   (used for Kronecker factors  A_l = Uᵀ U)
+// matmul_nt  : C = A · Bᵀ   (used for backward passes dX = dY · Wᵀ ... )
+//
+// All kernels are cache-blocked single-threaded implementations; accuracy
+// over speed, but fast enough to train the scaled-down BERT in the
+// convergence benchmark.
+#pragma once
+
+#include "src/linalg/matrix.h"
+
+namespace pf {
+
+// C = A(M×K) · B(K×N).
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+// C = Aᵀ(M×K)ᵀ=(K×M) · B(M... ); precisely: a is (M×K), b is (M×N),
+// result is (K×N) = aᵀ·b.
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+
+// a is (M×K), b is (N×K), result is (M×N) = a·bᵀ.
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+// In-place accumulating variants: c += alpha * product. Shapes must match.
+void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c,
+                double alpha = 1.0);
+void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c,
+                   double alpha = 1.0);
+void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c,
+                   double alpha = 1.0);
+
+// y = A·x for a vector x (len = cols). Result length = rows.
+std::vector<double> matvec(const Matrix& a, const std::vector<double>& x);
+
+}  // namespace pf

@@ -1,0 +1,33 @@
+// Kronecker-product utilities.
+//
+// K-FAC's core identity — (A ⊗ B)⁻¹ vec(X) = vec(B⁻¹ X A⁻¹) — is what lets
+// it avoid ever materializing the P_l × P_l block. These helpers exist to
+// *test* that identity against the materialized product on small sizes and
+// to express vec/unvec conventions in one place.
+//
+// Convention: vec(·) stacks COLUMNS (the paper's convention), and the
+// parameter vector of a layer with weight W (d_out × d_in) is vec(Wᵀ)… we
+// store gradients as G (d_out × d_in) and use vec_cols on G so that
+// ĝ = (A ⊗ B)⁻¹ g  ⇔  Ĝ = B⁻¹ G A⁻¹.
+#pragma once
+
+#include "src/linalg/matrix.h"
+
+namespace pf {
+
+// Dense Kronecker product a ⊗ b.
+Matrix kron(const Matrix& a, const Matrix& b);
+
+// Column-stacking vectorization: for M (r×c), out[j*r + i] = M(i,j).
+std::vector<double> vec_cols(const Matrix& m);
+
+// Inverse of vec_cols.
+Matrix unvec_cols(const std::vector<double>& v, std::size_t rows,
+                  std::size_t cols);
+
+// Computes (A ⊗ B) vec(X) without materializing the product, via B·X·Aᵀ.
+// A is (n×n), B is (m×m), X is (m×n); result is vec_cols of (m×n).
+std::vector<double> kron_matvec(const Matrix& a, const Matrix& b,
+                                const Matrix& x);
+
+}  // namespace pf

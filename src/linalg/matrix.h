@@ -1,0 +1,87 @@
+// Dense row-major matrix of doubles — the numeric workhorse of the library.
+//
+// Deliberately simple: value semantics, bounds-checked access, and a handful
+// of elementwise helpers. Heavy kernels (GEMM, Cholesky) live in gemm.h and
+// cholesky.h as free functions.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace pf {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix zeros(std::size_t rows, std::size_t cols) {
+    return Matrix(rows, cols, 0.0);
+  }
+  static Matrix identity(std::size_t n);
+  static Matrix randn(std::size_t rows, std::size_t cols, Rng& rng,
+                      double stddev = 1.0);
+  // Build from nested initializer-like data (row major).
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    PF_ASSERT(r < rows_ && c < cols_)
+        << "index (" << r << "," << c << ") out of " << rows_ << "x" << cols_;
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    PF_ASSERT(r < rows_ && c < cols_)
+        << "index (" << r << "," << c << ") out of " << rows_ << "x" << cols_;
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  // Elementwise in-place ops (shapes must match).
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(double s);
+  // this = this * a + o * b (axpby).
+  Matrix& axpby(double a, const Matrix& o, double b);
+  void fill(double v);
+  void apply(const std::function<double(double)>& f);
+
+  // Reductions.
+  double frobenius_norm() const;
+  double max_abs() const;
+  double sum() const;
+
+  Matrix transposed() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(Matrix a, double s);
+Matrix operator*(double s, Matrix a);
+
+// Max elementwise absolute difference, for test assertions.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace pf

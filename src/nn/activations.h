@@ -1,0 +1,29 @@
+// GELU activation (tanh approximation, as in BERT) and row-wise softmax.
+#pragma once
+
+#include "src/linalg/matrix.h"
+
+namespace pf {
+
+// Stateless forward; callers keep the pre-activation for backward.
+Matrix gelu(const Matrix& x);
+// dL/dx given pre-activation x and upstream gradient dy.
+Matrix gelu_backward(const Matrix& x, const Matrix& dy);
+
+// Row-wise softmax (numerically stable).
+Matrix softmax_rows(const Matrix& logits);
+// Backward through softmax given its output p and upstream dy:
+// dx = p ∘ (dy − rowsum(dy ∘ p)).
+Matrix softmax_rows_backward(const Matrix& p, const Matrix& dy);
+
+// Stateful GELU layer for use inside blocks.
+class Gelu {
+ public:
+  Matrix forward(const Matrix& x, bool training = true);
+  Matrix backward(const Matrix& dy);
+
+ private:
+  Matrix x_cache_;
+};
+
+}  // namespace pf

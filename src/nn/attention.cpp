@@ -1,0 +1,118 @@
+#include "src/nn/attention.h"
+
+#include <cmath>
+
+#include "src/linalg/gemm.h"
+#include "src/nn/activations.h"
+
+namespace pf {
+
+namespace {
+
+// Copies the [seq × d_head] slice of one (batch, head) out of a
+// [batch·seq × d_model] tensor.
+Matrix slice_bh(const Matrix& x, std::size_t b, std::size_t h,
+                std::size_t seq, std::size_t d_head) {
+  Matrix out(seq, d_head);
+  for (std::size_t s = 0; s < seq; ++s) {
+    const double* row = x.row(b * seq + s);
+    for (std::size_t c = 0; c < d_head; ++c) out(s, c) = row[h * d_head + c];
+  }
+  return out;
+}
+
+void add_slice_bh(Matrix& x, const Matrix& piece, std::size_t b,
+                  std::size_t h, std::size_t seq, std::size_t d_head) {
+  for (std::size_t s = 0; s < seq; ++s) {
+    double* row = x.row(b * seq + s);
+    for (std::size_t c = 0; c < d_head; ++c)
+      row[h * d_head + c] += piece(s, c);
+  }
+}
+
+}  // namespace
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(std::size_t d_model,
+                                               std::size_t n_heads, Rng& rng,
+                                               const std::string& name)
+    : d_model_(d_model),
+      n_heads_(n_heads),
+      d_head_(d_model / n_heads),
+      wq_(d_model, d_model, rng, name + ".wq"),
+      wk_(d_model, d_model, rng, name + ".wk"),
+      wv_(d_model, d_model, rng, name + ".wv"),
+      wo_(d_model, d_model, rng, name + ".wo") {
+  PF_CHECK(d_model % n_heads == 0)
+      << "d_model " << d_model << " not divisible by heads " << n_heads;
+}
+
+Matrix MultiHeadSelfAttention::forward(const Matrix& x, std::size_t batch,
+                                       std::size_t seq, bool training) {
+  PF_CHECK(x.rows() == batch * seq && x.cols() == d_model_);
+  batch_ = batch;
+  seq_ = seq;
+  q_ = wq_.forward(x, training);
+  k_ = wk_.forward(x, training);
+  v_ = wv_.forward(x, training);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d_head_));
+
+  Matrix context(batch * seq, d_model_, 0.0);
+  if (training) probs_.assign(batch * n_heads_, Matrix());
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t h = 0; h < n_heads_; ++h) {
+      const Matrix qb = slice_bh(q_, b, h, seq, d_head_);
+      const Matrix kb = slice_bh(k_, b, h, seq, d_head_);
+      const Matrix vb = slice_bh(v_, b, h, seq, d_head_);
+      Matrix scores = matmul_nt(qb, kb);
+      scores *= scale;
+      const Matrix p = softmax_rows(scores);
+      if (training) probs_[b * n_heads_ + h] = p;
+      const Matrix ctx = matmul(p, vb);
+      add_slice_bh(context, ctx, b, h, seq, d_head_);
+    }
+  }
+  return wo_.forward(context, training);
+}
+
+Matrix MultiHeadSelfAttention::backward(const Matrix& dy) {
+  PF_CHECK(!probs_.empty()) << "backward before forward";
+  const Matrix dcontext = wo_.backward(dy);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d_head_));
+
+  Matrix dq(q_.rows(), d_model_, 0.0);
+  Matrix dk(k_.rows(), d_model_, 0.0);
+  Matrix dv(v_.rows(), d_model_, 0.0);
+  for (std::size_t b = 0; b < batch_; ++b) {
+    for (std::size_t h = 0; h < n_heads_; ++h) {
+      const Matrix& p = probs_[b * n_heads_ + h];
+      const Matrix qb = slice_bh(q_, b, h, seq_, d_head_);
+      const Matrix kb = slice_bh(k_, b, h, seq_, d_head_);
+      const Matrix vb = slice_bh(v_, b, h, seq_, d_head_);
+      const Matrix dctx = slice_bh(dcontext, b, h, seq_, d_head_);
+      // ctx = p · v.
+      const Matrix dp = matmul_nt(dctx, vb);
+      const Matrix dvb = matmul_tn(p, dctx);
+      // scores backward through softmax, then through q·kᵀ·scale.
+      Matrix dscores = softmax_rows_backward(p, dp);
+      dscores *= scale;
+      const Matrix dqb = matmul(dscores, kb);
+      const Matrix dkb = matmul_tn(dscores, qb);
+      add_slice_bh(dq, dqb, b, h, seq_, d_head_);
+      add_slice_bh(dk, dkb, b, h, seq_, d_head_);
+      add_slice_bh(dv, dvb, b, h, seq_, d_head_);
+    }
+  }
+  Matrix dx = wq_.backward(dq);
+  dx += wk_.backward(dk);
+  dx += wv_.backward(dv);
+  return dx;
+}
+
+std::vector<Param*> MultiHeadSelfAttention::params() {
+  std::vector<Param*> out;
+  for (Linear* l : kfac_linears())
+    for (Param* p : l->params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace pf

@@ -1,0 +1,31 @@
+// Multi-head self-attention built from four K-FAC-tracked linears
+// (Wq, Wk, Wv, Wo) — one of the paper's six preconditioned layers per block.
+#pragma once
+
+#include "src/nn/linear.h"
+
+namespace pf {
+
+class MultiHeadSelfAttention {
+ public:
+  MultiHeadSelfAttention(std::size_t d_model, std::size_t n_heads, Rng& rng,
+                         const std::string& name);
+
+  // x is [batch·seq × d_model]; attention runs within each sequence.
+  Matrix forward(const Matrix& x, std::size_t batch, std::size_t seq,
+                 bool training = true);
+  Matrix backward(const Matrix& dy);
+
+  std::vector<Param*> params();
+  std::vector<Linear*> kfac_linears() { return {&wq_, &wk_, &wv_, &wo_}; }
+
+ private:
+  std::size_t d_model_, n_heads_, d_head_;
+  Linear wq_, wk_, wv_, wo_;
+  // Caches for backward.
+  Matrix q_, k_, v_;
+  std::vector<Matrix> probs_;  // one [seq × seq] per (batch, head)
+  std::size_t batch_ = 0, seq_ = 0;
+};
+
+}  // namespace pf

@@ -1,0 +1,36 @@
+#include "src/nn/dropout.h"
+
+#include "src/common/check.h"
+
+namespace pf {
+
+Dropout::Dropout(double p, std::uint64_t seed) : p_(p), rng_(seed) {
+  PF_CHECK(p >= 0.0 && p < 1.0) << "dropout p=" << p;
+}
+
+Matrix Dropout::forward(const Matrix& x, bool training) {
+  if (!training || p_ == 0.0) return x;
+  const double scale = 1.0 / (1.0 - p_);
+  mask_ = Matrix(x.rows(), x.cols());
+  Matrix y(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double keep = rng_.bernoulli(p_) ? 0.0 : scale;
+      mask_(r, c) = keep;
+      y(r, c) = x(r, c) * keep;
+    }
+  return y;
+}
+
+Matrix Dropout::backward(const Matrix& dy) const {
+  if (p_ == 0.0) return dy;
+  PF_CHECK(!mask_.empty()) << "backward before training forward";
+  PF_CHECK(dy.same_shape(mask_));
+  Matrix dx(dy.rows(), dy.cols());
+  for (std::size_t r = 0; r < dy.rows(); ++r)
+    for (std::size_t c = 0; c < dy.cols(); ++c)
+      dx(r, c) = dy(r, c) * mask_(r, c);
+  return dx;
+}
+
+}  // namespace pf

@@ -1,0 +1,30 @@
+// Inverted dropout with a cached mask (BERT uses p = 0.1 throughout).
+//
+// Deterministic given the layer's RNG stream; disabled at evaluation time
+// and when p == 0 (the default in BertConfig, so the reproduction
+// experiments are unaffected unless explicitly enabled).
+#pragma once
+
+#include "src/common/rng.h"
+#include "src/linalg/matrix.h"
+
+namespace pf {
+
+class Dropout {
+ public:
+  Dropout(double p, std::uint64_t seed);
+
+  // Training: zeroes each element with prob p and scales survivors by
+  // 1/(1-p); caches the mask for backward. Evaluation: identity.
+  Matrix forward(const Matrix& x, bool training = true);
+  Matrix backward(const Matrix& dy) const;
+
+  double p() const { return p_; }
+
+ private:
+  double p_;
+  Rng rng_;
+  Matrix mask_;  // scaled keep-mask of the last training forward
+};
+
+}  // namespace pf

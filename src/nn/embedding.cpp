@@ -1,0 +1,64 @@
+#include "src/nn/embedding.h"
+
+#include "src/common/check.h"
+
+namespace pf {
+
+Embedding::Embedding(std::size_t vocab, std::size_t max_seq,
+                     std::size_t d_model, Rng& rng, const std::string& name)
+    : vocab_(vocab),
+      max_seq_(max_seq),
+      d_model_(d_model),
+      tokens_(vocab, d_model, name + ".tokens"),
+      positions_(max_seq, d_model, name + ".positions"),
+      segments_(2, d_model, name + ".segments") {
+  tokens_.w = Matrix::randn(vocab, d_model, rng, 0.02);
+  positions_.w = Matrix::randn(max_seq, d_model, rng, 0.02);
+  segments_.w = Matrix::randn(2, d_model, rng, 0.02);
+}
+
+Matrix Embedding::forward(const std::vector<int>& ids,
+                          const std::vector<int>& segments, std::size_t batch,
+                          std::size_t seq, bool training) {
+  PF_CHECK(ids.size() == batch * seq);
+  PF_CHECK(segments.size() == ids.size());
+  PF_CHECK(seq <= max_seq_);
+  Matrix out(ids.size(), d_model_);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const int tok = ids[i];
+    const int seg = segments[i];
+    PF_CHECK(tok >= 0 && static_cast<std::size_t>(tok) < vocab_)
+        << "token id " << tok << " out of vocab " << vocab_;
+    PF_CHECK(seg == 0 || seg == 1);
+    const std::size_t pos = i % seq;
+    for (std::size_t c = 0; c < d_model_; ++c)
+      out(i, c) = tokens_.w(static_cast<std::size_t>(tok), c) +
+                  positions_.w(pos, c) +
+                  segments_.w(static_cast<std::size_t>(seg), c);
+  }
+  if (training) {
+    ids_cache_ = ids;
+    seg_cache_ = segments;
+    batch_cache_ = batch;
+    seq_cache_ = seq;
+  }
+  return out;
+}
+
+void Embedding::backward(const Matrix& dy) {
+  PF_CHECK(!ids_cache_.empty()) << "backward before forward";
+  PF_CHECK(dy.rows() == ids_cache_.size() && dy.cols() == d_model_);
+  for (std::size_t i = 0; i < ids_cache_.size(); ++i) {
+    const auto tok = static_cast<std::size_t>(ids_cache_[i]);
+    const auto seg = static_cast<std::size_t>(seg_cache_[i]);
+    const std::size_t pos = i % seq_cache_;
+    for (std::size_t c = 0; c < d_model_; ++c) {
+      const double g = dy(i, c);
+      tokens_.g(tok, c) += g;
+      positions_.g(pos, c) += g;
+      segments_.g(seg, c) += g;
+    }
+  }
+}
+
+}  // namespace pf

@@ -1,0 +1,38 @@
+// Token + position + segment embeddings (BERT-style input layer).
+//
+// Excluded from K-FAC (like the paper, which preconditions only the
+// fully-connected layers of the encoder blocks).
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/nn/param.h"
+
+namespace pf {
+
+class Embedding {
+ public:
+  Embedding(std::size_t vocab, std::size_t max_seq, std::size_t d_model,
+            Rng& rng, const std::string& name);
+
+  // ids/segments are [batch × seq] flattened row-major; output is
+  // [batch·seq × d_model].
+  Matrix forward(const std::vector<int>& ids, const std::vector<int>& segments,
+                 std::size_t batch, std::size_t seq, bool training = true);
+  // Scatter-adds gradients into the tables.
+  void backward(const Matrix& dy);
+
+  std::vector<Param*> params() { return {&tokens_, &positions_, &segments_}; }
+  std::size_t d_model() const { return d_model_; }
+
+ private:
+  std::size_t vocab_, max_seq_, d_model_;
+  Param tokens_;     // [vocab × d]
+  Param positions_;  // [max_seq × d]
+  Param segments_;   // [2 × d]
+  std::vector<int> ids_cache_, seg_cache_;
+  std::size_t batch_cache_ = 0, seq_cache_ = 0;
+};
+
+}  // namespace pf

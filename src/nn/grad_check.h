@@ -1,0 +1,26 @@
+// Finite-difference gradient checking — the test harness that certifies
+// every hand-written backward pass in src/nn.
+#pragma once
+
+#include <functional>
+
+#include "src/nn/param.h"
+
+namespace pf {
+
+// Maximum relative error between analytic gradients (already accumulated in
+// params[i]->g) and central finite differences of `loss_fn` (which must be a
+// deterministic pure function of the parameter values). Checks at most
+// `samples` randomly chosen coordinates per parameter.
+//
+// The relative-error denominator is floored at `denom_floor`: central
+// differences of a loss L resolve gradients only down to ~eps_machine·L/eps
+// (≈1e-11 here), so near-zero gradient coordinates would otherwise report
+// pure cancellation noise as error.
+double max_grad_check_error(const std::vector<Param*>& params,
+                            const std::function<double()>& loss_fn,
+                            std::size_t samples = 8, double eps = 1e-5,
+                            std::uint64_t seed = 42,
+                            double denom_floor = 1e-5);
+
+}  // namespace pf

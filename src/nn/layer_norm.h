@@ -1,0 +1,26 @@
+// Layer normalization over the feature dimension with learnable gain/bias.
+#pragma once
+
+#include "src/nn/param.h"
+
+namespace pf {
+
+class LayerNorm {
+ public:
+  LayerNorm(std::size_t dim, const std::string& name, double eps = 1e-5);
+
+  Matrix forward(const Matrix& x, bool training = true);
+  Matrix backward(const Matrix& dy);
+
+  std::vector<Param*> params() { return {&gamma_, &beta_}; }
+
+ private:
+  std::size_t dim_;
+  double eps_;
+  Param gamma_;  // [1 × dim]
+  Param beta_;   // [1 × dim]
+  Matrix xhat_;
+  std::vector<double> inv_std_;
+};
+
+}  // namespace pf

@@ -1,0 +1,54 @@
+#include "src/nn/linear.h"
+
+#include <cmath>
+
+#include "src/linalg/gemm.h"
+
+namespace pf {
+
+double global_grad_norm(const std::vector<Param*>& params) {
+  double s = 0.0;
+  for (const Param* p : params) {
+    const double n = p->g.frobenius_norm();
+    s += n * n;
+  }
+  return std::sqrt(s);
+}
+
+Linear::Linear(std::size_t d_in, std::size_t d_out, Rng& rng,
+               const std::string& name, double init_std)
+    : d_in_(d_in),
+      d_out_(d_out),
+      name_(name),
+      w_(d_in, d_out, name + ".weight"),
+      b_(1, d_out, name + ".bias") {
+  w_.w = Matrix::randn(d_in, d_out, rng, init_std);
+}
+
+Matrix Linear::forward(const Matrix& x, bool training) {
+  PF_CHECK(x.cols() == d_in_)
+      << name_ << ": input cols " << x.cols() << " != d_in " << d_in_;
+  Matrix y = matmul(x, w_.w);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    double* row = y.row(r);
+    for (std::size_t c = 0; c < d_out_; ++c) row[c] += b_.w(0, c);
+  }
+  if (training) x_cache_ = x;
+  return y;
+}
+
+Matrix Linear::backward(const Matrix& dy) {
+  PF_CHECK(dy.cols() == d_out_);
+  PF_CHECK(!x_cache_.empty()) << name_ << ": backward before forward";
+  PF_CHECK(dy.rows() == x_cache_.rows());
+  dy_cache_ = dy;
+  // dW += xᵀ·dy; db += column sums; dx = dy·Wᵀ.
+  matmul_tn_acc(x_cache_, dy, w_.g);
+  for (std::size_t r = 0; r < dy.rows(); ++r) {
+    const double* row = dy.row(r);
+    for (std::size_t c = 0; c < d_out_; ++c) b_.g(0, c) += row[c];
+  }
+  return matmul_nt(dy, w_.w);
+}
+
+}  // namespace pf

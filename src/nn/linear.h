@@ -1,0 +1,51 @@
+// Fully-connected layer with K-FAC capture hooks.
+//
+// Layout: x is [N_tokens × d_in], weight is [d_in × d_out], y = x·W + b.
+// During training the layer caches its input (the K-FAC activations a_l)
+// and, on backward, the output gradient (the K-FAC errors e_l) — exactly
+// the two tensors the curvature work of PipeFisher consumes.
+#pragma once
+
+#include "src/common/rng.h"
+#include "src/nn/param.h"
+
+namespace pf {
+
+class Linear {
+ public:
+  Linear(std::size_t d_in, std::size_t d_out, Rng& rng,
+         const std::string& name, double init_std = 0.02);
+
+  // y = x·W + b. Caches x when `training`.
+  Matrix forward(const Matrix& x, bool training = true);
+  // Accumulates dW, db; returns dx. Caches dy for K-FAC.
+  Matrix backward(const Matrix& dy);
+
+  std::size_t d_in() const { return d_in_; }
+  std::size_t d_out() const { return d_out_; }
+
+  Param& weight() { return w_; }
+  Param& bias() { return b_; }
+  const Param& weight() const { return w_; }
+
+  // K-FAC capture: inputs a_l [N × d_in] and errors e_l [N × d_out] of the
+  // most recent forward/backward.
+  const Matrix& cached_input() const { return x_cache_; }
+  const Matrix& cached_output_grad() const { return dy_cache_; }
+  bool has_kfac_caches() const {
+    return !x_cache_.empty() && !dy_cache_.empty();
+  }
+
+  std::vector<Param*> params() { return {&w_, &b_}; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::size_t d_in_, d_out_;
+  std::string name_;
+  Param w_;
+  Param b_;  // [1 × d_out]
+  Matrix x_cache_;
+  Matrix dy_cache_;
+};
+
+}  // namespace pf

@@ -1,0 +1,37 @@
+#include "src/nn/loss.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/nn/activations.h"
+
+namespace pf {
+
+LossResult softmax_cross_entropy(const Matrix& logits,
+                                 const std::vector<int>& labels) {
+  PF_CHECK(labels.size() == logits.rows());
+  LossResult res;
+  res.dlogits = Matrix(logits.rows(), logits.cols(), 0.0);
+  const Matrix p = softmax_rows(logits);
+  double total = 0.0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    if (labels[r] < 0) continue;
+    PF_CHECK(static_cast<std::size_t>(labels[r]) < logits.cols())
+        << "label " << labels[r] << " out of " << logits.cols();
+    ++res.counted;
+    total += -std::log(std::max(p(r, static_cast<std::size_t>(labels[r])),
+                                1e-300));
+  }
+  if (res.counted == 0) return res;
+  const double inv = 1.0 / static_cast<double>(res.counted);
+  res.loss = total * inv;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    if (labels[r] < 0) continue;
+    for (std::size_t c = 0; c < logits.cols(); ++c)
+      res.dlogits(r, c) = p(r, c) * inv;
+    res.dlogits(r, static_cast<std::size_t>(labels[r])) -= inv;
+  }
+  return res;
+}
+
+}  // namespace pf

@@ -1,0 +1,74 @@
+#include "src/nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "src/common/check.h"
+
+namespace pf {
+
+namespace {
+
+constexpr char kMagic[] = "PFCKPT1\n";
+
+void write_u64(std::ofstream& f, std::uint64_t v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& f) {
+  std::uint64_t v = 0;
+  f.read(reinterpret_cast<char*>(&v), sizeof(v));
+  PF_CHECK(f.good()) << "truncated checkpoint";
+  return v;
+}
+
+}  // namespace
+
+void save_params(const std::vector<Param*>& params,
+                 const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  PF_CHECK(f.good()) << "cannot open " << path;
+  f.write(kMagic, sizeof(kMagic) - 1);
+  write_u64(f, params.size());
+  for (const Param* p : params) {
+    write_u64(f, p->name.size());
+    f.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    write_u64(f, p->w.rows());
+    write_u64(f, p->w.cols());
+    f.write(reinterpret_cast<const char*>(p->w.data()),
+            static_cast<std::streamsize>(p->w.size() * sizeof(double)));
+  }
+  PF_CHECK(f.good()) << "write failed for " << path;
+}
+
+void load_params(const std::vector<Param*>& params,
+                 const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  PF_CHECK(f.good()) << "cannot open " << path;
+  char magic[sizeof(kMagic) - 1];
+  f.read(magic, sizeof(magic));
+  PF_CHECK(f.good() && std::string(magic, sizeof(magic)) ==
+                           std::string(kMagic, sizeof(magic)))
+      << path << " is not a pipefisher checkpoint";
+  const std::uint64_t count = read_u64(f);
+  PF_CHECK(count == params.size())
+      << "checkpoint has " << count << " params, model has "
+      << params.size();
+  for (Param* p : params) {
+    const std::uint64_t name_len = read_u64(f);
+    std::string name(name_len, '\0');
+    f.read(name.data(), static_cast<std::streamsize>(name_len));
+    PF_CHECK(f.good() && name == p->name)
+        << "checkpoint param '" << name << "' does not match model param '"
+        << p->name << "'";
+    const std::uint64_t rows = read_u64(f);
+    const std::uint64_t cols = read_u64(f);
+    PF_CHECK(rows == p->w.rows() && cols == p->w.cols())
+        << "shape mismatch for " << name;
+    f.read(reinterpret_cast<char*>(p->w.data()),
+           static_cast<std::streamsize>(p->w.size() * sizeof(double)));
+    PF_CHECK(f.good()) << "truncated checkpoint at " << name;
+  }
+}
+
+}  // namespace pf

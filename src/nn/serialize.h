@@ -1,0 +1,21 @@
+// Binary checkpointing of parameter sets (name + shape + doubles).
+//
+// Format: magic "PFCKPT1\n", u64 param count, then per param:
+// u64 name length, name bytes, u64 rows, u64 cols, rows·cols doubles
+// (little-endian host layout — the library targets a single host).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/nn/param.h"
+
+namespace pf {
+
+void save_params(const std::vector<Param*>& params, const std::string& path);
+
+// Loads into an existing parameter set; names, order and shapes must match
+// exactly (throws pf::Error otherwise). Gradients are untouched.
+void load_params(const std::vector<Param*>& params, const std::string& path);
+
+}  // namespace pf

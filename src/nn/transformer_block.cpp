@@ -1,0 +1,53 @@
+#include "src/nn/transformer_block.h"
+
+namespace pf {
+
+TransformerBlock::TransformerBlock(std::size_t d_model, std::size_t d_ff,
+                                   std::size_t n_heads, Rng& rng,
+                                   const std::string& name)
+    : attn_(d_model, n_heads, rng, name + ".attn"),
+      ln1_(d_model, name + ".ln1"),
+      w1_(d_model, d_ff, rng, name + ".ffn.w1"),
+      w2_(d_ff, d_model, rng, name + ".ffn.w2"),
+      ln2_(d_model, name + ".ln2") {}
+
+Matrix TransformerBlock::forward(const Matrix& x, std::size_t batch,
+                                 std::size_t seq, bool training) {
+  Matrix a = attn_.forward(x, batch, seq, training);
+  a += x;  // residual
+  const Matrix h = ln1_.forward(a, training);
+  Matrix f = w2_.forward(gelu_.forward(w1_.forward(h, training), training),
+                         training);
+  f += h;  // residual
+  return ln2_.forward(f, training);
+}
+
+Matrix TransformerBlock::backward(const Matrix& dy) {
+  const Matrix df = ln2_.backward(dy);
+  // f = h + FFN(h): gradient flows both directly and through the FFN.
+  Matrix dh = w1_.backward(gelu_.backward(w2_.backward(df)));
+  dh += df;
+  const Matrix da = ln1_.backward(dh);
+  // a = x + Attention(x).
+  Matrix dx = attn_.backward(da);
+  dx += da;
+  return dx;
+}
+
+std::vector<Param*> TransformerBlock::params() {
+  std::vector<Param*> out = attn_.params();
+  for (Param* p : ln1_.params()) out.push_back(p);
+  for (Param* p : w1_.params()) out.push_back(p);
+  for (Param* p : w2_.params()) out.push_back(p);
+  for (Param* p : ln2_.params()) out.push_back(p);
+  return out;
+}
+
+std::vector<Linear*> TransformerBlock::kfac_linears() {
+  std::vector<Linear*> out = attn_.kfac_linears();
+  out.push_back(&w1_);
+  out.push_back(&w2_);
+  return out;
+}
+
+}  // namespace pf

@@ -1,0 +1,35 @@
+// One BERT encoder block (post-LN):
+//   h   = LN1(x + Attention(x))
+//   out = LN2(h + W2·GELU(W1·h))
+// Exposes the six K-FAC-tracked linears (Wq, Wk, Wv, Wo, W1, W2) — the
+// factor shapes assumed by the cost model in src/hw.
+#pragma once
+
+#include "src/nn/activations.h"
+#include "src/nn/attention.h"
+#include "src/nn/layer_norm.h"
+
+namespace pf {
+
+class TransformerBlock {
+ public:
+  TransformerBlock(std::size_t d_model, std::size_t d_ff, std::size_t n_heads,
+                   Rng& rng, const std::string& name);
+
+  Matrix forward(const Matrix& x, std::size_t batch, std::size_t seq,
+                 bool training = true);
+  Matrix backward(const Matrix& dy);
+
+  std::vector<Param*> params();
+  std::vector<Linear*> kfac_linears();
+
+ private:
+  MultiHeadSelfAttention attn_;
+  LayerNorm ln1_;
+  Linear w1_;
+  Gelu gelu_;
+  Linear w2_;
+  LayerNorm ln2_;
+};
+
+}  // namespace pf

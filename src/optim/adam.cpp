@@ -1,0 +1,35 @@
+#include "src/optim/adam.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace pf {
+
+Adam::Adam(double beta1, double beta2, double eps, double weight_decay)
+    : beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {
+  PF_CHECK(beta1 > 0 && beta1 < 1 && beta2 > 0 && beta2 < 1 && eps > 0);
+}
+
+void Adam::step(const std::vector<Param*>& params, double lr) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (Param* p : params) {
+    Matrix& m = m_.get(p);
+    Matrix& v = v_.get(p);
+    for (std::size_t i = 0; i < p->w.rows(); ++i) {
+      for (std::size_t j = 0; j < p->w.cols(); ++j) {
+        const double g = p->g(i, j);
+        m(i, j) = beta1_ * m(i, j) + (1.0 - beta1_) * g;
+        v(i, j) = beta2_ * v(i, j) + (1.0 - beta2_) * g * g;
+        const double mhat = m(i, j) / bc1;
+        const double vhat = v(i, j) / bc2;
+        p->w(i, j) -= lr * (mhat / (std::sqrt(vhat) + eps_) +
+                            weight_decay_ * p->w(i, j));
+      }
+    }
+  }
+}
+
+}  // namespace pf

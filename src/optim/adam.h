@@ -1,0 +1,20 @@
+// Adam with bias correction and decoupled weight decay (AdamW).
+#pragma once
+
+#include "src/optim/optimizer.h"
+
+namespace pf {
+
+class Adam : public Optimizer {
+ public:
+  Adam(double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8,
+       double weight_decay = 0.0);
+  void step(const std::vector<Param*>& params, double lr) override;
+
+ private:
+  double beta1_, beta2_, eps_, weight_decay_;
+  std::size_t t_ = 0;
+  ParamBuffers m_, v_;
+};
+
+}  // namespace pf

@@ -1,0 +1,17 @@
+#include "src/optim/grad_clip.h"
+
+#include "src/common/check.h"
+
+namespace pf {
+
+double clip_grad_norm(const std::vector<Param*>& params, double max_norm) {
+  PF_CHECK(max_norm > 0.0);
+  const double norm = global_grad_norm(params);
+  if (norm > max_norm) {
+    const double scale = max_norm / norm;
+    for (Param* p : params) p->g *= scale;
+  }
+  return norm;
+}
+
+}  // namespace pf

@@ -1,0 +1,12 @@
+// Global-norm gradient clipping (standard in BERT pretraining recipes).
+#pragma once
+
+#include "src/nn/param.h"
+
+namespace pf {
+
+// Scales all gradients so the global L2 norm is at most max_norm.
+// Returns the pre-clipping norm.
+double clip_grad_norm(const std::vector<Param*>& params, double max_norm);
+
+}  // namespace pf

@@ -1,0 +1,26 @@
+#include "src/optim/kfac_optimizer.h"
+
+#include "src/common/check.h"
+
+namespace pf {
+
+KfacOptimizer::KfacOptimizer(std::vector<Linear*> kfac_layers,
+                             std::unique_ptr<Optimizer> base,
+                             const KfacOptimizerOptions& opts)
+    : engine_(std::move(kfac_layers), opts.kfac),
+      base_(std::move(base)),
+      opts_(opts) {
+  PF_CHECK(base_ != nullptr);
+  PF_CHECK(opts_.curvature_interval >= 1);
+  PF_CHECK(opts_.inverse_interval >= 1);
+}
+
+void KfacOptimizer::step(const std::vector<Param*>& params, double lr) {
+  if (t_ % opts_.curvature_interval == 0) engine_.update_curvature();
+  if (t_ % opts_.inverse_interval == 0) engine_.update_inverses();
+  engine_.precondition();
+  base_->step(params, lr);
+  ++t_;
+}
+
+}  // namespace pf

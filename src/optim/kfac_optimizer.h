@@ -1,0 +1,45 @@
+// K-FAC optimizer wrapper (KAISA-style): preconditions the gradients of the
+// tracked linears with the Kronecker-factored Fisher inverse, then hands ALL
+// gradients to a base first-order optimizer (LAMB here, as in the paper:
+// "we apply K-FAC to all fully-connected layers except the classification
+// head and use NVLAMB for the rest").
+//
+// Curvature and inversion run at configurable intervals; PipeFisher's whole
+// point is that on a pipeline these refreshes are free (hidden in bubbles)
+// and can therefore be frequent (every 2-10 steps instead of every 100).
+#pragma once
+
+#include <memory>
+
+#include "src/kfac/kfac_engine.h"
+#include "src/optim/optimizer.h"
+
+namespace pf {
+
+struct KfacOptimizerOptions {
+  KfacOptions kfac;
+  std::size_t curvature_interval = 1;  // steps between curvature updates
+  std::size_t inverse_interval = 1;    // steps between inversions
+};
+
+class KfacOptimizer : public Optimizer {
+ public:
+  KfacOptimizer(std::vector<Linear*> kfac_layers,
+                std::unique_ptr<Optimizer> base,
+                const KfacOptimizerOptions& opts);
+
+  // Precondition (every step, stale inverses allowed) then base step.
+  // Curvature/inversion refresh when due.
+  void step(const std::vector<Param*>& params, double lr) override;
+
+  const KfacEngine& engine() const { return engine_; }
+  std::size_t steps_taken() const { return t_; }
+
+ private:
+  KfacEngine engine_;
+  std::unique_ptr<Optimizer> base_;
+  KfacOptimizerOptions opts_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace pf

@@ -1,0 +1,32 @@
+#include "src/optim/lr_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace pf {
+
+PolyWarmupSchedule::PolyWarmupSchedule(double base_lr,
+                                       std::size_t warmup_steps,
+                                       std::size_t total_steps, double power)
+    : base_lr_(base_lr),
+      warmup_(warmup_steps),
+      total_(total_steps),
+      power_(power) {
+  PF_CHECK(base_lr > 0.0);
+  PF_CHECK(total_steps > 0);
+  PF_CHECK(warmup_steps < total_steps);
+}
+
+double PolyWarmupSchedule::lr(std::size_t step) const {
+  if (warmup_ > 0 && step < warmup_) {
+    return base_lr_ * static_cast<double>(step + 1) /
+           static_cast<double>(warmup_);
+  }
+  const double progress = std::min(
+      1.0, static_cast<double>(step) / static_cast<double>(total_));
+  return base_lr_ * std::pow(1.0 - progress, power_);
+}
+
+}  // namespace pf

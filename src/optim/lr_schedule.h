@@ -1,0 +1,30 @@
+// Learning-rate schedule of the paper (Appendix B.2, Figure 8):
+// linear warmup to base_lr over `warmup_steps`, then polynomial decay
+//   η_t = base_lr · (1 − t/total_steps)^power         (power = 0.5).
+//
+// K-FAC uses the same schedule with warmup shortened from 2000 to 600
+// steps, which is exactly what makes its early learning rates larger.
+#pragma once
+
+#include <cstddef>
+
+namespace pf {
+
+class PolyWarmupSchedule {
+ public:
+  PolyWarmupSchedule(double base_lr, std::size_t warmup_steps,
+                     std::size_t total_steps, double power = 0.5);
+
+  double lr(std::size_t step) const;
+
+  std::size_t warmup_steps() const { return warmup_; }
+  std::size_t total_steps() const { return total_; }
+
+ private:
+  double base_lr_;
+  std::size_t warmup_;
+  std::size_t total_;
+  double power_;
+};
+
+}  // namespace pf

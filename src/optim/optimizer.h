@@ -1,0 +1,32 @@
+// Optimizer interface: consumes accumulated gradients and updates parameter
+// values in place. Learning rate is passed per step so schedules stay
+// outside the optimizer (paper Figure 8: warmup + polynomial decay).
+#pragma once
+
+#include <unordered_map>
+
+#include "src/nn/param.h"
+
+namespace pf {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void step(const std::vector<Param*>& params, double lr) = 0;
+};
+
+// Per-parameter state buffer keyed by Param identity.
+class ParamBuffers {
+ public:
+  Matrix& get(Param* p) {
+    auto it = buf_.find(p);
+    if (it == buf_.end())
+      it = buf_.emplace(p, Matrix(p->w.rows(), p->w.cols(), 0.0)).first;
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<Param*, Matrix> buf_;
+};
+
+}  // namespace pf

@@ -1,0 +1,42 @@
+#include "src/optim/sam.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace pf {
+
+Sam::Sam(double rho) : rho_(rho) { PF_CHECK(rho > 0.0); }
+
+void Sam::ascend(const std::vector<Param*>& params) {
+  PF_CHECK(!ascended_) << "ascend called twice without descend";
+  const double gnorm = global_grad_norm(params);
+  if (gnorm == 0.0) {
+    // No direction to ascend along; stay put but keep protocol state.
+    saved_.clear();
+    for (Param* p : params) saved_.emplace(p, p->w);
+    ascended_ = true;
+    return;
+  }
+  const double scale = rho_ / gnorm;
+  saved_.clear();
+  for (Param* p : params) {
+    saved_.emplace(p, p->w);
+    for (std::size_t i = 0; i < p->w.rows(); ++i)
+      for (std::size_t j = 0; j < p->w.cols(); ++j)
+        p->w(i, j) += scale * p->g(i, j);
+  }
+  ascended_ = true;
+}
+
+void Sam::descend(const std::vector<Param*>& params) {
+  PF_CHECK(ascended_) << "descend before ascend";
+  for (Param* p : params) {
+    auto it = saved_.find(p);
+    PF_CHECK(it != saved_.end()) << "param set changed between phases";
+    p->w = it->second;
+  }
+  ascended_ = false;
+}
+
+}  // namespace pf

@@ -1,0 +1,39 @@
+// Sharpness-Aware Minimization (Foret et al., 2021) — the paper's §5 second
+// example of bubble-fillable extra work: SAM needs an additional forward and
+// backward per step to evaluate gradients at the adversarially perturbed
+// point w + ρ·g/‖g‖, i.e., it contains twice the work of SGD and "has the
+// potential to double the accelerator utilization".
+//
+// Two-phase protocol (the trainer owns the forward/backward calls):
+//   1. compute grads at w;     sam.ascend(params)   — move to w + ρ·ĝ
+//   2. recompute grads there;  sam.descend(params)  — restore w
+//   3. base_optimizer.step(params, lr)              — update with the
+//      sharpness-aware gradients
+#pragma once
+
+#include <unordered_map>
+
+#include "src/nn/param.h"
+
+namespace pf {
+
+class Sam {
+ public:
+  explicit Sam(double rho = 0.05);
+
+  // Saves the weights and moves them to w + ρ·g/‖g‖ (global grad norm).
+  void ascend(const std::vector<Param*>& params);
+  // Restores the saved weights (gradients — now evaluated at the perturbed
+  // point — are left untouched for the base optimizer).
+  void descend(const std::vector<Param*>& params);
+
+  bool ascended() const { return ascended_; }
+  double rho() const { return rho_; }
+
+ private:
+  double rho_;
+  bool ascended_ = false;
+  std::unordered_map<Param*, Matrix> saved_;
+};
+
+}  // namespace pf

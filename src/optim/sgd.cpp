@@ -1,0 +1,29 @@
+#include "src/optim/sgd.h"
+
+#include "src/common/check.h"
+
+namespace pf {
+
+Sgd::Sgd(double momentum, double weight_decay)
+    : momentum_(momentum), weight_decay_(weight_decay) {
+  PF_CHECK(momentum >= 0.0 && momentum < 1.0);
+  PF_CHECK(weight_decay >= 0.0);
+}
+
+void Sgd::step(const std::vector<Param*>& params, double lr) {
+  for (Param* p : params) {
+    if (momentum_ > 0.0) {
+      Matrix& v = velocity_.get(p);
+      v.axpby(momentum_, p->g, 1.0);
+      for (std::size_t i = 0; i < p->w.rows(); ++i)
+        for (std::size_t j = 0; j < p->w.cols(); ++j)
+          p->w(i, j) -= lr * (v(i, j) + weight_decay_ * p->w(i, j));
+    } else {
+      for (std::size_t i = 0; i < p->w.rows(); ++i)
+        for (std::size_t j = 0; j < p->w.cols(); ++j)
+          p->w(i, j) -= lr * (p->g(i, j) + weight_decay_ * p->w(i, j));
+    }
+  }
+}
+
+}  // namespace pf

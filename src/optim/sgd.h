@@ -1,0 +1,18 @@
+// SGD with (optional) heavy-ball momentum and decoupled weight decay.
+#pragma once
+
+#include "src/optim/optimizer.h"
+
+namespace pf {
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double momentum = 0.0, double weight_decay = 0.0);
+  void step(const std::vector<Param*>& params, double lr) override;
+
+ private:
+  double momentum_, weight_decay_;
+  ParamBuffers velocity_;
+};
+
+}  // namespace pf

@@ -1,0 +1,43 @@
+#include "src/optim/shampoo.h"
+
+#include "src/linalg/eig.h"
+#include "src/linalg/gemm.h"
+
+namespace pf {
+
+Shampoo::Shampoo(double eps, std::size_t root_interval)
+    : eps_(eps), root_interval_(root_interval) {
+  PF_CHECK(eps > 0.0);
+  PF_CHECK(root_interval >= 1);
+}
+
+void Shampoo::step(const std::vector<Param*>& params, double lr) {
+  const bool refresh_roots = t_ % root_interval_ == 0;
+  for (Param* p : params) {
+    auto it = state_.find(p);
+    if (it == state_.end()) {
+      State st;
+      st.l = Matrix(p->w.rows(), p->w.rows(), 0.0);
+      st.r = Matrix(p->w.cols(), p->w.cols(), 0.0);
+      it = state_.emplace(p, std::move(st)).first;
+    }
+    State& st = it->second;
+    // Statistics update (the analog of K-FAC curvature work).
+    matmul_nt_acc(p->g, p->g, st.l);
+    matmul_tn_acc(p->g, p->g, st.r);
+    // Root refresh (the analog of inversion work — eigendecompositions).
+    if (refresh_roots || !st.has_roots) {
+      st.l_root = sym_inverse_pth_root(st.l, 4.0, eps_);
+      st.r_root = sym_inverse_pth_root(st.r, 4.0, eps_);
+      st.has_roots = true;
+    }
+    // Precondition + update.
+    const Matrix update = matmul(matmul(st.l_root, p->g), st.r_root);
+    for (std::size_t i = 0; i < p->w.rows(); ++i)
+      for (std::size_t j = 0; j < p->w.cols(); ++j)
+        p->w(i, j) -= lr * update(i, j);
+  }
+  ++t_;
+}
+
+}  // namespace pf

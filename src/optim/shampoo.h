@@ -1,0 +1,36 @@
+// Shampoo optimizer (Gupta et al., 2018) — the paper's §5 names pipelining
+// Shampoo's work as "a natural extension of the PipeFisher": it maintains
+// Kronecker-factored second-moment matrices of the SAME shapes as K-FAC's
+// factors, but needs an eigendecomposition (inverse 4th root) per factor
+// instead of a Cholesky inverse.
+//
+//   L ← L + G·Gᵀ,  R ← R + Gᵀ·G,   W ← W − lr · L^(-1/4) · G · R^(-1/4)
+//
+// The preconditioner roots are refreshed every `root_interval` steps
+// (stale-root rule, like K-FAC's stale inverses).
+#pragma once
+
+#include "src/optim/optimizer.h"
+
+namespace pf {
+
+class Shampoo : public Optimizer {
+ public:
+  explicit Shampoo(double eps = 1e-6, std::size_t root_interval = 1);
+  void step(const std::vector<Param*>& params, double lr) override;
+
+ private:
+  struct State {
+    Matrix l;       // [rows × rows]
+    Matrix r;       // [cols × cols]
+    Matrix l_root;  // L^(-1/4)
+    Matrix r_root;  // R^(-1/4)
+    bool has_roots = false;
+  };
+  double eps_;
+  std::size_t root_interval_;
+  std::size_t t_ = 0;
+  std::unordered_map<Param*, State> state_;
+};
+
+}  // namespace pf

@@ -1,0 +1,52 @@
+#include "src/perfmodel/csv.h"
+
+#include <fstream>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace pf {
+
+std::string sweep_csv_header() {
+  return "arch,hw,family,depth,n_micro,b_micro,recompute,block_diag_k,"
+         "t_forward,t_backward,t_curvature,t_inversion,t_precondition,"
+         "t_pipe,t_bubble,ratio,refresh_steps,"
+         "thr_pipeline,thr_pipefisher,thr_kfac_skip,thr_kfac_naive,"
+         "speedup_vs_skip,mem_params_grads,mem_activations,mem_peak_err,"
+         "mem_save_err,mem_curv_inv,mem_total";
+}
+
+std::string sweep_point_csv(const SweepPoint& p) {
+  const auto& in = p.input;
+  const auto& r = p.result;
+  const auto& m = r.memory;
+  return format(
+      "%s,%s,%s,%zu,%zu,%zu,%d,%zu,"
+      "%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.6g,%d,"
+      "%.6g,%.6g,%.6g,%.6g,%.6g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g",
+      in.cfg.name.c_str(), in.hw.name.c_str(),
+      in.family == ScheduleFamily::kChimera ? "chimera" : "gpipe-1f1b",
+      in.depth, in.n_micro, in.b_micro, in.recompute ? 1 : 0,
+      in.block_diag_k, r.t_forward, r.t_backward, r.t_curvature,
+      r.t_inversion, r.t_precondition, r.t_pipe, r.t_bubble,
+      r.curv_inv_bubble_ratio, r.refresh_steps, r.throughput_pipeline,
+      r.throughput_pipefisher, r.throughput_kfac_skip,
+      r.throughput_kfac_naive, r.speedup_vs_kfac_skip, m.params_and_grads,
+      m.activations, m.peak_err, m.save_err, m.curv_plus_inv, m.total());
+}
+
+std::string sweep_to_csv(const std::vector<SweepPoint>& points) {
+  std::string out = sweep_csv_header() + "\n";
+  for (const auto& p : points) out += sweep_point_csv(p) + "\n";
+  return out;
+}
+
+void write_sweep_csv(const std::vector<SweepPoint>& points,
+                     const std::string& path) {
+  std::ofstream f(path);
+  PF_CHECK(f.good()) << "cannot open " << path;
+  f << sweep_to_csv(points);
+  PF_CHECK(f.good()) << "write failed for " << path;
+}
+
+}  // namespace pf

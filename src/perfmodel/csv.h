@@ -1,0 +1,25 @@
+// CSV export of performance-model sweeps, so the paper's figures can be
+// re-plotted with external tooling (matplotlib, gnuplot, a spreadsheet).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/perfmodel/throughput.h"
+
+namespace pf {
+
+// Header matching sweep_to_csv rows.
+std::string sweep_csv_header();
+
+// One CSV row per sweep point (times in seconds, memory in bytes).
+std::string sweep_point_csv(const SweepPoint& p);
+
+// Full document.
+std::string sweep_to_csv(const std::vector<SweepPoint>& points);
+
+// Writes to `path`; throws pf::Error on I/O failure.
+void write_sweep_csv(const std::vector<SweepPoint>& points,
+                     const std::string& path);
+
+}  // namespace pf

@@ -1,0 +1,95 @@
+#include "src/perfmodel/partitioning.h"
+
+#include <algorithm>
+
+#include "src/comm/collectives.h"
+#include "src/common/check.h"
+
+namespace pf {
+
+PartitioningResult analyze_partitioning(const PartitioningInput& in) {
+  PF_CHECK(in.world >= 2);
+  PF_CHECK(in.cfg.n_layers % in.world == 0 || in.cfg.n_layers >= in.world)
+      << "model depth " << in.cfg.n_layers << " too shallow for W="
+      << in.world;
+  const CostModel cm(in.hw);
+  const LinkModel link{in.hw.link_bandwidth, in.hw.link_latency};
+  const double n = static_cast<double>(in.n_micro);
+  const double seqs = n * static_cast<double>(in.b_micro);
+  const double tokens =
+      static_cast<double>(in.b_micro) * static_cast<double>(in.cfg.seq_len);
+  const double fp32 = 4.0;
+
+  // Full-model compute for one micro-batch (all L blocks, fwd+bwd).
+  const StageShape full{in.cfg, in.cfg.n_layers, in.b_micro};
+  const double t_fwd_full = cm.time_forward_stage(full);
+  const double t_bwd_full = cm.time_backward_stage(full);
+  const double model_bytes =
+      static_cast<double>(in.cfg.params_per_block()) *
+      static_cast<double>(in.cfg.n_layers) * fp32;
+
+  PartitioningResult r;
+
+  // (i) Operator parallelism: compute divides by W; two activation
+  // allreduces per block per forward, two per backward (Megatron-LM).
+  {
+    const double act_bytes = tokens * static_cast<double>(in.cfg.d_model) *
+                             fp32;
+    const double comm_per_micro =
+        static_cast<double>(in.cfg.n_layers) * 4.0 *
+        allreduce_best_time(link, act_bytes, in.world);
+    const double compute_per_micro =
+        (t_fwd_full + t_bwd_full) / static_cast<double>(in.world);
+    r.comm_operator_parallel = n * comm_per_micro;
+    r.t_operator_parallel =
+        n * (compute_per_micro + comm_per_micro) +
+        cm.time_optimizer_update_stage(in.cfg, in.cfg.n_layers) /
+            static_cast<double>(in.world);
+    r.thr_operator_parallel = seqs / r.t_operator_parallel;
+  }
+
+  // (ii) State partitioning (ZeRO-3): data parallelism over the same
+  // global batch (n/W micro-batches per device) with the full model on each
+  // device logically; parameters are allgathered before use (forward AND
+  // backward re-gather) and gradients reduce-scattered — per step, ~2 model
+  // volumes allgathered + half an allreduce.
+  {
+    const double comm = 2.0 * ring_allgather_time(link, model_bytes,
+                                                  in.world) +
+                        0.5 * ring_allreduce_time(link, model_bytes,
+                                                  in.world);
+    r.comm_state_partitioning = comm;
+    r.t_state_partitioning =
+        n / static_cast<double>(in.world) * (t_fwd_full + t_bwd_full) +
+        comm +
+        cm.time_optimizer_update_stage(in.cfg, in.cfg.n_layers) /
+            static_cast<double>(in.world);
+    r.thr_state_partitioning = seqs / r.t_state_partitioning;
+  }
+
+  // (iii) Pipeline parallelism (GPipe-style, Table 1 closed form).
+  {
+    const std::size_t blocks_per_stage =
+        std::max<std::size_t>(1, in.cfg.n_layers / in.world);
+    const StageShape stage{in.cfg, blocks_per_stage, in.b_micro};
+    const double tf = cm.time_forward_stage(stage);
+    const double tb = cm.time_backward_stage(stage);
+    const double w = static_cast<double>(in.world);
+    const double t_pipe = (n + w - 1.0) * (tf + tb);
+    r.bubble_pipeline = (w - 1.0) * (tf + tb);
+    r.t_pipeline = t_pipe +
+                   cm.time_optimizer_update_stage(in.cfg, blocks_per_stage);
+    r.thr_pipeline = seqs / r.t_pipeline;
+  }
+
+  r.best = "pipeline";
+  double best = r.thr_pipeline;
+  if (r.thr_operator_parallel > best) {
+    best = r.thr_operator_parallel;
+    r.best = "operator";
+  }
+  if (r.thr_state_partitioning > best) r.best = "zero";
+  return r;
+}
+
+}  // namespace pf

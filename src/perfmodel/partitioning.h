@@ -1,0 +1,52 @@
+// Model-partitioning tradeoff analysis (paper introduction).
+//
+// The intro contrasts three ways to split an LLM over W accelerators:
+//   (i)   operator (tensor) parallelism — allreduce of activations twice
+//         per block per forward (and twice per backward): communication
+//         grows with activation volume and W;
+//   (ii)  state partitioning (ZeRO-3-style) — data parallelism whose
+//         parameters are allgathered before use and gradients
+//         reduce-scattered: communication grows with MODEL size;
+//   (iii) pipeline parallelism — tiny P2P messages, but bubbles idle the
+//         accelerators.
+// "All approaches have overhead, and the one that achieves the highest
+// throughput depends on the number of parallel accelerators, model size,
+// and interconnect performance." This module quantifies exactly that
+// sentence with the library's cost model, and is what motivates PipeFisher:
+// the pipeline's overhead is IDLENESS, which bubbles-as-resource can
+// reclaim, unlike communication overhead.
+#pragma once
+
+#include "src/hw/cost_model.h"
+
+namespace pf {
+
+struct PartitioningInput {
+  TransformerConfig cfg;
+  HardwareProfile hw;
+  std::size_t world = 8;       // accelerators W
+  std::size_t b_micro = 32;    // micro-batch per accelerator (sequences)
+  std::size_t n_micro = 8;     // micro-batches per step (pipeline) /
+                               // accumulation sub-steps (others)
+};
+
+struct PartitioningResult {
+  // Per-step time and throughput (sequences/s) for each strategy.
+  double t_operator_parallel = 0.0;
+  double t_state_partitioning = 0.0;
+  double t_pipeline = 0.0;
+  double thr_operator_parallel = 0.0;
+  double thr_state_partitioning = 0.0;
+  double thr_pipeline = 0.0;
+  // Overhead decomposition: seconds of communication (i, ii) vs seconds of
+  // bubble idleness (iii) per step — the intro's qualitative distinction.
+  double comm_operator_parallel = 0.0;
+  double comm_state_partitioning = 0.0;
+  double bubble_pipeline = 0.0;
+  // Which strategy wins ("operator" | "zero" | "pipeline").
+  const char* best = "";
+};
+
+PartitioningResult analyze_partitioning(const PartitioningInput& in);
+
+}  // namespace pf

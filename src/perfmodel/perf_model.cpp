@@ -1,0 +1,95 @@
+#include "src/perfmodel/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace pf {
+
+ScheduleFamily schedule_family_by_name(const std::string& name) {
+  // Interleaved 1F1B shares 1F1B's flush-based closed form; its smaller
+  // realized bubble (÷ virtual chunks) is captured by the simulator, the
+  // closed form here is the conservative upper bound.
+  if (name == "gpipe" || name == "1f1b" || name == "interleaved-1f1b")
+    return ScheduleFamily::kGpipe1F1B;
+  if (name == "chimera") return ScheduleFamily::kChimera;
+  PF_CHECK(false) << "unknown schedule family: " << name;
+  __builtin_unreachable();
+}
+
+PerfModelResult run_perf_model(const PerfModelInput& in) {
+  PF_CHECK(in.depth >= 2 && in.n_micro >= 1 && in.b_micro >= 1);
+  const CostModel cm(in.hw);
+  const StageShape shape{in.cfg, in.blocks_per_stage, in.b_micro};
+  const double n = static_cast<double>(in.n_micro);
+  const double d = static_cast<double>(in.depth);
+
+  PerfModelResult r;
+  r.t_forward = cm.time_forward_stage(shape);
+  r.t_backward = in.recompute ? cm.time_backward_stage_recompute(shape)
+                              : cm.time_backward_stage(shape);
+  const std::size_t k = std::max<std::size_t>(1, in.block_diag_k);
+  if (k == 1) {
+    r.t_curvature = cm.time_curvature_block(shape) *
+                    static_cast<double>(in.blocks_per_stage);
+    r.t_inversion = cm.time_inversion_block(in.cfg) *
+                    static_cast<double>(in.blocks_per_stage);
+  } else {
+    // Appendix A.2: only the k diagonal blocks of each factor are built and
+    // inverted.
+    double curv = 0.0, inv = 0.0;
+    const std::size_t tokens = shape.tokens();
+    for (const auto& l : in.cfg.kfac_linears_per_block()) {
+      for (std::size_t dim : {l.d_in, l.d_out}) {
+        const std::size_t block = std::max<std::size_t>(1, dim / k);
+        curv += static_cast<double>(k) *
+                cm.time_curvature_factor(block, tokens);
+        inv += static_cast<double>(k) * cm.time_inversion_factor(block);
+      }
+    }
+    r.t_curvature = curv * static_cast<double>(in.blocks_per_stage);
+    r.t_inversion = inv * static_cast<double>(in.blocks_per_stage);
+  }
+  r.t_precondition = cm.time_precondition_stage(in.cfg, in.blocks_per_stage);
+
+  double cf = 0.0, cb = 0.0;
+  switch (in.family) {
+    case ScheduleFamily::kGpipe1F1B:
+      cf = cb = n + d - 1.0;
+      break;
+    case ScheduleFamily::kChimera:
+      cf = n;
+      cb = n + d - 2.0;
+      break;
+  }
+  r.t_pipe = cf * r.t_forward + cb * r.t_backward;
+  r.t_bubble = r.t_pipe - n * (r.t_forward + r.t_backward);
+
+  const double curv_inv = n * r.t_curvature + r.t_inversion;
+  r.curv_inv_bubble_ratio = curv_inv / r.t_bubble;
+  r.refresh_steps =
+      std::max(1, static_cast<int>(std::ceil(r.curv_inv_bubble_ratio)));
+
+  const double seqs = n * static_cast<double>(in.b_micro);
+  r.throughput_pipeline = seqs / r.t_pipe;
+  const double t_pf = r.t_pipe + r.t_precondition;
+  r.throughput_pipefisher = seqs / t_pf;
+  r.throughput_kfac_naive = seqs / (t_pf + curv_inv);
+  r.throughput_kfac_skip =
+      seqs / (t_pf + curv_inv / static_cast<double>(r.refresh_steps));
+  r.speedup_vs_kfac_skip =
+      r.throughput_pipefisher / r.throughput_kfac_skip;
+
+  MemoryModelInput mm;
+  mm.cfg = in.cfg;
+  mm.blocks_per_stage = in.blocks_per_stage;
+  mm.stages_per_device = in.family == ScheduleFamily::kChimera ? 2 : 1;
+  mm.b_micro = in.b_micro;
+  mm.n_micro = in.n_micro;
+  mm.recompute = in.recompute;
+  r.memory = model_memory(mm);
+  return r;
+}
+
+}  // namespace pf

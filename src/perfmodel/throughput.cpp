@@ -1,0 +1,102 @@
+#include "src/perfmodel/throughput.h"
+
+#include "src/common/strings.h"
+
+namespace pf {
+
+std::vector<SweepPoint> sweep_depth_bmicro(
+    const TransformerConfig& cfg, const HardwareProfile& hw,
+    ScheduleFamily family, const std::vector<std::size_t>& depths,
+    const std::vector<std::size_t>& b_micros, std::size_t n_micro_per_depth,
+    bool recompute) {
+  std::vector<SweepPoint> out;
+  for (std::size_t b : b_micros) {
+    for (std::size_t d : depths) {
+      PerfModelInput in;
+      in.cfg = cfg;
+      in.hw = hw;
+      in.family = family;
+      in.depth = d;
+      in.n_micro = d * n_micro_per_depth;
+      in.b_micro = b;
+      in.recompute = recompute;
+      out.push_back({in, run_perf_model(in)});
+    }
+  }
+  return out;
+}
+
+std::vector<SweepPoint> sweep_figure6(
+    const TransformerConfig& cfg, const HardwareProfile& hw,
+    const std::vector<std::size_t>& depths,
+    const std::vector<std::size_t>& n_over_d,
+    const std::vector<std::size_t>& b_micros) {
+  std::vector<SweepPoint> out;
+  for (std::size_t d : depths) {
+    for (std::size_t k : n_over_d) {
+      for (std::size_t b : b_micros) {
+        PerfModelInput in;
+        in.cfg = cfg;
+        in.hw = hw;
+        in.family = ScheduleFamily::kChimera;
+        in.depth = d;
+        in.n_micro = d * k;
+        in.b_micro = b;
+        out.push_back({in, run_perf_model(in)});
+      }
+    }
+  }
+  return out;
+}
+
+std::string sweep_header() {
+  return format("%-10s %-8s %4s %4s %4s %2s | %9s %9s %9s | %8s %8s %8s %8s "
+                "| %6s %5s | %7s",
+                "arch", "hw", "D", "N", "B", "R", "Tpipe(ms)", "Tbub(ms)",
+                "Tprec(ms)", "thr-pipe", "thr-PF", "thr-skip", "thr-naive",
+                "ratio", "steps", "speedup");
+}
+
+std::string render_throughput_row(const SweepPoint& p) {
+  const auto& in = p.input;
+  const auto& r = p.result;
+  return format(
+      "%-10s %-8s %4zu %4zu %4zu %2s | %9.2f %9.2f %9.2f | %8.1f %8.1f "
+      "%8.1f %8.1f | %6.2f %5d | %7.3f",
+      in.cfg.name.c_str(), in.hw.name.c_str(), in.depth, in.n_micro,
+      in.b_micro, in.recompute ? "R" : "-", r.t_pipe * 1e3, r.t_bubble * 1e3,
+      r.t_precondition * 1e3, r.throughput_pipeline, r.throughput_pipefisher,
+      r.throughput_kfac_skip, r.throughput_kfac_naive,
+      r.curv_inv_bubble_ratio, r.refresh_steps, r.speedup_vs_kfac_skip);
+}
+
+std::string render_time_memory_breakdown(const SweepPoint& p) {
+  const auto& in = p.input;
+  const auto& r = p.result;
+  const auto& m = p.result.memory;
+  std::string out;
+  out += format("%s D=%zu N=%zu B=%zu %s\n", in.cfg.name.c_str(), in.depth,
+                in.n_micro, in.b_micro, in.recompute ? "(R)" : "");
+  out += format("  time/step: fwd %s  bwd %s  prec %s  bubble %s  curv(xN) "
+                "%s  inv %s\n",
+                human_time(static_cast<double>(in.n_micro) * r.t_forward)
+                    .c_str(),
+                human_time(static_cast<double>(in.n_micro) * r.t_backward)
+                    .c_str(),
+                human_time(r.t_precondition).c_str(),
+                human_time(r.t_bubble).c_str(),
+                human_time(static_cast<double>(in.n_micro) * r.t_curvature)
+                    .c_str(),
+                human_time(r.t_inversion).c_str());
+  out += format("  memory: act %s  peak_err %s  save_err %s  curv+inv %s  "
+                "param+grad %s  total %s\n",
+                human_bytes(m.activations).c_str(),
+                human_bytes(m.peak_err).c_str(),
+                human_bytes(m.save_err).c_str(),
+                human_bytes(m.curv_plus_inv).c_str(),
+                human_bytes(m.params_and_grads).c_str(),
+                human_bytes(m.total()).c_str());
+  return out;
+}
+
+}  // namespace pf

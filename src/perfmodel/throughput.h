@@ -1,0 +1,37 @@
+// Sweep + reporting helpers shared by the perf-model benches
+// (Figures 5, 6, 9-16). Each bench prints the same series the paper plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/perfmodel/perf_model.h"
+
+namespace pf {
+
+struct SweepPoint {
+  PerfModelInput input;
+  PerfModelResult result;
+};
+
+// The paper's Figure 5 grid: B ∈ b_micros, D ∈ depths, N = N_micro = D·k.
+std::vector<SweepPoint> sweep_depth_bmicro(
+    const TransformerConfig& cfg, const HardwareProfile& hw,
+    ScheduleFamily family, const std::vector<std::size_t>& depths,
+    const std::vector<std::size_t>& b_micros, std::size_t n_micro_per_depth,
+    bool recompute);
+
+// The paper's Figure 6/11-16 sweep: for each hardware, D ∈ {4,8,16,32},
+// N ∈ {D, 2D, 3D}, B ∈ b_micros.
+std::vector<SweepPoint> sweep_figure6(const TransformerConfig& cfg,
+                                      const HardwareProfile& hw,
+                                      const std::vector<std::size_t>& depths,
+                                      const std::vector<std::size_t>& n_over_d,
+                                      const std::vector<std::size_t>& b_micros);
+
+// Text rendering used by the bench binaries.
+std::string render_time_memory_breakdown(const SweepPoint& p);
+std::string render_throughput_row(const SweepPoint& p);
+std::string sweep_header();
+
+}  // namespace pf

@@ -1,0 +1,33 @@
+#include "src/pipeline/chimera.h"
+
+#include "src/common/check.h"
+
+namespace pf {
+
+ScheduleSpec make_chimera(int n_stages, int n_micro) {
+  PF_CHECK(n_stages >= 2 && n_stages % 2 == 0)
+      << "Chimera needs an even number of stages, got " << n_stages;
+  PF_CHECK(n_micro >= 2 && n_micro % 2 == 0)
+      << "Chimera needs an even micro-batch count, got " << n_micro;
+  ScheduleSpec spec;
+  spec.name = "chimera";
+  spec.n_stages = n_stages;
+  spec.n_devices = n_stages;
+  spec.n_micro = n_micro;
+  spec.n_pipelines = 2;
+  spec.stage_to_device.resize(2);
+  for (int s = 0; s < n_stages; ++s) {
+    spec.stage_to_device[0].push_back(s);                  // down
+    spec.stage_to_device[1].push_back(n_stages - 1 - s);   // up
+  }
+  spec.micros_of_pipeline.resize(2);
+  for (int m = 0; m < n_micro / 2; ++m)
+    spec.micros_of_pipeline[0].push_back(m);
+  for (int m = n_micro / 2; m < n_micro; ++m)
+    spec.micros_of_pipeline[1].push_back(m);
+  spec.dynamic_order = true;
+  spec.validate();
+  return spec;
+}
+
+}  // namespace pf

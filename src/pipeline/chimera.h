@@ -1,0 +1,21 @@
+// Chimera schedule (Li & Hoefler, 2021): two bidirectional pipelines over
+// the same devices. The "down" pipeline maps stage s to device s; the "up"
+// pipeline maps stage s to device D-1-s, so every device owns two stages and
+// the up pipeline's work fills the down pipeline's bubbles (and vice versa).
+//
+// Chimera's realized op order depends on the forward/backward duration
+// ratio, so the spec is marked dynamic_order: the simulator picks, per idle
+// device, the ready op with the highest priority (backward before forward,
+// then lowest micro id, then down pipeline first). For N_micro = D this
+// reproduces the published schedule with critical path C_f = D forwards and
+// C_b = 2D-2 backwards (asserted in tests).
+#pragma once
+
+#include "src/pipeline/ops.h"
+
+namespace pf {
+
+// n_stages must be even; n_micro must be even (half per pipeline).
+ScheduleSpec make_chimera(int n_stages, int n_micro);
+
+}  // namespace pf

@@ -1,0 +1,32 @@
+#include "src/pipeline/gpipe.h"
+
+#include "src/common/check.h"
+
+namespace pf {
+
+ScheduleSpec make_gpipe(int n_stages, int n_micro) {
+  PF_CHECK(n_stages >= 1 && n_micro >= 1);
+  ScheduleSpec spec;
+  spec.name = "gpipe";
+  spec.n_stages = n_stages;
+  spec.n_devices = n_stages;
+  spec.n_micro = n_micro;
+  spec.n_pipelines = 1;
+  spec.stage_to_device.resize(1);
+  for (int s = 0; s < n_stages; ++s) spec.stage_to_device[0].push_back(s);
+  spec.micros_of_pipeline.resize(1);
+  for (int m = 0; m < n_micro; ++m) spec.micros_of_pipeline[0].push_back(m);
+  spec.programs.resize(static_cast<std::size_t>(n_stages));
+  for (int s = 0; s < n_stages; ++s) {
+    auto& prog = spec.programs[static_cast<std::size_t>(s)];
+    for (int m = 0; m < n_micro; ++m)
+      prog.push_back({OpType::kForward, 0, s, m});
+    // Backward in reverse micro order (LIFO over saved activations).
+    for (int m = n_micro - 1; m >= 0; --m)
+      prog.push_back({OpType::kBackward, 0, s, m});
+  }
+  spec.validate();
+  return spec;
+}
+
+}  // namespace pf

@@ -1,0 +1,12 @@
+// GPipe schedule (Huang et al., 2019): all forwards, then all backwards in
+// reverse micro order, with a pipeline flush at the step boundary.
+#pragma once
+
+#include "src/pipeline/ops.h"
+
+namespace pf {
+
+// One device per stage. `n_micro` micro-batches per step.
+ScheduleSpec make_gpipe(int n_stages, int n_micro);
+
+}  // namespace pf

@@ -1,0 +1,29 @@
+#include "src/pipeline/interleaved_1f1b.h"
+
+#include "src/common/check.h"
+
+namespace pf {
+
+ScheduleSpec make_interleaved_1f1b(int n_devices, int n_virtual,
+                                   int n_micro) {
+  PF_CHECK(n_devices >= 2);
+  PF_CHECK(n_virtual >= 1);
+  PF_CHECK(n_micro >= 1);
+  ScheduleSpec spec;
+  spec.name = "interleaved-1f1b";
+  spec.n_stages = n_devices * n_virtual;
+  spec.n_devices = n_devices;
+  spec.n_micro = n_micro;
+  spec.n_pipelines = 1;
+  spec.stage_to_device.resize(1);
+  // Round-robin chunk placement: stage s on device s mod D.
+  for (int s = 0; s < spec.n_stages; ++s)
+    spec.stage_to_device[0].push_back(s % n_devices);
+  spec.micros_of_pipeline.resize(1);
+  for (int m = 0; m < n_micro; ++m) spec.micros_of_pipeline[0].push_back(m);
+  spec.dynamic_order = true;
+  spec.validate();
+  return spec;
+}
+
+}  // namespace pf

@@ -1,0 +1,20 @@
+// Interleaved 1F1B (Megatron-LM's virtual-pipeline schedule, Narayanan et
+// al. 2021b): each device owns `v` non-contiguous model chunks (virtual
+// stages), shrinking the startup bubble by ~v at the cost of more P2P.
+//
+// PipeFisher claims to work with ANY pipeline schedule (§3.1); this
+// generator exercises that claim: the spec exposes D·v virtual stages over
+// D devices and relies on the simulator's greedy executor (same policy as
+// Chimera) for the realized order.
+#pragma once
+
+#include "src/pipeline/ops.h"
+
+namespace pf {
+
+// n_devices devices, n_virtual chunks per device (model has
+// n_devices·n_virtual stages), n_micro micro-batches per step.
+ScheduleSpec make_interleaved_1f1b(int n_devices, int n_virtual,
+                                   int n_micro);
+
+}  // namespace pf

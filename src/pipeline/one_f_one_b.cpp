@@ -1,0 +1,37 @@
+#include "src/pipeline/one_f_one_b.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace pf {
+
+ScheduleSpec make_1f1b(int n_stages, int n_micro) {
+  PF_CHECK(n_stages >= 1 && n_micro >= 1);
+  ScheduleSpec spec;
+  spec.name = "1f1b";
+  spec.n_stages = n_stages;
+  spec.n_devices = n_stages;
+  spec.n_micro = n_micro;
+  spec.n_pipelines = 1;
+  spec.stage_to_device.resize(1);
+  for (int s = 0; s < n_stages; ++s) spec.stage_to_device[0].push_back(s);
+  spec.micros_of_pipeline.resize(1);
+  for (int m = 0; m < n_micro; ++m) spec.micros_of_pipeline[0].push_back(m);
+  spec.programs.resize(static_cast<std::size_t>(n_stages));
+  for (int s = 0; s < n_stages; ++s) {
+    auto& prog = spec.programs[static_cast<std::size_t>(s)];
+    const int warmup = std::min(n_micro, n_stages - s);
+    int f = 0, b = 0;
+    for (; f < warmup; ++f) prog.push_back({OpType::kForward, 0, s, f});
+    while (f < n_micro) {
+      prog.push_back({OpType::kBackward, 0, s, b++});
+      prog.push_back({OpType::kForward, 0, s, f++});
+    }
+    while (b < n_micro) prog.push_back({OpType::kBackward, 0, s, b++});
+  }
+  spec.validate();
+  return spec;
+}
+
+}  // namespace pf

@@ -1,0 +1,12 @@
+// 1F1B schedule (PipeDream-style with pipeline flush, Narayanan et al.,
+// 2019): each stage runs a depth-dependent number of warmup forwards, then
+// alternates one-backward-one-forward, then drains remaining backwards.
+#pragma once
+
+#include "src/pipeline/ops.h"
+
+namespace pf {
+
+ScheduleSpec make_1f1b(int n_stages, int n_micro);
+
+}  // namespace pf

@@ -1,0 +1,96 @@
+#include "src/pipeline/ops.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace pf {
+
+long op_key(const PipeOp& op) {
+  // type(1) | pipeline(4) | stage(16 bits) | micro(20 bits)
+  return (((static_cast<long>(op.type == OpType::kBackward) * 4 +
+            op.pipeline) *
+               65536 +
+           op.stage) *
+              1048576 +
+          op.micro);
+}
+
+std::string op_debug(const PipeOp& op) {
+  return format("%s(pl=%d,s=%d,m=%d)",
+                op.type == OpType::kForward ? "F" : "B", op.pipeline,
+                op.stage, op.micro);
+}
+
+int ScheduleSpec::device_of(int pipeline, int stage) const {
+  PF_CHECK(pipeline >= 0 &&
+           pipeline < static_cast<int>(stage_to_device.size()));
+  const auto& v = stage_to_device[pipeline];
+  PF_CHECK(stage >= 0 && stage < static_cast<int>(v.size()));
+  return v[static_cast<std::size_t>(stage)];
+}
+
+std::vector<std::pair<int, int>> ScheduleSpec::stages_of_device(
+    int device) const {
+  std::vector<std::pair<int, int>> out;
+  for (int pl = 0; pl < n_pipelines; ++pl)
+    for (int s = 0; s < n_stages; ++s)
+      if (device_of(pl, s) == device) out.emplace_back(pl, s);
+  return out;
+}
+
+std::vector<PipeOp> ScheduleSpec::all_ops() const {
+  std::vector<PipeOp> out;
+  for (int pl = 0; pl < n_pipelines; ++pl) {
+    for (int m : micros_of_pipeline[static_cast<std::size_t>(pl)]) {
+      for (int s = 0; s < n_stages; ++s) {
+        out.push_back({OpType::kForward, pl, s, m});
+        out.push_back({OpType::kBackward, pl, s, m});
+      }
+    }
+  }
+  return out;
+}
+
+void ScheduleSpec::validate() const {
+  PF_CHECK(n_stages > 0 && n_devices > 0 && n_micro > 0 && n_pipelines > 0);
+  PF_CHECK(static_cast<int>(stage_to_device.size()) == n_pipelines);
+  PF_CHECK(static_cast<int>(micros_of_pipeline.size()) == n_pipelines);
+  for (const auto& v : stage_to_device) {
+    PF_CHECK(static_cast<int>(v.size()) == n_stages);
+    for (int d : v) PF_CHECK(d >= 0 && d < n_devices);
+  }
+  std::set<int> micros;
+  for (const auto& v : micros_of_pipeline)
+    for (int m : v) {
+      PF_CHECK(m >= 0 && m < n_micro);
+      PF_CHECK(micros.insert(m).second) << "micro " << m << " in 2 pipelines";
+    }
+  PF_CHECK(static_cast<int>(micros.size()) == n_micro)
+      << "micros " << micros.size() << " != n_micro " << n_micro;
+
+  if (dynamic_order) {
+    PF_CHECK(programs.empty())
+        << "dynamic-order schedules must not carry explicit programs";
+    return;
+  }
+  PF_CHECK(static_cast<int>(programs.size()) == n_devices);
+  // Programs must cover every op exactly once, on the right device.
+  std::set<long> seen;
+  for (int d = 0; d < n_devices; ++d) {
+    for (const auto& op : programs[static_cast<std::size_t>(d)]) {
+      PF_CHECK(device_of(op.pipeline, op.stage) == d)
+          << op_debug(op) << " scheduled on wrong device " << d;
+      PF_CHECK(seen.insert(op_key(op)).second)
+          << op_debug(op) << " appears twice";
+    }
+  }
+  const auto expect = all_ops();
+  PF_CHECK(seen.size() == expect.size())
+      << "programs cover " << seen.size() << " ops, expected "
+      << expect.size();
+}
+
+}  // namespace pf

@@ -1,0 +1,58 @@
+// Pipeline schedule representation.
+//
+// A schedule is a set of devices, a stage→device mapping per pipeline
+// (Chimera runs two pipelines — "down" and "up" — over the same devices),
+// and optionally an explicit per-device op order. Schedules with explicit
+// programs (GPipe, 1F1B) execute head-of-line in order; Chimera's realized
+// order depends on the forward/backward cost ratio, so it is produced by the
+// simulator's greedy policy (see chimera.h).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pf {
+
+enum class OpType { kForward, kBackward };
+
+struct PipeOp {
+  OpType type;
+  int pipeline;  // 0 = down, 1 = up (Chimera); 0 for single-pipeline
+  int stage;     // 0 .. n_stages-1, logical stage along its pipeline
+  int micro;     // global micro-batch id, 0 .. n_micro-1
+
+  bool operator==(const PipeOp&) const = default;
+};
+
+// Stable integer key for maps.
+long op_key(const PipeOp& op);
+std::string op_debug(const PipeOp& op);
+
+struct ScheduleSpec {
+  std::string name;
+  int n_stages = 0;
+  int n_devices = 0;
+  int n_micro = 0;      // micro-batches per device per step (total injected)
+  int n_pipelines = 1;
+
+  // stage_to_device[pipeline][stage] = device id.
+  std::vector<std::vector<int>> stage_to_device;
+  // micros_of_pipeline[pipeline] = micro ids processed by that pipeline.
+  std::vector<std::vector<int>> micros_of_pipeline;
+  // Per-device ordered programs. Empty when `dynamic_order` is true.
+  std::vector<std::vector<PipeOp>> programs;
+  // When true the simulator chooses op order greedily (Chimera).
+  bool dynamic_order = false;
+
+  int device_of(int pipeline, int stage) const;
+  // All (pipeline, stage) pairs a device owns.
+  std::vector<std::pair<int, int>> stages_of_device(int device) const;
+  // Every op of the step (all pipelines, stages, micros).
+  std::vector<PipeOp> all_ops() const;
+  // Validation: mappings consistent, programs (if present) cover all ops
+  // exactly once. Throws pf::Error on problems.
+  void validate() const;
+};
+
+}  // namespace pf

@@ -1,0 +1,317 @@
+#include "src/pipeline/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace pf {
+
+namespace {
+
+struct Pending {
+  PipeOp op;
+  std::size_t program_pos;  // position within its device program (static)
+};
+
+// Priority for dynamic (Chimera) scheduling: backward drains first, then the
+// micro injected earliest *within its own pipeline* (this is what makes the
+// two pipelines alternate and reproduces the published Chimera schedule),
+// then the down pipeline, then shallower stage.
+bool higher_priority(const PipeOp& a, const PipeOp& b,
+                     const std::vector<int>& micro_index) {
+  const int ta = a.type == OpType::kBackward ? 0 : 1;
+  const int tb = b.type == OpType::kBackward ? 0 : 1;
+  if (ta != tb) return ta < tb;
+  const int ia = micro_index[static_cast<std::size_t>(a.micro)];
+  const int ib = micro_index[static_cast<std::size_t>(b.micro)];
+  if (ia != ib) return ia < ib;
+  if (a.pipeline != b.pipeline) return a.pipeline < b.pipeline;
+  return a.stage < b.stage;
+}
+
+}  // namespace
+
+double StepCosts::forward_cost(int stage) const {
+  if (stage_cost_scale.empty()) return t_forward;
+  PF_ASSERT(stage >= 0 &&
+            static_cast<std::size_t>(stage) < stage_cost_scale.size());
+  return t_forward * stage_cost_scale[static_cast<std::size_t>(stage)];
+}
+
+double StepCosts::backward_cost(int stage) const {
+  if (stage_cost_scale.empty()) return t_backward;
+  PF_ASSERT(stage >= 0 &&
+            static_cast<std::size_t>(stage) < stage_cost_scale.size());
+  return t_backward * stage_cost_scale[static_cast<std::size_t>(stage)];
+}
+
+double StepSimResult::op_end(const PipeOp& op) const {
+  auto it = op_end_times.find(op_key(op));
+  PF_CHECK(it != op_end_times.end()) << "op not executed: " << op_debug(op);
+  return it->second;
+}
+
+bool StepSimResult::has_op(const PipeOp& op) const {
+  return op_end_times.count(op_key(op)) > 0;
+}
+
+double StepSimResult::op_start(const PipeOp& op) const {
+  auto it = op_start_times.find(op_key(op));
+  PF_CHECK(it != op_start_times.end()) << "op not executed: " << op_debug(op);
+  return it->second;
+}
+
+double StepSimResult::last_backward_end(std::size_t device) const {
+  double last = 0.0;
+  for (const auto& op : realized_programs[device])
+    if (op.type == OpType::kBackward) last = std::max(last, op_end(op));
+  return last;
+}
+
+StepSimResult simulate_step(const ScheduleSpec& spec, const StepCosts& costs) {
+  spec.validate();
+  PF_CHECK(costs.t_forward > 0 && costs.t_backward > 0);
+  const int D = spec.n_stages;
+
+  StepSimResult res(static_cast<std::size_t>(spec.n_devices));
+  res.realized_programs.resize(static_cast<std::size_t>(spec.n_devices));
+
+  // Build pending op sets per device.
+  std::vector<std::vector<PipeOp>> pending(
+      static_cast<std::size_t>(spec.n_devices));
+  if (spec.dynamic_order) {
+    for (const auto& op : spec.all_ops())
+      pending[static_cast<std::size_t>(spec.device_of(op.pipeline, op.stage))]
+          .push_back(op);
+  } else {
+    for (int d = 0; d < spec.n_devices; ++d)
+      pending[static_cast<std::size_t>(d)] =
+          spec.programs[static_cast<std::size_t>(d)];
+  }
+  std::vector<std::size_t> head(static_cast<std::size_t>(spec.n_devices), 0);
+  std::vector<double> free_at(static_cast<std::size_t>(spec.n_devices), 0.0);
+
+  // Asynchronous-mode bookkeeping: backwards completed per device since the
+  // last device-local update.
+  std::vector<int> backwards_since_update(
+      static_cast<std::size_t>(spec.n_devices), 0);
+  std::vector<bool> pending_update(
+      static_cast<std::size_t>(spec.n_devices), false);
+
+  // Injection index of each micro within its own pipeline.
+  std::vector<int> micro_index(static_cast<std::size_t>(spec.n_micro), 0);
+  for (const auto& micros : spec.micros_of_pipeline)
+    for (std::size_t i = 0; i < micros.size(); ++i)
+      micro_index[static_cast<std::size_t>(micros[i])] = static_cast<int>(i);
+
+  auto ready_time = [&](const PipeOp& op, double* when) -> bool {
+    double t = 0.0;
+    if (op.type == OpType::kForward) {
+      if (op.stage > 0) {
+        const PipeOp dep{OpType::kForward, op.pipeline, op.stage - 1,
+                         op.micro};
+        auto it = res.op_end_times.find(op_key(dep));
+        if (it == res.op_end_times.end()) return false;
+        t = it->second + costs.t_p2p;
+      }
+    } else {
+      const PipeOp own_fwd{OpType::kForward, op.pipeline, op.stage, op.micro};
+      auto itf = res.op_end_times.find(op_key(own_fwd));
+      if (itf == res.op_end_times.end()) return false;
+      t = itf->second;
+      if (op.stage < D - 1) {
+        const PipeOp dep{OpType::kBackward, op.pipeline, op.stage + 1,
+                         op.micro};
+        auto it = res.op_end_times.find(op_key(dep));
+        if (it == res.op_end_times.end()) return false;
+        t = std::max(t, it->second + costs.t_p2p);
+      }
+    }
+    *when = t;
+    return true;
+  };
+
+  std::size_t remaining = 0;
+  for (const auto& v : pending) remaining += v.size();
+
+  while (remaining > 0) {
+    // Find the globally earliest schedulable (device, op).
+    int best_dev = -1;
+    std::size_t best_idx = 0;
+    double best_start = std::numeric_limits<double>::infinity();
+    PipeOp best_op{};
+    for (int d = 0; d < spec.n_devices; ++d) {
+      const auto du = static_cast<std::size_t>(d);
+      if (spec.dynamic_order) {
+        for (std::size_t i = 0; i < pending[du].size(); ++i) {
+          double when;
+          if (!ready_time(pending[du][i], &when)) continue;
+          const double start = std::max(when, free_at[du]);
+          const bool better =
+              start < best_start - 1e-15 ||
+              (std::abs(start - best_start) <= 1e-15 && best_dev >= 0 &&
+               higher_priority(pending[du][i], best_op, micro_index));
+          if (best_dev < 0 || better) {
+            best_dev = d;
+            best_idx = i;
+            best_start = start;
+            best_op = pending[du][i];
+          }
+        }
+      } else {
+        if (head[du] >= pending[du].size()) continue;
+        const PipeOp& op = pending[du][head[du]];
+        double when;
+        if (!ready_time(op, &when)) continue;
+        const double start = std::max(when, free_at[du]);
+        if (best_dev < 0 || start < best_start - 1e-15) {
+          best_dev = d;
+          best_idx = head[du];
+          best_start = start;
+          best_op = op;
+        }
+      }
+    }
+    PF_CHECK(best_dev >= 0)
+        << "pipeline schedule deadlocked with " << remaining
+        << " ops remaining (schedule " << spec.name << ")";
+
+    const auto du = static_cast<std::size_t>(best_dev);
+
+    // Asynchronous mode: a due device-local update runs before the op.
+    // Zero-duration updates are still recorded so weight-version accounting
+    // (staleness analysis) sees them.
+    if (costs.inline_update_every > 0 && pending_update[du]) {
+      const double udur =
+          costs.t_optimizer *
+          static_cast<double>(spec.stages_of_device(best_dev).size());
+      res.timeline.add(Interval{.device = du,
+                                .start = best_start,
+                                .end = best_start + udur,
+                                .kind = WorkKind::kOptimizerUpdate});
+      free_at[du] = best_start + udur;
+      best_start += udur;
+      pending_update[du] = false;
+    }
+
+    const double dur = best_op.type == OpType::kForward
+                           ? costs.forward_cost(best_op.stage)
+                           : costs.backward_cost(best_op.stage);
+    const double end = best_start + dur;
+    res.timeline.add(Interval{
+        .device = du,
+        .start = best_start,
+        .end = end,
+        .kind = best_op.type == OpType::kForward ? WorkKind::kForward
+                                                 : WorkKind::kBackward,
+        .stage = best_op.stage,
+        .micro = best_op.micro,
+    });
+    res.op_start_times[op_key(best_op)] = best_start;
+    res.op_end_times[op_key(best_op)] = end;
+    res.realized_programs[du].push_back(best_op);
+    free_at[du] = end;
+    if (spec.dynamic_order) {
+      pending[du].erase(pending[du].begin() +
+                        static_cast<std::ptrdiff_t>(best_idx));
+    } else {
+      ++head[du];
+    }
+    --remaining;
+    res.pipe_makespan = std::max(res.pipe_makespan, end);
+
+    if (costs.inline_update_every > 0 &&
+        best_op.type == OpType::kBackward) {
+      if (++backwards_since_update[du] >= costs.inline_update_every) {
+        backwards_since_update[du] = 0;
+        pending_update[du] = true;
+      }
+    }
+  }
+
+  if (costs.inline_update_every > 0) {
+    // Asynchronous pipelines have no flush: the "step" is just the stream.
+    // Flush any update still pending at stream end (the final mini-batch's).
+    for (int d = 0; d < spec.n_devices; ++d) {
+      const auto du = static_cast<std::size_t>(d);
+      if (!pending_update[du]) continue;
+      const double udur =
+          costs.t_optimizer *
+          static_cast<double>(spec.stages_of_device(d).size());
+      res.timeline.add(Interval{.device = du,
+                                .start = free_at[du],
+                                .end = free_at[du] + udur,
+                                .kind = WorkKind::kOptimizerUpdate});
+      free_at[du] += udur;
+      pending_update[du] = false;
+    }
+    res.step_time = *std::max_element(free_at.begin(), free_at.end());
+    return res;
+  }
+
+  // ---- Step tail: sync-grad, precondition, optimizer update ----
+  if (costs.t_sync_grad > 0.0) {
+    std::vector<double> sync_start(free_at);
+    if (spec.n_pipelines == 2) {
+      // Chimera: device d and its mirror D-1-d hold the same two stages and
+      // must allreduce their gradients together.
+      for (int d = 0; d < spec.n_devices; ++d) {
+        const int partner = spec.n_devices - 1 - d;
+        sync_start[static_cast<std::size_t>(d)] =
+            std::max(free_at[static_cast<std::size_t>(d)],
+                     free_at[static_cast<std::size_t>(partner)]);
+      }
+    }
+    for (int d = 0; d < spec.n_devices; ++d) {
+      const auto du = static_cast<std::size_t>(d);
+      res.timeline.add(Interval{.device = du,
+                                .start = sync_start[du],
+                                .end = sync_start[du] + costs.t_sync_grad,
+                                .kind = WorkKind::kSyncGrad});
+      free_at[du] = sync_start[du] + costs.t_sync_grad;
+    }
+  }
+  for (int d = 0; d < spec.n_devices; ++d) {
+    const auto du = static_cast<std::size_t>(d);
+    const auto owned = spec.stages_of_device(d);
+    if (costs.t_precondition > 0.0) {
+      const double dur =
+          costs.t_precondition * static_cast<double>(owned.size());
+      res.timeline.add(Interval{.device = du,
+                                .start = free_at[du],
+                                .end = free_at[du] + dur,
+                                .kind = WorkKind::kPrecondition});
+      free_at[du] += dur;
+    }
+    if (costs.t_optimizer > 0.0) {
+      const double dur = costs.t_optimizer * static_cast<double>(owned.size());
+      res.timeline.add(Interval{.device = du,
+                                .start = free_at[du],
+                                .end = free_at[du] + dur,
+                                .kind = WorkKind::kOptimizerUpdate});
+      free_at[du] += dur;
+    }
+  }
+  res.step_time = *std::max_element(free_at.begin(), free_at.end());
+  return res;
+}
+
+Timeline replicate_steps(const StepSimResult& step, int k) {
+  PF_CHECK(k >= 1);
+  Timeline out(step.timeline.n_devices());
+  for (int i = 0; i < k; ++i)
+    out.append_shifted(step.timeline,
+                       static_cast<double>(i) * step.step_time);
+  return out;
+}
+
+double total_bubble_time(const StepSimResult& step) {
+  double total = 0.0;
+  for (std::size_t d = 0; d < step.timeline.n_devices(); ++d)
+    total += step.timeline.bubble_time(d, 0.0, step.pipe_makespan);
+  return total;
+}
+
+}  // namespace pf

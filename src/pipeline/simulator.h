@@ -1,0 +1,84 @@
+// Discrete-event pipeline simulator.
+//
+// Executes a ScheduleSpec under per-op costs and produces a Timeline — the
+// simulated analog of the paper's Nsight profile of one pipeline step.
+//
+// Semantics:
+//  * Forward(pl, s, m) requires Forward(pl, s-1, m) plus a P2P delay.
+//  * Backward(pl, s, m) requires Forward(pl, s, m) on the same device and
+//    Backward(pl, s+1, m) plus a P2P delay.
+//  * A device executes its program head-of-line (static schedules) or — for
+//    dynamic_order schedules (Chimera) — greedily picks the ready op with
+//    the highest priority (backward first, then lowest micro id, then the
+//    down pipeline) whenever it is idle. The executor is work-conserving.
+//  * After the last pipeline op, each device runs the step tail:
+//    sync-grad (Chimera: paired with the mirror device D-1-d, starting when
+//    both are done), precondition (PipeFisher only), optimizer update.
+//
+// The step period is the tail's latest end; synchronous training repeats the
+// step at that period (pipeline flush).
+#pragma once
+
+#include <map>
+
+#include "src/pipeline/ops.h"
+#include "src/trace/timeline.h"
+
+namespace pf {
+
+struct StepCosts {
+  double t_forward = 1.0;      // per stage per micro-batch
+  double t_backward = 2.0;     // per stage per micro-batch
+  double t_p2p = 0.0;          // boundary-activation send/recv latency
+  double t_sync_grad = 0.0;    // per device at step end (0 = skip)
+  double t_precondition = 0.0; // per stage at step end (0 = skip)
+  double t_optimizer = 0.0;    // per stage at step end (0 = skip)
+
+  // Optional per-stage cost multiplier (size n_stages). Uniform transformer
+  // stages use the default; non-uniform architectures (the §5 CNN
+  // discussion) scale forward/backward of stage s by stage_cost_scale[s].
+  std::vector<double> stage_cost_scale;
+
+  // Asynchronous pipelines (Appendix C.1): when > 0, each device runs a
+  // device-local optimizer update (duration t_optimizer per owned stage)
+  // inline after every `inline_update_every` backwards — no flush, no
+  // barrier. The step tail is skipped in this mode.
+  int inline_update_every = 0;
+
+  double forward_cost(int stage) const;
+  double backward_cost(int stage) const;
+};
+
+class StepSimResult {
+ public:
+  StepSimResult(std::size_t n_devices) : timeline(n_devices) {}
+
+  Timeline timeline;
+  double pipe_makespan = 0.0;  // end of last forward/backward
+  double step_time = 0.0;      // end of the step tail = step period
+  // Realized per-device op order (equals the input programs for static
+  // schedules; the greedy order for Chimera).
+  std::vector<std::vector<PipeOp>> realized_programs;
+
+  // End time of an executed op; throws if the op was not executed.
+  double op_end(const PipeOp& op) const;
+  bool has_op(const PipeOp& op) const;
+  double op_start(const PipeOp& op) const;
+
+  // End of the last backward executed by `device` (pipeline ops only).
+  double last_backward_end(std::size_t device) const;
+
+  std::map<long, double> op_end_times;
+  std::map<long, double> op_start_times;
+};
+
+StepSimResult simulate_step(const ScheduleSpec& spec, const StepCosts& costs);
+
+// k steps back-to-back at the single-step period (synchronous training).
+Timeline replicate_steps(const StepSimResult& step, int k);
+
+// Convenience: total bubble (idle) time across devices within the pipeline
+// portion [0, pipe_makespan] of the step.
+double total_bubble_time(const StepSimResult& step);
+
+}  // namespace pf

@@ -1,0 +1,58 @@
+#include "src/trace/ascii_gantt.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/strings.h"
+
+namespace pf {
+
+std::string render_ascii_gantt(const Timeline& tl, const GanttOptions& opt) {
+  const double t0 = opt.t0 >= 0 ? opt.t0 : tl.earliest_start();
+  const double t1 = opt.t1 >= 0 ? opt.t1 : tl.makespan();
+  if (t1 <= t0) return "(empty timeline)\n";
+  const std::size_t w = std::max<std::size_t>(opt.width, 10);
+  const double dt = (t1 - t0) / static_cast<double>(w);
+
+  std::string out;
+  std::map<char, WorkKind> seen;
+  for (std::size_t d = 0; d < tl.n_devices(); ++d) {
+    std::string row(w, '.');
+    // Per column, the kind covering most of the column wins.
+    std::vector<double> coverage(w, 0.0);
+    for (const auto& iv : tl.device_intervals(d)) {
+      if (iv.end <= t0 || iv.start >= t1) continue;
+      const double s = std::max(iv.start, t0);
+      const double e = std::min(iv.end, t1);
+      const auto c0 = static_cast<std::size_t>((s - t0) / dt);
+      auto c1 = static_cast<std::size_t>((e - t0) / dt);
+      c1 = std::min(c1, w - 1);
+      for (std::size_t c = c0; c <= c1; ++c) {
+        const double cs = t0 + static_cast<double>(c) * dt;
+        const double ce = cs + dt;
+        const double cover = std::min(e, ce) - std::max(s, cs);
+        if (cover > coverage[c]) {
+          coverage[c] = cover;
+          row[c] = work_kind_glyph(iv.kind);
+          seen[work_kind_glyph(iv.kind)] = iv.kind;
+        }
+      }
+    }
+    out += format("dev%-2zu |", d) + row + "|\n";
+  }
+  if (opt.time_axis) {
+    out += "      ";
+    out += pad_right("|" + human_time(t0), w / 2);
+    out += pad_left(human_time(t1) + "|", w / 2 + 2);
+    out += "\n";
+  }
+  if (opt.legend && !seen.empty()) {
+    std::vector<std::string> parts;
+    for (const auto& [g, k] : seen)
+      parts.push_back(format("%c=%s", g, work_kind_name(k)));
+    out += "      legend: " + join(parts, "  ") + "\n";
+  }
+  return out;
+}
+
+}  // namespace pf

@@ -1,0 +1,24 @@
+// ASCII Gantt renderer — the terminal analog of the paper's Figures 1/3/4.
+//
+// Each device is one text row; time is quantized into columns; each column
+// shows the glyph of the work occupying most of it ('.' when idle).
+#pragma once
+
+#include <string>
+
+#include "src/trace/timeline.h"
+
+namespace pf {
+
+struct GanttOptions {
+  std::size_t width = 100;   // columns
+  double t0 = -1.0;          // window start (default: earliest_start)
+  double t1 = -1.0;          // window end (default: makespan)
+  bool legend = true;
+  bool time_axis = true;
+};
+
+std::string render_ascii_gantt(const Timeline& tl,
+                               const GanttOptions& opt = {});
+
+}  // namespace pf

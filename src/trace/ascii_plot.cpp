@@ -1,0 +1,70 @@
+#include "src/trace/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace pf {
+
+std::string render_ascii_plot(const std::vector<std::vector<double>>& series,
+                              const std::vector<std::string>& labels,
+                              const AsciiPlotOptions& opt) {
+  PF_CHECK(!series.empty());
+  PF_CHECK(labels.size() == series.size());
+  std::size_t n = 0;
+  double lo = 0.0, hi = 1.0;
+  bool first = true;
+  for (const auto& s : series) {
+    PF_CHECK(!s.empty());
+    n = std::max(n, s.size());
+    for (double v : s) {
+      if (first) {
+        lo = hi = v;
+        first = false;
+      }
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+
+  const std::size_t w = std::max<std::size_t>(opt.width, 20);
+  const std::size_t h = std::max<std::size_t>(opt.height, 5);
+  std::vector<std::string> grid(h, std::string(w, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = opt.glyphs[si % opt.glyphs.size()];
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const std::size_t col =
+          s.size() == 1 ? 0
+                        : i * (w - 1) / (s.size() - 1);
+      const double frac = (s[i] - lo) / (hi - lo);
+      const std::size_t row =
+          h - 1 - static_cast<std::size_t>(
+                      std::lround(frac * static_cast<double>(h - 1)));
+      grid[row][col] = glyph;
+    }
+  }
+
+  std::string out;
+  if (!opt.title.empty()) out += opt.title + "\n";
+  for (std::size_t r = 0; r < h; ++r) {
+    const double y = hi - (hi - lo) * static_cast<double>(r) /
+                              static_cast<double>(h - 1);
+    out += format("%8.3f |", y) + grid[r] + "\n";
+  }
+  out += std::string(9, ' ') + '+' + std::string(w, '-') + "\n";
+  out += format("%9s 0%*s%.0f (%s)\n", "", static_cast<int>(w - 4), "",
+                static_cast<double>(n - 1) * opt.x_scale,
+                opt.x_label.c_str());
+  std::vector<std::string> legend;
+  for (std::size_t si = 0; si < series.size(); ++si)
+    legend.push_back(format("%c=%s", opt.glyphs[si % opt.glyphs.size()],
+                            labels[si].c_str()));
+  out += "          legend: " + join(legend, "  ") + "\n";
+  return out;
+}
+
+}  // namespace pf

@@ -1,0 +1,26 @@
+// Minimal ASCII line plots for loss curves (the terminal rendering of the
+// paper's Figure 7 panels).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pf {
+
+struct AsciiPlotOptions {
+  std::size_t width = 80;
+  std::size_t height = 20;
+  std::string title;
+  // Glyph per series, e.g. {'*', '+'}.
+  std::vector<char> glyphs = {'*', '+', 'o', 'x'};
+  // Optional x scaling (e.g., seconds per step for a time axis).
+  double x_scale = 1.0;
+  std::string x_label = "step";
+};
+
+// Plots one or more equally-long series against their index.
+std::string render_ascii_plot(const std::vector<std::vector<double>>& series,
+                              const std::vector<std::string>& labels,
+                              const AsciiPlotOptions& opt = {});
+
+}  // namespace pf

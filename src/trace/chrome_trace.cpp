@@ -1,0 +1,40 @@
+#include "src/trace/chrome_trace.h"
+
+#include <fstream>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace pf {
+
+std::string to_chrome_trace_json(const Timeline& tl) {
+  std::string out = "[\n";
+  bool first = true;
+  for (std::size_t d = 0; d < tl.n_devices(); ++d) {
+    for (const auto& iv : tl.device_intervals(d)) {
+      if (!first) out += ",\n";
+      first = false;
+      std::string args = format("{\"stage\":%d,\"micro\":%d", iv.stage,
+                                iv.micro);
+      if (iv.layer >= 0) args += format(",\"layer\":%d", iv.layer);
+      if (iv.factor >= 0) args += format(",\"factor\":%d", iv.factor);
+      args += "}";
+      out += format(
+          "  {\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%zu,"
+          "\"ts\":%.3f,\"dur\":%.3f,\"args\":%s}",
+          work_kind_name(iv.kind), d, iv.start * 1e6, iv.duration() * 1e6,
+          args.c_str());
+    }
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void write_chrome_trace(const Timeline& tl, const std::string& path) {
+  std::ofstream f(path);
+  PF_CHECK(f.good()) << "cannot open " << path;
+  f << to_chrome_trace_json(tl);
+  PF_CHECK(f.good()) << "write failed for " << path;
+}
+
+}  // namespace pf

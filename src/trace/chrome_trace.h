@@ -1,0 +1,18 @@
+// Chrome-trace (about://tracing, Perfetto) JSON exporter for timelines,
+// the shareable analog of the paper's Nsight screenshots.
+#pragma once
+
+#include <string>
+
+#include "src/trace/timeline.h"
+
+namespace pf {
+
+// Serializes the timeline as a Chrome trace-event JSON array. Times are
+// emitted in microseconds as the format requires.
+std::string to_chrome_trace_json(const Timeline& tl);
+
+// Writes the JSON to `path`; throws pf::Error on I/O failure.
+void write_chrome_trace(const Timeline& tl, const std::string& path);
+
+}  // namespace pf

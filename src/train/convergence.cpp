@@ -1,0 +1,45 @@
+#include "src/train/convergence.h"
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+
+namespace pf {
+
+ConvergenceComparison compare_convergence(const TrainTrace& baseline,
+                                          const TrainTrace& challenger,
+                                          double baseline_step_time,
+                                          double challenger_step_time,
+                                          std::size_t smooth_half_window,
+                                          std::size_t ignore_first) {
+  PF_CHECK(!baseline.loss.empty() && !challenger.loss.empty());
+  ConvergenceComparison out;
+  const auto base_smooth =
+      smooth_moving_average(baseline.loss, smooth_half_window);
+  const auto chal_smooth =
+      smooth_moving_average(challenger.loss, smooth_half_window);
+  out.baseline_final_loss = base_smooth.back();
+  out.baseline_steps = static_cast<long>(baseline.loss.size());
+  out.challenger_steps_to_match = first_index_at_or_below(
+      chal_smooth, out.baseline_final_loss, ignore_first);
+  if (out.challenger_steps_to_match < 0) {
+    // Challenger never reached the baseline loss within its run.
+    out.step_fraction = 1.0;
+    out.baseline_time =
+        static_cast<double>(out.baseline_steps) * baseline_step_time;
+    out.challenger_time =
+        static_cast<double>(challenger.loss.size()) * challenger_step_time;
+    out.time_fraction = out.challenger_time / out.baseline_time;
+    return out;
+  }
+  out.step_fraction = static_cast<double>(out.challenger_steps_to_match) /
+                      static_cast<double>(out.baseline_steps);
+  out.baseline_time =
+      static_cast<double>(out.baseline_steps) * baseline_step_time;
+  out.challenger_time =
+      static_cast<double>(out.challenger_steps_to_match) *
+      challenger_step_time;
+  out.time_fraction = out.challenger_time / out.baseline_time;
+  return out;
+}
+
+}  // namespace pf

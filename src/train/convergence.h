@@ -1,0 +1,34 @@
+// Convergence analysis for the Figure 7 reproduction: steps-to-target-loss
+// on smoothed curves (the paper smooths with a zero-phase Butterworth
+// filter and ignores the early-transient fluctuations), and the conversion
+// of step counts to simulated wall-clock using pipeline-level per-step
+// times (the paper's "simulated training time" methodology).
+#pragma once
+
+#include "src/train/trainer.h"
+
+namespace pf {
+
+struct ConvergenceComparison {
+  double baseline_final_loss = 0.0;  // smoothed final loss of the baseline
+  long baseline_steps = -1;          // = total steps of the baseline run
+  long challenger_steps_to_match = -1;  // first step challenger ≤ that loss
+  double step_fraction = 1.0;           // challenger/baseline steps
+
+  // Simulated wall-clock, given per-step times (paper Figure 7 right).
+  double baseline_time = 0.0;
+  double challenger_time = 0.0;
+  double time_fraction = 1.0;
+};
+
+// Compares a challenger (K-FAC) trace against a baseline (NVLAMB) trace:
+// finds where the challenger's smoothed loss first reaches the baseline's
+// smoothed final loss, then applies per-step times.
+ConvergenceComparison compare_convergence(const TrainTrace& baseline,
+                                          const TrainTrace& challenger,
+                                          double baseline_step_time,
+                                          double challenger_step_time,
+                                          std::size_t smooth_half_window = 10,
+                                          std::size_t ignore_first = 0);
+
+}  // namespace pf

@@ -1,0 +1,52 @@
+// Pretraining loop: model + batcher + optimizer + LR schedule, with a loss
+// trace for the convergence analysis of Figure 7.
+#pragma once
+
+#include <memory>
+
+#include "src/data/mlm_batcher.h"
+#include "src/optim/lr_schedule.h"
+#include "src/optim/optimizer.h"
+
+namespace pf {
+
+struct TrainerConfig {
+  std::size_t batch_size = 16;
+  std::size_t total_steps = 300;
+  PolyWarmupSchedule schedule{1e-3, 30, 300};
+  std::uint64_t data_seed = 99;
+  // Gradient accumulation: each optimizer step averages the gradients of
+  // this many micro-batches (paper Appendix B.2 simulates an 8K batch on 32
+  // GPUs by accumulating over 8 sub-steps).
+  std::size_t accumulation_steps = 1;
+};
+
+struct TrainTrace {
+  std::vector<double> loss;      // per step (MLM + NSP)
+  std::vector<double> mlm_loss;
+  std::vector<double> nsp_loss;
+  std::vector<double> lr;
+  double final_loss_smoothed(std::size_t half_window = 10) const;
+};
+
+class Trainer {
+ public:
+  Trainer(BertModel& model, const MlmBatcher& batcher,
+          std::unique_ptr<Optimizer> optimizer, const TrainerConfig& cfg);
+
+  // Runs cfg.total_steps steps and returns the trace.
+  TrainTrace run();
+
+  // Runs a single step (exposed for tests).
+  BertLossBreakdown step();
+
+ private:
+  BertModel& model_;
+  const MlmBatcher& batcher_;
+  std::unique_ptr<Optimizer> opt_;
+  TrainerConfig cfg_;
+  Rng data_rng_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace pf

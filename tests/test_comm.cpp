@@ -1,0 +1,83 @@
+// Tests for src/comm: alpha-beta collective models.
+#include <gtest/gtest.h>
+
+#include "src/comm/collectives.h"
+#include "src/common/check.h"
+
+namespace pf {
+namespace {
+
+const LinkModel kLink{10e9, 5e-6};  // 10 GB/s, 5 us
+
+TEST(Collectives, SingleDeviceIsFree) {
+  EXPECT_DOUBLE_EQ(ring_allreduce_time(kLink, 1e9, 1), 0.0);
+  EXPECT_DOUBLE_EQ(recursive_doubling_allreduce_time(kLink, 1e9, 1), 0.0);
+  EXPECT_DOUBLE_EQ(broadcast_time(kLink, 1e9, 1), 0.0);
+  EXPECT_DOUBLE_EQ(ring_allgather_time(kLink, 1e9, 1), 0.0);
+}
+
+TEST(Collectives, RingAllreduceMatchesClosedForm) {
+  // 2(w-1)/w · n/β + 2(w-1)·α for w=4, n=1GB.
+  const double expect = 2.0 * 3.0 / 4.0 * 1e9 / 10e9 + 2.0 * 3.0 * 5e-6;
+  EXPECT_NEAR(ring_allreduce_time(kLink, 1e9, 4), expect, 1e-12);
+}
+
+TEST(Collectives, RingIsBandwidthOptimalForLargeMessages) {
+  // For large n, ring < recursive doubling (which moves 2n/β).
+  EXPECT_LT(ring_allreduce_time(kLink, 1e9, 8),
+            recursive_doubling_allreduce_time(kLink, 1e9, 8));
+}
+
+TEST(Collectives, DoublingWinsForSmallMessages) {
+  // For tiny n with many ranks, latency dominates: 2·log2(w) rounds beat
+  // 2(w-1) rounds.
+  EXPECT_LT(recursive_doubling_allreduce_time(kLink, 1e3, 64),
+            ring_allreduce_time(kLink, 1e3, 64));
+}
+
+TEST(Collectives, BestPicksTheCheaper) {
+  for (double bytes : {1e3, 1e6, 1e9}) {
+    const double best = allreduce_best_time(kLink, bytes, 16);
+    EXPECT_LE(best, ring_allreduce_time(kLink, bytes, 16));
+    EXPECT_LE(best, recursive_doubling_allreduce_time(kLink, bytes, 16));
+  }
+}
+
+TEST(Collectives, CrossoverSeparatesTheRegimes) {
+  const double cross = allreduce_crossover_bytes(kLink, 16);
+  EXPECT_GT(cross, 0.0);
+  EXPECT_LT(ring_allreduce_time(kLink, cross * 10, 16),
+            recursive_doubling_allreduce_time(kLink, cross * 10, 16));
+  EXPECT_GT(ring_allreduce_time(kLink, cross / 10, 16),
+            recursive_doubling_allreduce_time(kLink, cross / 10, 16));
+}
+
+TEST(Collectives, BroadcastLogarithmicInWorld) {
+  const double b2 = broadcast_time(kLink, 1e6, 2);
+  const double b16 = broadcast_time(kLink, 1e6, 16);
+  EXPECT_NEAR(b16 / b2, 4.0, 1e-9);  // log2(16)/log2(2)
+}
+
+TEST(Collectives, AllgatherHalfOfAllreduce) {
+  // Ring allgather is one phase of the two-phase ring allreduce.
+  EXPECT_NEAR(2.0 * ring_allgather_time(kLink, 1e8, 8),
+              ring_allreduce_time(kLink, 1e8, 8), 1e-12);
+}
+
+TEST(Collectives, P2PIsLatencyPlusTransfer) {
+  EXPECT_NEAR(p2p_time(kLink, 1e7), 5e-6 + 1e-3, 1e-12);
+}
+
+TEST(Collectives, TimesMonotoneInBytesAndWorld) {
+  double prev = 0.0;
+  for (double bytes : {1e3, 1e5, 1e7, 1e9}) {
+    const double t = ring_allreduce_time(kLink, bytes, 8);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  EXPECT_GT(ring_allreduce_time(kLink, 1e8, 16),
+            ring_allreduce_time(kLink, 1e8, 4));
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,0 +1,150 @@
+// Tests for src/common: checked errors, RNG, statistics, strings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/strings.h"
+
+namespace pf {
+namespace {
+
+TEST(Check, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(PF_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingConditionThrowsWithMessage) {
+  try {
+    PF_CHECK(false) << "extra context " << 42;
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("PF_CHECK"), std::string::npos);
+    EXPECT_NE(what.find("extra context 42"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.uniform_int(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  RunningStats st;
+  for (int i = 0; i < 200000; ++i) st.add(rng.normal());
+  EXPECT_NEAR(st.mean(), 0.0, 0.01);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.01);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[1] / 100000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / 100000.0, 0.6, 0.02);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.25);
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats st;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(x);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+}
+
+TEST(Ema, BiasCorrectedConstantSeries) {
+  Ema ema(0.9);
+  for (int i = 0; i < 5; ++i) ema.add(3.0);
+  EXPECT_NEAR(ema.value(), 3.0, 1e-12);
+}
+
+TEST(Smoothing, FlatSeriesUnchanged) {
+  std::vector<double> y(50, 2.5);
+  const auto s = smooth_moving_average(y, 5);
+  for (double v : s) EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+TEST(Smoothing, ReducesNoiseVariance) {
+  Rng rng(19);
+  std::vector<double> y;
+  for (int i = 0; i < 2000; ++i) y.push_back(rng.normal());
+  RunningStats raw, smoothed;
+  for (double v : y) raw.add(v);
+  for (double v : smooth_moving_average(y, 10)) smoothed.add(v);
+  EXPECT_LT(smoothed.variance(), raw.variance() / 5.0);
+}
+
+TEST(Smoothing, FirstIndexAtOrBelow) {
+  std::vector<double> y = {5, 4, 3, 2, 1, 0.5};
+  EXPECT_EQ(first_index_at_or_below(y, 2.5), 3);
+  EXPECT_EQ(first_index_at_or_below(y, 2.5, 4), 4);
+  EXPECT_EQ(first_index_at_or_below(y, -1.0), -1);
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(Strings, HumanTime) {
+  EXPECT_EQ(human_time(0.0123), "12.3 ms");
+  EXPECT_EQ(human_time(2.5), "2.50 s");
+  EXPECT_EQ(human_time(180.0), "3.0 min");
+}
+
+TEST(Strings, HumanBytesAndPercent) {
+  EXPECT_EQ(human_bytes(2.0 * 1024 * 1024 * 1024), "2.00 GB");
+  EXPECT_EQ(percent(0.417), "41.7%");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("abcde", 4), "abcde");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace pf

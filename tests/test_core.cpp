@@ -1,0 +1,366 @@
+// Tests for src/core — the paper's contribution: K-FAC work generation
+// (§3.1 rules), the automatic bubble assigner, and the end-to-end
+// PipeFisher runner including data & inversion parallelism (§3.2).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/common/check.h"
+#include "src/core/bubble_assigner.h"
+#include "src/core/kfac_work.h"
+#include "src/core/parallel_kfac.h"
+#include "src/core/pipefisher.h"
+#include "src/pipeline/gpipe.h"
+
+namespace pf {
+namespace {
+
+PipeFisherConfig fig3_config(const std::string& schedule) {
+  // Paper Figure 3: BERT-Base, 4 stages × 3 layers, N=4, B=32, P100.
+  PipeFisherConfig cfg;
+  cfg.schedule = schedule;
+  cfg.arch = bert_base();
+  cfg.hw = p100();
+  cfg.n_stages = 4;
+  cfg.blocks_per_stage = 3;
+  cfg.n_micro = 4;
+  cfg.b_micro = 32;
+  return cfg;
+}
+
+PipeFisherConfig fig4_config() {
+  // Paper Figure 4: BERT-Large, 8 stages × 3 layers, N=8, B=32, Chimera.
+  PipeFisherConfig cfg;
+  cfg.schedule = "chimera";
+  cfg.arch = bert_large();
+  cfg.hw = p100();
+  cfg.n_stages = 8;
+  cfg.blocks_per_stage = 3;
+  cfg.n_micro = 8;
+  cfg.b_micro = 32;
+  return cfg;
+}
+
+TEST(KfacWork, TaskCountMatchesFormula) {
+  const auto cfg = fig3_config("gpipe");
+  const auto spec = build_schedule(cfg);
+  const auto step = simulate_step(spec, derive_step_costs(cfg, true));
+  const CostModel cm(cfg.hw);
+  const auto tasks = make_kfac_tasks(spec, step, cm, cfg.arch, 3, 32);
+  // Per stage: 3 blocks × 6 linears × (2 curvature/micro × 4 micros +
+  // 2 inversions) = 18 × 10 = 180; 4 stages → 720.
+  EXPECT_EQ(tasks.size(), 720u);
+}
+
+TEST(KfacWork, CurvatureAReadyAfterForwardBReadyAfterBackward) {
+  const auto cfg = fig3_config("gpipe");
+  const auto spec = build_schedule(cfg);
+  const auto step = simulate_step(spec, derive_step_costs(cfg, true));
+  const CostModel cm(cfg.hw);
+  const auto tasks = make_kfac_tasks(spec, step, cm, cfg.arch, 3, 32);
+  for (const auto& t : tasks) {
+    if (t.kind == WorkKind::kCurvatureA) {
+      const PipeOp fwd{OpType::kForward, 0, t.stage, t.micro};
+      EXPECT_DOUBLE_EQ(t.earliest_start, step.op_end(fwd));
+    } else if (t.kind == WorkKind::kCurvatureB) {
+      const PipeOp bwd{OpType::kBackward, 0, t.stage, t.micro};
+      EXPECT_DOUBLE_EQ(t.earliest_start, step.op_end(bwd));
+    }
+  }
+}
+
+TEST(KfacWork, InversionDependsOnAllMicrobatchCurvatures) {
+  const auto cfg = fig3_config("gpipe");
+  const auto spec = build_schedule(cfg);
+  const auto step = simulate_step(spec, derive_step_costs(cfg, true));
+  const CostModel cm(cfg.hw);
+  const auto tasks = make_kfac_tasks(spec, step, cm, cfg.arch, 3, 32);
+  for (const auto& t : tasks) {
+    if (t.kind != WorkKind::kInversionA && t.kind != WorkKind::kInversionB)
+      continue;
+    EXPECT_EQ(t.deps.size(), 4u);  // one curvature task per micro-batch
+    std::set<int> micros;
+    for (auto dep : t.deps) {
+      const auto& d = tasks[dep];
+      EXPECT_EQ(d.kind, t.kind == WorkKind::kInversionA
+                            ? WorkKind::kCurvatureA
+                            : WorkKind::kCurvatureB);
+      EXPECT_EQ(d.stage, t.stage);
+      EXPECT_EQ(d.layer, t.layer);
+      EXPECT_EQ(d.factor, t.factor);
+      micros.insert(d.micro);
+    }
+    EXPECT_EQ(micros.size(), 4u);
+  }
+}
+
+TEST(KfacWork, TasksLandOnTheOwningDevice) {
+  const auto cfg = fig4_config();
+  const auto spec = build_schedule(cfg);
+  const auto step = simulate_step(spec, derive_step_costs(cfg, true));
+  const CostModel cm(cfg.hw);
+  const auto tasks = make_kfac_tasks(spec, step, cm, cfg.arch, 3, 32);
+  for (const auto& t : tasks) {
+    bool owned = false;
+    for (const auto& [pl, s] :
+         spec.stages_of_device(static_cast<int>(t.device)))
+      owned |= s == t.stage;
+    EXPECT_TRUE(owned) << "stage " << t.stage << " on device " << t.device;
+  }
+}
+
+TEST(KfacWork, InversionParallelismSplitsInversions) {
+  auto cfg = fig3_config("gpipe");
+  cfg.data_parallel_world = 2;
+  cfg.inversion_parallel = true;
+  const auto spec = build_schedule(cfg);
+  const auto step = simulate_step(spec, derive_step_costs(cfg, true));
+  const CostModel cm(cfg.hw);
+  KfacWorkOptions w;
+  w.world = 2;
+  w.inversion_parallel = true;
+  const auto tasks = make_kfac_tasks(spec, step, cm, cfg.arch, 3, 32, w);
+  // Curvature is replicated on both replicas; inversion is not.
+  std::size_t inv_replica0 = 0, inv_replica1 = 0, curv0 = 0, curv1 = 0;
+  for (const auto& t : tasks) {
+    const bool rep1 = t.device >= 4;
+    if (t.kind == WorkKind::kInversionA || t.kind == WorkKind::kInversionB)
+      (rep1 ? inv_replica1 : inv_replica0)++;
+    if (t.kind == WorkKind::kCurvatureA) (rep1 ? curv1 : curv0)++;
+  }
+  EXPECT_EQ(curv0, curv1);
+  EXPECT_EQ(inv_replica0, inv_replica1);
+  // Each replica inverts half of all 4·3·6·2 = 144 factors.
+  EXPECT_EQ(inv_replica0 + inv_replica1, 144u);
+  // Sync-curvature tasks present.
+  EXPECT_TRUE(std::any_of(tasks.begin(), tasks.end(), [](const BubbleTask& t) {
+    return t.kind == WorkKind::kSyncCurvature;
+  }));
+}
+
+TEST(BubbleAssigner, PlacesWorkOnlyInGaps) {
+  const auto cfg = fig3_config("gpipe");
+  const auto rep = run_pipefisher(cfg);
+  // Timeline::add would have thrown on any overlap; additionally check the
+  // filled schedule has strictly more busy time than the base.
+  const double before =
+      rep.baseline_step.utilization(0.0, rep.step_time_baseline);
+  EXPECT_GT(rep.utilization, before);
+}
+
+TEST(BubbleAssigner, RespectsReadinessAndDependencies) {
+  const auto cfg = fig3_config("gpipe");
+  const auto spec = build_schedule(cfg);
+  const auto step = simulate_step(spec, derive_step_costs(cfg, true));
+  const CostModel cm(cfg.hw);
+  const auto tasks = make_kfac_tasks(spec, step, cm, cfg.arch, 3, 32);
+  const auto res = assign_to_bubbles(step.timeline, step.step_time, tasks);
+  for (const auto& t : tasks) {
+    EXPECT_TRUE(std::isfinite(res.task_end[t.id]));
+    for (auto dep : t.deps)
+      EXPECT_GE(res.task_end[t.id], res.task_end[dep] + t.duration - 1e-9);
+  }
+  // Find each task's first placed chunk and verify earliest_start.
+  for (std::size_t d = 0; d < res.schedule.n_devices(); ++d) {
+    for (const auto& iv : res.schedule.device_intervals(d)) {
+      if (iv.kind != WorkKind::kCurvatureA &&
+          iv.kind != WorkKind::kCurvatureB)
+        continue;
+      // Curvature chunks must start after the producing fwd/bwd in step 0
+      // modulo full-step shifts (the work may run in a later step).
+      const PipeOp op{iv.kind == WorkKind::kCurvatureA ? OpType::kForward
+                                                       : OpType::kBackward,
+                      0, iv.stage, iv.micro};
+      EXPECT_GE(iv.start + 1e-9, step.op_end(op))
+          << work_kind_name(iv.kind) << " stage " << iv.stage;
+    }
+  }
+}
+
+TEST(BubbleAssigner, ThrowsWhenWorkCannotFit) {
+  // A single huge non-splittable task larger than any bubble.
+  Timeline base(1);
+  base.add({.device = 0, .start = 0.0, .end = 1.0, .kind = WorkKind::kForward});
+  BubbleTask t;
+  t.id = 0;
+  t.device = 0;
+  t.duration = 10.0;
+  t.splittable = false;
+  AssignOptions opts;
+  opts.max_steps = 4;
+  EXPECT_THROW(assign_to_bubbles(base, 2.0, {t}, opts), Error);
+}
+
+TEST(BubbleAssigner, SplittableTaskSpansMultipleBubbles) {
+  // Step: busy [0,1), idle [1,2). A 2.5s splittable task needs 3 steps.
+  Timeline base(1);
+  base.add({.device = 0, .start = 0.0, .end = 1.0, .kind = WorkKind::kForward});
+  BubbleTask t;
+  t.id = 0;
+  t.device = 0;
+  t.kind = WorkKind::kInversionA;
+  t.duration = 2.5;
+  t.splittable = true;
+  const auto res = assign_to_bubbles(base, 2.0, {t});
+  EXPECT_EQ(res.steps_used, 3);
+  EXPECT_NEAR(res.task_end[0], 4.0 + 1.5, 1e-9);
+}
+
+TEST(BubbleAssigner, UtilizationAccountsForFilledWork) {
+  Timeline base(1);
+  base.add({.device = 0, .start = 0.0, .end = 1.0, .kind = WorkKind::kForward});
+  BubbleTask t;
+  t.id = 0;
+  t.device = 0;
+  t.duration = 0.5;
+  const auto res = assign_to_bubbles(base, 2.0, {t});
+  EXPECT_NEAR(res.utilization_before, 0.5, 1e-9);
+  EXPECT_NEAR(res.utilization_after, 0.75, 1e-9);
+}
+
+TEST(ParallelKfac, ReplicationPreservesPerDeviceContent) {
+  Timeline base(2);
+  base.add({.device = 0, .start = 0.0, .end = 1.0, .kind = WorkKind::kForward});
+  base.add({.device = 1, .start = 1.0, .end = 2.0, .kind = WorkKind::kBackward});
+  const Timeline rep = replicate_for_data_parallel(base, 3);
+  EXPECT_EQ(rep.n_devices(), 6u);
+  EXPECT_EQ(rep.device_intervals(4).size(), 1u);
+  EXPECT_EQ(rep.device_intervals(4)[0].kind, WorkKind::kForward);
+  EXPECT_DOUBLE_EQ(rep.device_intervals(5)[0].start, 1.0);
+}
+
+// ---- End-to-end PipeFisher: the paper's headline utilization claims ----
+
+TEST(PipeFisher, Figure3GPipeUtilization) {
+  const auto rep = run_pipefisher(fig3_config("gpipe"));
+  // Paper: 41.7% → 89.0%. Our analytic substrate reproduces the shape:
+  // baseline well under 65%, PipeFisher ≥ 85%.
+  EXPECT_GT(rep.utilization_baseline, 0.35);
+  EXPECT_LT(rep.utilization_baseline, 0.70);
+  EXPECT_GT(rep.utilization, 0.80);
+  EXPECT_GT(rep.utilization - rep.utilization_baseline, 0.20);
+}
+
+TEST(PipeFisher, Figure3OneFOneBUtilization) {
+  const auto rep = run_pipefisher(fig3_config("1f1b"));
+  EXPECT_GT(rep.utilization, 0.80);
+  EXPECT_GT(rep.utilization - rep.utilization_baseline, 0.20);
+}
+
+TEST(PipeFisher, Figure4ChimeraUtilization) {
+  const auto rep = run_pipefisher(fig4_config());
+  // Paper: 59.8% → 97.6%.
+  EXPECT_GT(rep.utilization_baseline, 0.50);
+  EXPECT_GT(rep.utilization, 0.85);
+}
+
+TEST(PipeFisher, ChimeraBaselineBeatsGPipeBaseline) {
+  const auto g = run_pipefisher(fig3_config("gpipe"));
+  const auto c = run_pipefisher(fig3_config("chimera"));
+  EXPECT_GT(c.utilization_baseline, g.utilization_baseline);
+}
+
+TEST(PipeFisher, RefreshIntervalIsAFewSteps) {
+  // Paper §3.1: curvature and inversion complete within ~2 steps in the
+  // Figure 3 setup, 2-4 steps in the Figure 4 setup.
+  const auto g = run_pipefisher(fig3_config("gpipe"));
+  EXPECT_GE(g.refresh_interval_steps, 1);
+  EXPECT_LE(g.refresh_interval_steps, 4);
+  const auto c = run_pipefisher(fig4_config());
+  EXPECT_GE(c.refresh_interval_steps, 1);
+  EXPECT_LE(c.refresh_interval_steps, 6);
+}
+
+TEST(PipeFisher, PreconditionIsTheOnlyStepOverhead) {
+  // Step-time inflation ≈ precondition only (paper: ~6.5% for BERT-Large
+  // Chimera; more generally < 20%).
+  for (const auto& sched : {"gpipe", "1f1b", "chimera"}) {
+    const auto rep = run_pipefisher(fig3_config(sched));
+    EXPECT_GT(rep.overhead_fraction(), 0.0) << sched;
+    EXPECT_LT(rep.overhead_fraction(), 0.20) << sched;
+  }
+}
+
+TEST(PipeFisher, DataInversionParallelismKeepsUtilizationHigh) {
+  // Figure 3 bottom: 8 GPUs (2 replicas), utilization 86-87% — slightly
+  // below the 4-GPU case but far above baseline.
+  auto cfg = fig3_config("gpipe");
+  cfg.data_parallel_world = 2;
+  cfg.inversion_parallel = true;
+  const auto rep = run_pipefisher(cfg);
+  EXPECT_EQ(rep.pipefisher_window.n_devices(), 8u);
+  EXPECT_GT(rep.utilization, 0.75);
+  // Splitting inversion halves the per-device inversion work, so the
+  // refresh completes at least as fast as without replicas.
+  const auto rep1 = run_pipefisher(fig3_config("gpipe"));
+  EXPECT_LE(rep.refresh_interval_steps, rep1.refresh_interval_steps + 1);
+}
+
+TEST(PipeFisher, RecomputationIncreasesBubbleAndRefreshFrequency) {
+  auto cfg = fig3_config("gpipe");
+  auto base = run_pipefisher(cfg);
+  cfg.recompute = true;
+  auto r = run_pipefisher(cfg);
+  EXPECT_GT(r.bubble_per_step, base.bubble_per_step);
+  EXPECT_LE(r.refresh_interval_steps, base.refresh_interval_steps);
+}
+
+// End-to-end sweep: every schedule × several shapes must satisfy the
+// library's core guarantees.
+struct E2ECase {
+  const char* schedule;
+  int depth;
+  int n_micro;
+  int b_micro;
+};
+
+class EndToEndSweep : public ::testing::TestWithParam<E2ECase> {};
+
+TEST_P(EndToEndSweep, CoreGuaranteesHold) {
+  const auto p = GetParam();
+  PipeFisherConfig cfg;
+  cfg.schedule = p.schedule;
+  cfg.arch = bert_base();
+  cfg.hw = p100();
+  cfg.n_stages = p.depth;
+  cfg.blocks_per_stage = 1;
+  cfg.n_micro = p.n_micro;
+  cfg.b_micro = p.b_micro;
+  const auto rep = run_pipefisher(cfg);
+  // Utilization improves, stays a valid fraction.
+  EXPECT_GT(rep.utilization, rep.utilization_baseline) << p.schedule;
+  EXPECT_LE(rep.utilization, 1.0 + 1e-9);
+  // Precondition is the only step overhead, bounded.
+  EXPECT_GT(rep.step_time, rep.step_time_baseline);
+  EXPECT_LT(rep.overhead_fraction(), 0.5);
+  // Refresh happens within a bounded number of steps.
+  EXPECT_GE(rep.refresh_interval_steps, 1);
+  EXPECT_LE(rep.refresh_interval_steps, 64);
+  // The emitted window really spans refresh_interval steps.
+  EXPECT_NEAR(rep.pipefisher_window.makespan(),
+              rep.refresh_interval_steps * rep.step_time,
+              rep.step_time + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedules, EndToEndSweep,
+    ::testing::Values(E2ECase{"gpipe", 4, 4, 8}, E2ECase{"gpipe", 8, 16, 32},
+                      E2ECase{"1f1b", 4, 8, 16}, E2ECase{"1f1b", 8, 8, 8},
+                      E2ECase{"chimera", 4, 4, 32},
+                      E2ECase{"chimera", 8, 16, 16},
+                      E2ECase{"interleaved-1f1b", 4, 8, 16},
+                      E2ECase{"interleaved-1f1b", 8, 8, 8}));
+
+TEST(PipeFisher, RejectsInvalidConfigs) {
+  auto cfg = fig3_config("gpipe");
+  cfg.schedule = "pipedream";
+  EXPECT_THROW(run_pipefisher(cfg), Error);
+  cfg = fig3_config("gpipe");
+  cfg.inversion_parallel = true;  // needs world > 1
+  EXPECT_THROW(run_pipefisher(cfg), Error);
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,0 +1,265 @@
+// Tests for src/linalg: Matrix, GEMM variants, Cholesky, Kronecker algebra.
+//
+// The Kronecker identities proven here are exactly the ones K-FAC relies on:
+//   (A ⊗ B)⁻¹ = A⁻¹ ⊗ B⁻¹   and   (A ⊗ B) vec(X) = vec(B X Aᵀ).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/linalg/cholesky.h"
+#include "src/linalg/gemm.h"
+#include "src/linalg/kron.h"
+#include "src/linalg/matrix.h"
+
+namespace pf {
+namespace {
+
+Matrix random_spd(std::size_t n, Rng& rng, double damping = 0.5) {
+  const Matrix u = Matrix::randn(n, n, rng);
+  Matrix spd = matmul_tn(u, u);
+  spd *= 1.0 / static_cast<double>(n);
+  add_diagonal(spd, damping);
+  return spd;
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, IdentityAndTranspose) {
+  const Matrix i3 = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i3(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i3(0, 1), 0.0);
+  Rng rng(5);
+  const Matrix a = Matrix::randn(3, 4, rng);
+  const Matrix at = a.transposed();
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(at(c, r), a(r, c));
+}
+
+TEST(Matrix, ElementwiseOps) {
+  Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{10, 20}, {30, 40}});
+  a += b;
+  EXPECT_DOUBLE_EQ(a(1, 1), 44.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a(1, 0), 6.0);
+  a.axpby(0.5, b, 0.1);
+  EXPECT_DOUBLE_EQ(a(0, 0), 0.5 * 2.0 + 0.1 * 10.0);
+}
+
+TEST(Matrix, Reductions) {
+  const Matrix a = Matrix::from_rows({{3, -4}, {0, 0}});
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+  EXPECT_DOUBLE_EQ(a.sum(), -1.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, Error);
+  EXPECT_THROW(max_abs_diff(a, b), Error);
+}
+
+TEST(Gemm, MatchesHandComputedProduct) {
+  const Matrix a = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix b = Matrix::from_rows({{7, 8}, {9, 10}, {11, 12}});
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Gemm, TnAndNtAgreeWithExplicitTranspose) {
+  Rng rng(21);
+  const Matrix a = Matrix::randn(7, 5, rng);
+  const Matrix b = Matrix::randn(7, 4, rng);
+  EXPECT_LT(max_abs_diff(matmul_tn(a, b), matmul(a.transposed(), b)), 1e-12);
+  const Matrix c = Matrix::randn(6, 5, rng);
+  const Matrix d = Matrix::randn(9, 5, rng);
+  EXPECT_LT(max_abs_diff(matmul_nt(c, d), matmul(c, d.transposed())), 1e-12);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  Rng rng(23);
+  const Matrix a = Matrix::randn(8, 8, rng);
+  EXPECT_LT(max_abs_diff(matmul(a, Matrix::identity(8)), a), 1e-14);
+  EXPECT_LT(max_abs_diff(matmul(Matrix::identity(8), a), a), 1e-14);
+}
+
+TEST(Gemm, AccumulationAddsAlphaTimesProduct) {
+  Rng rng(29);
+  const Matrix a = Matrix::randn(4, 3, rng);
+  const Matrix b = Matrix::randn(3, 5, rng);
+  Matrix c(4, 5, 1.0);
+  matmul_acc(a, b, c, 2.0);
+  Matrix expect = matmul(a, b);
+  expect *= 2.0;
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t col = 0; col < 5; ++col)
+      EXPECT_NEAR(c(r, col), expect(r, col) + 1.0, 1e-12);
+}
+
+TEST(Gemm, BlockedMatchesNaiveOnLargerSizes) {
+  // Exercises the kBlock tiling boundaries (sizes straddling 64).
+  Rng rng(31);
+  const Matrix a = Matrix::randn(65, 130, rng);
+  const Matrix b = Matrix::randn(130, 67, rng);
+  const Matrix c = matmul(a, b);
+  // Naive reference.
+  Matrix ref(65, 67, 0.0);
+  for (std::size_t i = 0; i < 65; ++i)
+    for (std::size_t k = 0; k < 130; ++k)
+      for (std::size_t j = 0; j < 67; ++j) ref(i, j) += a(i, k) * b(k, j);
+  EXPECT_LT(max_abs_diff(c, ref), 1e-10);
+}
+
+TEST(Gemm, Matvec) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  const auto y = matvec(a, {1.0, -1.0});
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+}
+
+TEST(Cholesky, ReconstructsInput) {
+  Rng rng(37);
+  for (std::size_t n : {1u, 2u, 5u, 16u, 33u}) {
+    const Matrix m = random_spd(n, rng);
+    const Matrix l = cholesky(m);
+    EXPECT_LT(max_abs_diff(matmul_nt(l, l), m), 1e-10) << "n=" << n;
+  }
+}
+
+TEST(Cholesky, LowerTriangular) {
+  Rng rng(41);
+  const Matrix l = cholesky(random_spd(6, rng));
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = r + 1; c < 6; ++c) EXPECT_DOUBLE_EQ(l(r, c), 0.0);
+}
+
+TEST(Cholesky, RejectsNonPositiveDefinite) {
+  Matrix m = Matrix::identity(3);
+  m(2, 2) = -1.0;
+  EXPECT_FALSE(try_cholesky(m).has_value());
+  EXPECT_THROW(cholesky(m), Error);
+}
+
+TEST(Cholesky, SolveRecoversKnownSolution) {
+  Rng rng(43);
+  const Matrix m = random_spd(12, rng);
+  std::vector<double> x_true(12);
+  for (auto& v : x_true) v = rng.normal();
+  const auto b = matvec(m, x_true);
+  const auto x = cholesky_solve(cholesky(m), b);
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Cholesky, InverseTimesInputIsIdentity) {
+  Rng rng(47);
+  for (std::size_t n : {2u, 8u, 24u}) {
+    const Matrix m = random_spd(n, rng);
+    const Matrix inv = cholesky_inverse(cholesky(m));
+    EXPECT_LT(max_abs_diff(matmul(inv, m), Matrix::identity(n)), 1e-8)
+        << "n=" << n;
+  }
+}
+
+TEST(Cholesky, SpdInverseAppliesDamping) {
+  // (I + damping·I)⁻¹ = 1/(1+damping)·I.
+  const Matrix inv = spd_inverse(Matrix::identity(4), 1.0);
+  EXPECT_LT(max_abs_diff(inv, Matrix::identity(4) * 0.5), 1e-12);
+}
+
+TEST(Kron, MatchesDefinitionOnSmallExample) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{0, 5}, {6, 7}});
+  const Matrix k = kron(a, b);
+  ASSERT_EQ(k.rows(), 4u);
+  EXPECT_DOUBLE_EQ(k(0, 1), 5.0);    // a00*b01
+  EXPECT_DOUBLE_EQ(k(1, 0), 6.0);    // a00*b10
+  EXPECT_DOUBLE_EQ(k(3, 2), 4 * 6);  // a11*b10
+  EXPECT_DOUBLE_EQ(k(2, 3), 4 * 5);  // a11*b01
+}
+
+TEST(Kron, MixedProductProperty) {
+  // (A⊗B)(C⊗D) = (AC)⊗(BD).
+  Rng rng(53);
+  const Matrix a = Matrix::randn(3, 3, rng), b = Matrix::randn(2, 2, rng);
+  const Matrix c = Matrix::randn(3, 3, rng), d = Matrix::randn(2, 2, rng);
+  const Matrix lhs = matmul(kron(a, b), kron(c, d));
+  const Matrix rhs = kron(matmul(a, c), matmul(b, d));
+  EXPECT_LT(max_abs_diff(lhs, rhs), 1e-10);
+}
+
+TEST(Kron, InverseOfKronIsKronOfInverses) {
+  // The identity that makes K-FAC tractable.
+  Rng rng(59);
+  const Matrix a = random_spd(3, rng);
+  const Matrix b = random_spd(4, rng);
+  const Matrix lhs = spd_inverse(kron(a, b));
+  const Matrix rhs = kron(spd_inverse(a), spd_inverse(b));
+  EXPECT_LT(max_abs_diff(lhs, rhs), 1e-7);
+}
+
+TEST(Kron, KronMatvecEqualsMaterializedProduct) {
+  // (A ⊗ B) vec(X) = vec(B X Aᵀ).
+  Rng rng(61);
+  const Matrix a = Matrix::randn(3, 3, rng);
+  const Matrix b = Matrix::randn(4, 4, rng);
+  const Matrix x = Matrix::randn(4, 3, rng);
+  const auto fast = kron_matvec(a, b, x);
+  const auto slow = matvec(kron(a, b), vec_cols(x));
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i)
+    EXPECT_NEAR(fast[i], slow[i], 1e-10);
+}
+
+TEST(Kron, VecUnvecRoundTrip) {
+  Rng rng(67);
+  const Matrix x = Matrix::randn(5, 7, rng);
+  const Matrix back = unvec_cols(vec_cols(x), 5, 7);
+  EXPECT_LT(max_abs_diff(x, back), 0.0 + 1e-300);
+}
+
+// Property sweep: Cholesky-based preconditioning B⁻¹ G A⁻¹ equals the
+// materialized (A ⊗ B)⁻¹ g across shapes — the core K-FAC computation.
+class KfacIdentityTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(KfacIdentityTest, PreconditionMatchesMaterializedFisherInverse) {
+  const auto [din, dout] = GetParam();
+  Rng rng(1000 + din * 31 + dout);
+  const Matrix a = random_spd(din, rng);   // A_l (input factor)
+  const Matrix b = random_spd(dout, rng);  // B_l (output factor)
+  const Matrix g = Matrix::randn(dout, din, rng);  // gradient G_l
+
+  // Fast path: B⁻¹ G A⁻¹.
+  const Matrix precond = matmul(matmul(spd_inverse(b), g), spd_inverse(a));
+  // Slow path: materialize (A ⊗ B) and solve.
+  const Matrix fisher = kron(a, b);
+  const auto flat = cholesky_solve(cholesky(fisher), vec_cols(g));
+  const Matrix slow = unvec_cols(flat, dout, din);
+  EXPECT_LT(max_abs_diff(precond, slow), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KfacIdentityTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{2, 3},
+                      std::pair<std::size_t, std::size_t>{4, 4},
+                      std::pair<std::size_t, std::size_t>{6, 2},
+                      std::pair<std::size_t, std::size_t>{8, 5},
+                      std::pair<std::size_t, std::size_t>{3, 9}));
+
+}  // namespace
+}  // namespace pf

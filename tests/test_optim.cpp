@@ -1,0 +1,220 @@
+// Tests for src/optim: SGD, Adam, LAMB, the paper's LR schedule, and the
+// K-FAC optimizer wrapper. Convergence checks use small quadratic and
+// ill-conditioned problems where second-order preconditioning provably wins.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/common/check.h"
+#include "src/linalg/gemm.h"
+#include "src/nn/loss.h"
+#include "src/optim/adam.h"
+#include "src/optim/kfac_optimizer.h"
+#include "src/optim/lamb.h"
+#include "src/optim/lr_schedule.h"
+#include "src/optim/sgd.h"
+
+namespace pf {
+namespace {
+
+// Quadratic loss 0.5‖w − target‖² over a single Param.
+double quadratic_loss_and_grad(Param& p, const Matrix& target) {
+  double loss = 0.0;
+  for (std::size_t i = 0; i < p.w.rows(); ++i)
+    for (std::size_t j = 0; j < p.w.cols(); ++j) {
+      const double d = p.w(i, j) - target(i, j);
+      loss += 0.5 * d * d;
+      p.g(i, j) = d;
+    }
+  return loss;
+}
+
+template <typename Opt>
+double optimize_quadratic(Opt& opt, double lr, int steps) {
+  Rng rng(7);
+  Param p(3, 3, "w");
+  p.w = Matrix::randn(3, 3, rng);
+  const Matrix target = Matrix::randn(3, 3, rng);
+  double loss = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    p.zero_grad();
+    loss = quadratic_loss_and_grad(p, target);
+    opt.step({&p}, lr);
+  }
+  return loss;
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Sgd opt;
+  EXPECT_LT(optimize_quadratic(opt, 0.5, 100), 1e-10);
+}
+
+TEST(Sgd, MomentumAcceleratesConvergence) {
+  Sgd plain;
+  Sgd momentum(0.9);
+  const double slow = optimize_quadratic(plain, 0.05, 60);
+  const double fast = optimize_quadratic(momentum, 0.05, 60);
+  EXPECT_LT(fast, slow);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Sgd opt(0.0, 0.1);
+  Param p(1, 1, "w");
+  p.w(0, 0) = 1.0;
+  p.g(0, 0) = 0.0;
+  opt.step({&p}, 0.5);
+  EXPECT_NEAR(p.w(0, 0), 1.0 - 0.5 * 0.1 * 1.0, 1e-12);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Adam opt;
+  EXPECT_LT(optimize_quadratic(opt, 0.1, 300), 1e-6);
+}
+
+TEST(Adam, FirstStepIsLrSizedRegardlessOfGradScale) {
+  // Bias correction ⇒ |Δw| ≈ lr for any gradient magnitude on step 1.
+  for (double scale : {1e-6, 1.0, 1e6}) {
+    Adam opt;
+    Param p(1, 1, "w");
+    p.w(0, 0) = 0.0;
+    p.g(0, 0) = scale;
+    opt.step({&p}, 0.01);
+    EXPECT_NEAR(std::abs(p.w(0, 0)), 0.01, 0.001) << "scale=" << scale;
+  }
+}
+
+TEST(Lamb, ConvergesOnQuadratic) {
+  Lamb opt(0.9, 0.999, 1e-6, 0.0);
+  EXPECT_LT(optimize_quadratic(opt, 0.05, 400), 1e-4);
+}
+
+TEST(Lamb, TrustRatioIsNormRatio) {
+  Lamb opt(0.9, 0.999, 1e-6, 0.0, 1e9);
+  Param p(2, 2, "w");
+  p.w = Matrix::from_rows({{3, 0}, {0, 4}});  // ‖w‖ = 5
+  p.g = Matrix::from_rows({{1, 0}, {0, 0}});
+  opt.step({&p}, 0.0);  // lr 0: inspect ratio without moving weights
+  // update ≈ sign-ish normalized: m̂/(√v̂+ε) = 1 at the single coordinate.
+  EXPECT_NEAR(opt.last_trust_ratio(&p), 5.0, 0.01);
+}
+
+TEST(Lamb, TrustRatioClamped) {
+  Lamb opt(0.9, 0.999, 1e-6, 0.0, 10.0);
+  Param p(1, 2, "w");
+  p.w = Matrix::from_rows({{1e6, 0.0}});
+  p.g = Matrix::from_rows({{1.0, 0.0}});
+  opt.step({&p}, 0.0);
+  EXPECT_DOUBLE_EQ(opt.last_trust_ratio(&p), 10.0);
+}
+
+TEST(LrSchedule, WarmupThenPolyDecay) {
+  // The paper's Phase-1 schedule: base 6e-3, warmup 2000, total 7038.
+  PolyWarmupSchedule s(6e-3, 2000, 7038);
+  EXPECT_NEAR(s.lr(0), 6e-3 / 2000, 1e-9);
+  EXPECT_NEAR(s.lr(999), 6e-3 * 0.5, 1e-5);
+  EXPECT_NEAR(s.lr(1999), 6e-3, 1e-8);
+  // After warmup: 6e-3·(1 − t/total)^0.5.
+  EXPECT_NEAR(s.lr(3519), 6e-3 * std::sqrt(1.0 - 3519.0 / 7038.0), 1e-9);
+  EXPECT_LT(s.lr(7000), 6e-4);
+}
+
+TEST(LrSchedule, ShorterWarmupGivesLargerEarlyRates) {
+  // The K-FAC run warms up in 600 steps instead of 2000 — its LR dominates
+  // until step ~2000 (paper Figure 8).
+  PolyWarmupSchedule nvlamb(6e-3, 2000, 7038);
+  PolyWarmupSchedule kfac(6e-3, 600, 7038);
+  for (std::size_t t : {100u, 500u, 1000u, 1500u, 1700u})
+    EXPECT_GT(kfac.lr(t), nvlamb.lr(t)) << "t=" << t;
+  // And they coincide after warmup.
+  EXPECT_NEAR(kfac.lr(2500), nvlamb.lr(2500), 1e-9);
+}
+
+TEST(LrSchedule, RejectsBadConfigs) {
+  EXPECT_THROW(PolyWarmupSchedule(0.0, 10, 100), Error);
+  EXPECT_THROW(PolyWarmupSchedule(1.0, 100, 100), Error);
+}
+
+// Ill-conditioned softmax classification with a linear teacher: feature c
+// has scale ∝ 3^c, so the input covariance A is badly conditioned and plain
+// SGD crawls along the small-scale directions. K-FAC normalizes A (and the
+// empirical Fisher of a cross-entropy loss is a faithful curvature
+// estimate, unlike plain regression residuals), so at the SAME learning
+// rate it converges measurably faster.
+struct IllConditionedProblem {
+  IllConditionedProblem() : rng(31), layer(6, 4, rng, "layer", 0.0) {
+    teacher = Matrix::randn(6, 4, rng);
+  }
+
+  double run_step(Optimizer& opt, double lr) {
+    Matrix x = Matrix::randn(64, 6, rng);
+    for (std::size_t r = 0; r < x.rows(); ++r)
+      for (std::size_t c = 0; c < 6; ++c)
+        x(r, c) *= std::pow(3.0, static_cast<double>(c)) / 81.0;
+    const Matrix teacher_logits = matmul(x, teacher);
+    std::vector<int> labels;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < 4; ++c)
+        if (teacher_logits(r, c) > teacher_logits(r, best)) best = c;
+      labels.push_back(static_cast<int>(best));
+    }
+    const Matrix y = layer.forward(x, true);
+    const auto res = softmax_cross_entropy(y, labels);
+    zero_grads(layer.params());
+    layer.backward(res.dlogits);
+    opt.step(layer.params(), lr);
+    return res.loss;
+  }
+
+  Rng rng;
+  Linear layer;
+  Matrix teacher;
+};
+
+TEST(KfacOptimizer, BeatsSgdOnIllConditionedClassification) {
+  const double lr = 0.5;
+  IllConditionedProblem sgd_problem;
+  Sgd sgd;
+  double sgd_loss = 0.0;
+  for (int i = 0; i < 200; ++i) sgd_loss = sgd_problem.run_step(sgd, lr);
+
+  IllConditionedProblem kfac_problem;
+  KfacOptimizerOptions opts;
+  opts.kfac.damping = 1e-2;
+  KfacOptimizer kfac({&kfac_problem.layer}, std::make_unique<Sgd>(), opts);
+  double kfac_loss = 0.0;
+  for (int i = 0; i < 200; ++i) kfac_loss = kfac_problem.run_step(kfac, lr);
+
+  EXPECT_LT(kfac_loss, sgd_loss * 0.7)
+      << "kfac=" << kfac_loss << " sgd=" << sgd_loss;
+}
+
+TEST(KfacOptimizer, IntervalsControlRefreshCounts) {
+  Rng rng(37);
+  Linear l(3, 3, rng, "l");
+  KfacOptimizerOptions opts;
+  opts.curvature_interval = 2;
+  opts.inverse_interval = 4;
+  KfacOptimizer opt({&l}, std::make_unique<Sgd>(), opts);
+  const Matrix x = Matrix::randn(4, 3, rng);
+  const Matrix dy = Matrix::randn(4, 3, rng);
+  for (int i = 0; i < 8; ++i) {
+    zero_grads(l.params());
+    l.forward(x, true);
+    l.backward(dy);
+    opt.step(l.params(), 0.0);
+  }
+  // Steps 0,2,4,6 → 4 curvature updates; steps 0,4 → 2 inversions.
+  EXPECT_EQ(opt.engine().state(0).curvature_updates, 4u);
+  EXPECT_EQ(opt.engine().state(0).inverse_updates, 2u);
+}
+
+TEST(KfacOptimizer, RejectsNullBase) {
+  Rng rng(41);
+  Linear l(2, 2, rng, "l");
+  EXPECT_THROW(KfacOptimizer({&l}, nullptr, KfacOptimizerOptions{}), Error);
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,0 +1,86 @@
+// Tests for the intro's model-partitioning tradeoff analysis.
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/perfmodel/partitioning.h"
+
+namespace pf {
+namespace {
+
+PartitioningInput base_input() {
+  PartitioningInput in;
+  in.cfg = bert_base();
+  in.hw = p100();
+  in.world = 4;
+  in.b_micro = 32;
+  in.n_micro = 4;
+  return in;
+}
+
+TEST(Partitioning, AllStrategiesProducePositiveThroughput) {
+  const auto r = analyze_partitioning(base_input());
+  EXPECT_GT(r.thr_operator_parallel, 0.0);
+  EXPECT_GT(r.thr_state_partitioning, 0.0);
+  EXPECT_GT(r.thr_pipeline, 0.0);
+  EXPECT_STRNE(r.best, "");
+}
+
+TEST(Partitioning, OperatorParallelCommunicationGrowsWithWorld) {
+  auto in = base_input();
+  const auto w2 = analyze_partitioning([&] { in.world = 2; return in; }());
+  const auto w12 = analyze_partitioning([&] { in.world = 12; return in; }());
+  EXPECT_GT(w12.comm_operator_parallel, w2.comm_operator_parallel);
+}
+
+TEST(Partitioning, ZeroCommunicationGrowsWithModelSize) {
+  auto in = base_input();
+  const auto small = analyze_partitioning(in);
+  in.cfg = bert_large();
+  in.world = 4;
+  const auto large = analyze_partitioning(in);
+  // BERT-Large has ~3x the parameters: ZeRO's per-step traffic scales with
+  // the model, not the activations.
+  EXPECT_GT(large.comm_state_partitioning,
+            2.0 * small.comm_state_partitioning);
+}
+
+TEST(Partitioning, PipelineBubbleIndependentOfModelSizePerStage) {
+  // Bubble time = (W-1)(Tf+Tb) of ONE stage; doubling N_micro amortizes it
+  // but does not change its absolute size.
+  auto in = base_input();
+  const auto n4 = analyze_partitioning(in);
+  in.n_micro = 8;
+  const auto n8 = analyze_partitioning(in);
+  EXPECT_NEAR(n4.bubble_pipeline, n8.bubble_pipeline, 1e-12);
+  EXPECT_GT(n8.thr_pipeline, n4.thr_pipeline);  // amortized
+}
+
+TEST(Partitioning, FastInterconnectFavorsCommunicationStrategies) {
+  // On a slow link the pipeline's P2P-free design wins by more; a fast
+  // link closes the gap for operator parallelism.
+  auto in = base_input();
+  in.world = 8;
+  in.n_micro = 8;
+  auto slow_hw = p100();
+  slow_hw.link_bandwidth = 1e9;  // 1 GB/s
+  in.hw = slow_hw;
+  const auto slow = analyze_partitioning(in);
+  auto fast_hw = p100();
+  fast_hw.link_bandwidth = 300e9;  // NVLink-future-class
+  in.hw = fast_hw;
+  const auto fast = analyze_partitioning(in);
+  const double gap_slow = slow.thr_pipeline / slow.thr_operator_parallel;
+  const double gap_fast = fast.thr_pipeline / fast.thr_operator_parallel;
+  EXPECT_GT(gap_slow, gap_fast);
+  // And on the slow interconnect the pipeline must win outright.
+  EXPECT_STREQ(slow.best, "pipeline");
+}
+
+TEST(Partitioning, RejectsDegenerateWorld) {
+  auto in = base_input();
+  in.world = 1;
+  EXPECT_THROW(analyze_partitioning(in), Error);
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,0 +1,250 @@
+// Tests for src/perfmodel: the §3.3 closed-form model, its agreement with
+// the discrete-event simulator, and the qualitative claims of Figures 5/6.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/core/pipefisher.h"
+#include "src/perfmodel/perf_model.h"
+#include "src/perfmodel/throughput.h"
+
+namespace pf {
+namespace {
+
+PerfModelInput base_input() {
+  PerfModelInput in;
+  in.cfg = bert_base();
+  in.hw = p100();
+  in.family = ScheduleFamily::kChimera;
+  in.depth = 8;
+  in.n_micro = 8;
+  in.b_micro = 32;
+  return in;
+}
+
+TEST(PerfModel, FamilyLookup) {
+  EXPECT_EQ(schedule_family_by_name("gpipe"), ScheduleFamily::kGpipe1F1B);
+  EXPECT_EQ(schedule_family_by_name("1f1b"), ScheduleFamily::kGpipe1F1B);
+  EXPECT_EQ(schedule_family_by_name("chimera"), ScheduleFamily::kChimera);
+  EXPECT_THROW(schedule_family_by_name("gpipe2"), Error);
+}
+
+TEST(PerfModel, Table1CriticalPathCoefficients) {
+  auto in = base_input();
+  const auto r = run_perf_model(in);
+  // Chimera, N = D: T_pipe = D·T_f + (2D-2)·T_b.
+  EXPECT_NEAR(r.t_pipe, 8 * r.t_forward + 14 * r.t_backward, 1e-12);
+  in.family = ScheduleFamily::kGpipe1F1B;
+  const auto g = run_perf_model(in);
+  EXPECT_NEAR(g.t_pipe, 15 * (g.t_forward + g.t_backward), 1e-12);
+}
+
+TEST(PerfModel, BubbleIsPipeMinusUsefulWork) {
+  const auto r = run_perf_model(base_input());
+  EXPECT_NEAR(r.t_bubble, r.t_pipe - 8.0 * (r.t_forward + r.t_backward),
+              1e-12);
+  EXPECT_GT(r.t_bubble, 0.0);
+}
+
+TEST(PerfModel, MatchesDiscreteEventSimulatorOnPipeTime) {
+  // The closed form and the simulator must agree on T_pipe for both
+  // families (N = D, no P2P).
+  for (const char* sched : {"gpipe", "1f1b", "chimera"}) {
+    PipeFisherConfig cfg;
+    cfg.schedule = sched;
+    cfg.arch = bert_base();
+    cfg.hw = p100();
+    cfg.n_stages = 8;
+    cfg.blocks_per_stage = 1;
+    cfg.n_micro = 8;
+    cfg.b_micro = 16;
+    cfg.model_p2p = false;
+    const auto spec = build_schedule(cfg);
+    const auto step = simulate_step(spec, derive_step_costs(cfg, false));
+
+    PerfModelInput in;
+    in.cfg = cfg.arch;
+    in.hw = cfg.hw;
+    in.family = schedule_family_by_name(sched);
+    in.depth = 8;
+    in.n_micro = 8;
+    in.b_micro = 16;
+    const auto r = run_perf_model(in);
+    if (in.family == ScheduleFamily::kGpipe1F1B) {
+      EXPECT_NEAR(step.pipe_makespan, r.t_pipe, 1e-9) << sched;
+    } else {
+      // Chimera's C_f = D / C_b = 2D-2 closed form assumes T_b = 2·T_f
+      // exactly; the analytic costs give T_b/T_f ≈ 1.95, so allow 2%.
+      EXPECT_NEAR(step.pipe_makespan, r.t_pipe, 0.02 * r.t_pipe) << sched;
+    }
+  }
+}
+
+TEST(PerfModel, ChimeraBubbleInvariantInWaves) {
+  // For N = k·D Chimera's bubble stays (D-2)·T_b — more micro-batches do
+  // not shrink the startup/teardown bubble, they amortize it.
+  auto in = base_input();
+  const auto r1 = run_perf_model(in);
+  in.n_micro = 16;
+  const auto r2 = run_perf_model(in);
+  in.n_micro = 24;
+  const auto r3 = run_perf_model(in);
+  EXPECT_NEAR(r1.t_bubble, r2.t_bubble, 1e-12);
+  EXPECT_NEAR(r2.t_bubble, r3.t_bubble, 1e-12);
+}
+
+TEST(PerfModel, RatioDecreasesWithDepth) {
+  // Paper: "as the pipeline depth D increases, the ratio goes down because
+  // the bubble increases."
+  auto in = base_input();
+  in.depth = 4;
+  in.n_micro = 4;
+  const auto d4 = run_perf_model(in);
+  in.depth = 16;
+  in.n_micro = 16;
+  const auto d16 = run_perf_model(in);
+  EXPECT_LT(d16.curv_inv_bubble_ratio, d4.curv_inv_bubble_ratio);
+}
+
+TEST(PerfModel, RatioDecreasesWithMicroBatchSize) {
+  // "As B_micro increases, the ratio becomes smaller because the inversion
+  // work is relatively small."
+  auto in = base_input();
+  in.b_micro = 2;
+  const auto small = run_perf_model(in);
+  in.b_micro = 64;
+  const auto big = run_perf_model(in);
+  EXPECT_LT(big.curv_inv_bubble_ratio, small.curv_inv_bubble_ratio);
+}
+
+TEST(PerfModel, RatioIncreasesWithMoreMicroBatches) {
+  // "As N_micro increases, the ratio increases because the bubbles become
+  // (relatively) smaller" — more curvature work, same bubble.
+  auto in = base_input();
+  const auto n1 = run_perf_model(in);
+  in.n_micro = 24;  // 3D
+  const auto n3 = run_perf_model(in);
+  EXPECT_GT(n3.curv_inv_bubble_ratio, n1.curv_inv_bubble_ratio);
+}
+
+TEST(PerfModel, LongerSequencesLowerTheRatio) {
+  // "Transformers with longer sequence lengths have larger bubbles and
+  // smaller ratios" (inversion is independent of S).
+  auto in = base_input();
+  in.cfg = bert_base();  // S = 128
+  const auto s128 = run_perf_model(in);
+  in.cfg = t5_base();  // same dims, S = 512
+  const auto s512 = run_perf_model(in);
+  EXPECT_LT(s512.curv_inv_bubble_ratio, s128.curv_inv_bubble_ratio);
+}
+
+TEST(PerfModel, ThroughputOrdering) {
+  // pipeline ≥ PipeFisher ≥ K-FAC+skip ≥ naive K-FAC, strictly where the
+  // paper claims strictness.
+  const auto r = run_perf_model(base_input());
+  EXPECT_GT(r.throughput_pipeline, r.throughput_pipefisher);
+  EXPECT_GE(r.throughput_pipefisher, r.throughput_kfac_skip);
+  EXPECT_GE(r.throughput_kfac_skip, r.throughput_kfac_naive);
+}
+
+TEST(PerfModel, PipeFisherThroughputCloseToVanilla) {
+  // "little difference in throughput between Chimera and Chimera w/
+  // PipeFisher" — precondition only.
+  const auto r = run_perf_model(base_input());
+  EXPECT_GT(r.throughput_pipefisher / r.throughput_pipeline, 0.88);
+}
+
+TEST(PerfModel, SpeedupVsSkipInPaperRange) {
+  // Paper: up to ~1.4× when N=D and B large; ~1.1× when N=3D or B small.
+  auto in = base_input();
+  in.b_micro = 64;
+  const auto big = run_perf_model(in);
+  EXPECT_GT(big.speedup_vs_kfac_skip, 1.10);
+  EXPECT_LT(big.speedup_vs_kfac_skip, 1.60);
+  in.n_micro = 24;
+  in.b_micro = 2;
+  const auto small = run_perf_model(in);
+  EXPECT_LT(small.speedup_vs_kfac_skip, 1.25);
+}
+
+TEST(PerfModel, RecomputeGrowsBubbleAndCutsActivationMemory) {
+  auto in = base_input();
+  const auto base = run_perf_model(in);
+  in.recompute = true;
+  const auto r = run_perf_model(in);
+  EXPECT_GT(r.t_bubble, base.t_bubble);
+  EXPECT_LT(r.memory.activations, base.memory.activations);
+  EXPECT_LE(r.refresh_steps, base.refresh_steps);
+  EXPECT_LT(r.throughput_pipefisher, base.throughput_pipefisher);
+}
+
+TEST(PerfModel, ChimeraOutperformsGPipeThroughput) {
+  // Figure 9/10: "Chimera consistently achieves higher throughput than
+  // GPipe and 1F1B (smaller bubble), but refreshes curvature less often."
+  auto in = base_input();
+  const auto c = run_perf_model(in);
+  in.family = ScheduleFamily::kGpipe1F1B;
+  const auto g = run_perf_model(in);
+  EXPECT_GT(c.throughput_pipefisher, g.throughput_pipefisher);
+  EXPECT_GE(c.curv_inv_bubble_ratio, g.curv_inv_bubble_ratio);
+}
+
+TEST(Sweeps, Figure5GridShapes) {
+  const auto pts = sweep_depth_bmicro(bert_base(), p100(),
+                                      ScheduleFamily::kChimera, {4, 8, 16},
+                                      {8, 16, 32}, 1, false);
+  EXPECT_EQ(pts.size(), 9u);
+  for (const auto& p : pts) {
+    EXPECT_GT(p.result.throughput_pipefisher, 0.0);
+    EXPECT_GT(p.result.t_bubble, 0.0);
+  }
+}
+
+TEST(Sweeps, Figure6CoversAllCombinations) {
+  const auto pts =
+      sweep_figure6(bert_base(), p100(), {4, 8}, {1, 2, 3}, {1, 4, 16});
+  EXPECT_EQ(pts.size(), 2u * 3u * 3u);
+}
+
+TEST(Sweeps, RenderingContainsKeyNumbers) {
+  const auto pts = sweep_depth_bmicro(bert_base(), p100(),
+                                      ScheduleFamily::kChimera, {4}, {8}, 1,
+                                      false);
+  const std::string row = render_throughput_row(pts[0]);
+  EXPECT_NE(row.find("bert-base"), std::string::npos);
+  EXPECT_NE(row.find("p100"), std::string::npos);
+  const std::string breakdown = render_time_memory_breakdown(pts[0]);
+  EXPECT_NE(breakdown.find("memory:"), std::string::npos);
+}
+
+// Property sweep: ratio in the paper's 2-10 band for typical settings
+// "except when B_micro is particularly small and N_micro large".
+struct RatioCase {
+  std::size_t d;
+  std::size_t k;  // N = k·D
+  std::size_t b;
+};
+
+class RatioBand : public ::testing::TestWithParam<RatioCase> {};
+
+TEST_P(RatioBand, WithinPlausibleBand) {
+  const auto p = GetParam();
+  auto in = base_input();
+  in.depth = p.d;
+  in.n_micro = p.d * p.k;
+  in.b_micro = p.b;
+  const auto r = run_perf_model(in);
+  EXPECT_GT(r.curv_inv_bubble_ratio, 0.3);
+  EXPECT_LT(r.curv_inv_bubble_ratio, 40.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RatioBand,
+    ::testing::Values(RatioCase{4, 1, 8}, RatioCase{4, 2, 32},
+                      RatioCase{8, 1, 16}, RatioCase{8, 3, 8},
+                      RatioCase{16, 1, 32}, RatioCase{16, 2, 4},
+                      RatioCase{32, 1, 64}, RatioCase{32, 3, 2}));
+
+}  // namespace
+}  // namespace pf
