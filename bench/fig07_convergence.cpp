@@ -18,7 +18,9 @@
 // time fraction ~50-75%), not absolute.
 //
 // Environment: PF_FIG7_STEPS overrides the 600-step default (e.g. 150 for a
-// quick run, 1200 for a tighter curve).
+// quick run, 1200 for a tighter curve). PF_GEMM_THREADS=<n> runs the GEMM
+// kernels n-way row-block parallel (bitwise-identical results).
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +29,7 @@
 #include "bench/bench_util.h"
 #include "src/common/stats.h"
 #include "src/core/pipefisher.h"
+#include "src/linalg/gemm.h"
 #include "src/trace/ascii_plot.h"
 #include "src/optim/kfac_optimizer.h"
 #include "src/optim/lamb.h"
@@ -51,6 +54,7 @@ TrainTrace run_training(const BertConfig& cfg, const MlmBatcher& batcher,
   if (use_kfac) {
     KfacOptimizerOptions o;
     o.kfac.damping = 1e-3;
+    o.kfac.gemm_threads = 0;  // follow the PF_GEMM_THREADS global knob
     o.curvature_interval = 1;
     o.inverse_interval = 3;  // PipeFisher-style frequent refresh
     opt = std::make_unique<KfacOptimizer>(model.kfac_linears(),
@@ -65,9 +69,9 @@ TrainTrace run_training(const BertConfig& cfg, const MlmBatcher& batcher,
 }  // namespace
 
 int main() {
-  std::size_t steps = 600;
-  if (const char* env = std::getenv("PF_FIG7_STEPS"))
-    steps = static_cast<std::size_t>(std::atoi(env));
+  const std::size_t steps =
+      static_cast<std::size_t>(std::max(1, env_int("PF_FIG7_STEPS", 600)));
+  set_gemm_threads(env_int("PF_GEMM_THREADS", 1));
 
   bench::heading(format(
       "Figure 7: pretraining convergence, NVLAMB vs K-FAC (%zu steps)",

@@ -13,32 +13,56 @@ namespace {
 
 using pf::Matrix;
 
+// Each GEMM-family kernel is reported per thread count: 1 = the serial seed
+// path, >1 = the row-block ThreadPool path (bitwise-identical results).
 void BM_GemmForward(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<int>(state.range(1));
   pf::Rng rng(1);
   const Matrix x = Matrix::randn(n, n, rng);
   const Matrix w = Matrix::randn(n, n, rng);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pf::matmul(x, w));
+    benchmark::DoNotOptimize(pf::matmul(x, w, threads));
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_GemmForward)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_GemmForward)
+    ->ArgsProduct({{32, 64, 128}, {1, 2, 4}})
+    ->ArgNames({"n", "threads"});
+
+void BM_GemmBackwardNt(benchmark::State& state) {
+  // dX = dY · Wᵀ — the backward-pass product.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<int>(state.range(1));
+  pf::Rng rng(5);
+  const Matrix dy = Matrix::randn(n, n, rng);
+  const Matrix w = Matrix::randn(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pf::matmul_nt(dy, w, threads));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmBackwardNt)
+    ->ArgsProduct({{64, 128}, {1, 2, 4}})
+    ->ArgNames({"n", "threads"});
 
 void BM_CurvatureFactor(benchmark::State& state) {
-  // A_l = XᵀX/N for N tokens of dimension d.
+  // A_l = XᵀX/N for N tokens of dimension d (the SYRK-style tn kernel).
   const auto d = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<int>(state.range(1));
   const std::size_t tokens = 256;
   pf::Rng rng(2);
   const Matrix x = Matrix::randn(tokens, d, rng);
   for (auto _ : state) {
     Matrix a(d, d, 0.0);
-    pf::matmul_tn_acc(x, x, a, 1.0 / static_cast<double>(tokens));
+    pf::matmul_tn_acc(x, x, a, 1.0 / static_cast<double>(tokens), threads);
     benchmark::DoNotOptimize(a);
   }
   state.SetItemsProcessed(state.iterations() * tokens * d * d);
 }
-BENCHMARK(BM_CurvatureFactor)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_CurvatureFactor)
+    ->ArgsProduct({{32, 64, 128}, {1, 2, 4}})
+    ->ArgNames({"d", "threads"});
 
 void BM_InversionWork(benchmark::State& state) {
   // Cholesky + cholesky_inverse of a damped SPD factor.
@@ -57,15 +81,19 @@ BENCHMARK(BM_InversionWork)->Arg(32)->Arg(64)->Arg(128);
 void BM_PreconditionWork(benchmark::State& state) {
   // B⁻¹ · G · A⁻¹ for a d×4d layer (the FFN shape).
   const auto d = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<int>(state.range(1));
   pf::Rng rng(4);
   const Matrix a_inv = Matrix::randn(d, d, rng);
   const Matrix b_inv = Matrix::randn(4 * d, 4 * d, rng);
   const Matrix g = Matrix::randn(d, 4 * d, rng);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pf::matmul(pf::matmul(a_inv, g), b_inv));
+    benchmark::DoNotOptimize(
+        pf::matmul(pf::matmul(a_inv, g, threads), b_inv, threads));
   }
 }
-BENCHMARK(BM_PreconditionWork)->Arg(32)->Arg(64);
+BENCHMARK(BM_PreconditionWork)
+    ->ArgsProduct({{32, 64}, {1, 2, 4}})
+    ->ArgNames({"d", "threads"});
 
 }  // namespace
 

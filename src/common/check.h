@@ -7,6 +7,19 @@
 // branch checks).
 #pragma once
 
+// The library uses C++20 (defaulted PipeOp::operator== in src/pipeline/ops.h,
+// std::erase_if in src/trace/timeline.cpp). The CMake build asserts this via
+// target_compile_features(pf PUBLIC cxx_std_20); this guard catches builds
+// that bypass CMake with an older -std flag.
+// (_MSVC_LANG: MSVC keeps __cplusplus at 199711L unless /Zc:__cplusplus.)
+#if defined(_MSVC_LANG)
+#if _MSVC_LANG < 202002L
+#error "pipefisher requires C++20: build with the top-level CMakeLists.txt or pass /std:c++20"
+#endif
+#elif defined(__cplusplus) && __cplusplus < 202002L
+#error "pipefisher requires C++20: build with the top-level CMakeLists.txt or pass -std=c++20"
+#endif
+
 #include <sstream>
 #include <stdexcept>
 #include <string>

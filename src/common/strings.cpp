@@ -1,7 +1,10 @@
 #include "src/common/strings.h"
 
+#include <cerrno>
+#include <climits>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 #include "src/common/check.h"
 
@@ -62,6 +65,18 @@ std::string join(const std::vector<std::string>& parts,
     out += parts[i];
   }
   return out;
+}
+
+int env_int(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  if (!raw || !*raw) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || errno == ERANGE || v < INT_MIN ||
+      v > INT_MAX)
+    return fallback;
+  return static_cast<int>(v);
 }
 
 }  // namespace pf

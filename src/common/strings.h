@@ -26,4 +26,8 @@ std::string pad_left(const std::string& s, std::size_t width);
 std::string join(const std::vector<std::string>& parts,
                  const std::string& sep);
 
+// Integer environment knob: returns fallback when the variable is unset or
+// not a valid integer. Used for runtime tuning flags like PF_GEMM_THREADS.
+int env_int(const char* name, int fallback);
+
 }  // namespace pf

@@ -1,0 +1,150 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+
+#include "src/common/check.h"
+
+namespace pf {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  workers_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+namespace {
+// Tasks reaching the queue via parallel_for carry their own try/catch;
+// exceptions escaping here come from raw submit() tasks, which must not be
+// allowed to kill the worker (std::terminate) or surface inside an
+// unrelated parallel_for caller that happens to help-drain the queue.
+void run_task_noexcept(const std::function<void()>& task) {
+  try {
+    task();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pf::ThreadPool: exception escaped a submitted task: %s\n",
+                 e.what());
+  } catch (...) {
+    std::fprintf(stderr, "pf::ThreadPool: exception escaped a submitted task\n");
+  }
+}
+}  // namespace
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    run_task_noexcept(task);
+  }
+}
+
+bool ThreadPool::run_one_task() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  run_task_noexcept(task);
+  return true;
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PF_CHECK(!stop_) << "submit on a stopped ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t total, std::size_t n_chunks,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (total == 0) return;
+  n_chunks = std::clamp<std::size_t>(n_chunks, 1, total);
+  if (n_chunks == 1) {
+    fn(0, total);
+    return;
+  }
+
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr error;
+  } shared;
+  shared.remaining = n_chunks - 1;
+
+  const std::size_t base = total / n_chunks;
+  const std::size_t extra = total % n_chunks;
+  // Chunk c covers base(+1 for the first `extra` chunks) indices.
+  auto chunk_bounds = [&](std::size_t c) {
+    const std::size_t begin = c * base + std::min(c, extra);
+    return std::pair<std::size_t, std::size_t>{
+        begin, begin + base + (c < extra ? 1 : 0)};
+  };
+
+  for (std::size_t c = 1; c < n_chunks; ++c) {
+    const auto [begin, end] = chunk_bounds(c);
+    submit([&, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared.mu);
+        if (!shared.error) shared.error = std::current_exception();
+      }
+      // Notify under the lock: once remaining hits 0 the caller may destroy
+      // `shared`, so the task must be done with it before the lock drops.
+      std::lock_guard<std::mutex> lock(shared.mu);
+      --shared.remaining;
+      shared.done.notify_all();
+    });
+  }
+
+  // The caller takes the first chunk, then helps drain the queue (which may
+  // hold its own chunks when the pool is small or busy) instead of blocking.
+  try {
+    const auto [begin, end] = chunk_bounds(0);
+    fn(begin, end);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(shared.mu);
+    if (!shared.error) shared.error = std::current_exception();
+  }
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(shared.mu);
+      if (shared.remaining == 0) break;
+    }
+    if (!run_one_task()) {
+      std::unique_lock<std::mutex> lock(shared.mu);
+      shared.done.wait(lock, [&] { return shared.remaining == 0; });
+      break;
+    }
+  }
+  if (shared.error) std::rethrow_exception(shared.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace pf

@@ -1,0 +1,61 @@
+// Fixed worker pool for data-parallel kernels (row-block GEMM, batched
+// factor work).
+//
+// The pool is deliberately minimal: a task queue, N workers, and a blocking
+// parallel_for that splits an index range into contiguous chunks. The calling
+// thread always executes the first chunk itself and helps drain the queue
+// while waiting, so parallel_for never deadlocks — even on a pool with zero
+// workers or when called from inside a pool task.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pf {
+
+class ThreadPool {
+ public:
+  // Spawns n_threads workers. n_threads may be 0; parallel_for then runs
+  // everything on the calling thread.
+  explicit ThreadPool(std::size_t n_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t n_threads() const { return workers_.size(); }
+
+  // Runs fn(begin, end) over [0, total) split into n_chunks contiguous,
+  // balanced chunks and blocks until every chunk finished. The first
+  // exception thrown by fn is rethrown on the calling thread after all
+  // chunks complete. n_chunks is clamped to [1, total].
+  void parallel_for(std::size_t total, std::size_t n_chunks,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  // Enqueues a single fire-and-forget task. Exceptions escaping the task are
+  // caught and logged to stderr (there is no caller to deliver them to);
+  // parallel_for chunks propagate exceptions to their caller instead.
+  void submit(std::function<void()> task);
+
+  // Process-wide pool shared by the parallel linalg kernels. Sized to the
+  // hardware concurrency, created on first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+  // Pops and runs one queued task if available. Returns false when the queue
+  // was empty.
+  bool run_one_task();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace pf

@@ -32,9 +32,9 @@ void KfacEngine::update_curvature() {
 
     // A = XᵀX / N ; B = N·dYᵀdY (see kfac_engine.h for the scaling).
     Matrix a(l->d_in(), l->d_in(), 0.0);
-    matmul_tn_acc(x, x, a, 1.0 / n);
+    matmul_tn_acc(x, x, a, 1.0 / n, opts_.gemm_threads);
     Matrix b(l->d_out(), l->d_out(), 0.0);
-    matmul_tn_acc(dy, dy, b, n);
+    matmul_tn_acc(dy, dy, b, n, opts_.gemm_threads);
 
     auto& st = states_[i];
     st.a_ema.axpby(opts_.ema_decay, a, 1.0 - opts_.ema_decay);

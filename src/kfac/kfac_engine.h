@@ -28,6 +28,10 @@ struct KfacOptions {
   // very wide layers (d_ff ~ 16384) stay invertible in bubble-sized chunks.
   // k = 1 is exact K-FAC; k = dim degenerates to diagonal preconditioning.
   std::size_t block_diag_k = 1;
+  // Row-block threads for the GEMM-dominated curvature and precondition
+  // work. 1 = serial seed behaviour (results are bitwise identical for any
+  // value; see gemm.h). 0 = follow the process-wide set_gemm_threads knob.
+  int gemm_threads = 1;
 };
 
 class KfacEngine {

@@ -9,7 +9,8 @@ void KfacEngine::precondition() {
     auto& st = states_[i];
     if (!st.has_inverse()) continue;  // stale-inverse rule: identity
     Linear* l = layers_[i];
-    l->weight().g = matmul(matmul(st.a_inv, l->weight().g), st.b_inv);
+    l->weight().g = matmul(matmul(st.a_inv, l->weight().g, opts_.gemm_threads),
+                           st.b_inv, opts_.gemm_threads);
   }
 }
 

@@ -1,21 +1,33 @@
 #include "src/linalg/gemm.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "src/common/thread_pool.h"
 
 namespace pf {
 
 namespace {
 // Block size tuned for L1-resident panels of doubles.
 constexpr std::size_t kBlock = 64;
-}  // namespace
 
-void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha) {
-  const std::size_t M = a.rows(), K = a.cols(), N = b.cols();
-  PF_CHECK(b.rows() == K) << "matmul shape: " << M << "x" << K << " * "
-                          << b.rows() << "x" << N;
-  PF_CHECK(c.rows() == M && c.cols() == N);
-  for (std::size_t i0 = 0; i0 < M; i0 += kBlock) {
-    const std::size_t i1 = std::min(M, i0 + kBlock);
+std::atomic<int> g_gemm_threads{1};
+
+// Resolves a per-call thread count: 0 = global default, floor of 1.
+std::size_t resolve_threads(int threads) {
+  const int n = threads == 0 ? g_gemm_threads.load(std::memory_order_relaxed)
+                             : threads;
+  return static_cast<std::size_t>(std::max(1, n));
+}
+
+// C rows [r0, r1) += alpha * A[r0:r1, :] · B. Per output element the k-index
+// ascends exactly as in the full serial kernel, so splitting rows across
+// threads cannot change the floating-point result.
+void matmul_rows(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
+                 std::size_t r0, std::size_t r1) {
+  const std::size_t K = a.cols(), N = b.cols();
+  for (std::size_t i0 = r0; i0 < r1; i0 += kBlock) {
+    const std::size_t i1 = std::min(r1, i0 + kBlock);
     for (std::size_t k0 = 0; k0 < K; k0 += kBlock) {
       const std::size_t k1 = std::min(K, k0 + kBlock);
       for (std::size_t i = i0; i < i1; ++i) {
@@ -32,21 +44,15 @@ void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha) {
   }
 }
 
-Matrix matmul(const Matrix& a, const Matrix& b) {
-  Matrix c(a.rows(), b.cols(), 0.0);
-  matmul_acc(a, b, c);
-  return c;
-}
-
-void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha) {
-  // a: (M×K), b: (M×N), c: (K×N) += alpha * aᵀ b.
-  const std::size_t M = a.rows(), K = a.cols(), N = b.cols();
-  PF_CHECK(b.rows() == M) << "matmul_tn shape mismatch";
-  PF_CHECK(c.rows() == K && c.cols() == N);
+// C rows [k0, k1) += alpha * (Aᵀ B)[k0:k1, :]. The serial kernel accumulates
+// m-ascending into each output row; so does this.
+void matmul_tn_rows(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
+                    std::size_t k0, std::size_t k1) {
+  const std::size_t M = a.rows(), N = b.cols();
   for (std::size_t m = 0; m < M; ++m) {
     const double* arow = a.row(m);
     const double* brow = b.row(m);
-    for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t k = k0; k < k1; ++k) {
       const double v = alpha * arow[k];
       if (v == 0.0) continue;
       double* crow = c.row(k);
@@ -55,18 +61,11 @@ void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha) {
   }
 }
 
-Matrix matmul_tn(const Matrix& a, const Matrix& b) {
-  Matrix c(a.cols(), b.cols(), 0.0);
-  matmul_tn_acc(a, b, c);
-  return c;
-}
-
-void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha) {
-  // a: (M×K), b: (N×K), c: (M×N) += alpha * a bᵀ.
-  const std::size_t M = a.rows(), K = a.cols(), N = b.rows();
-  PF_CHECK(b.cols() == K) << "matmul_nt shape mismatch";
-  PF_CHECK(c.rows() == M && c.cols() == N);
-  for (std::size_t i = 0; i < M; ++i) {
+// C rows [r0, r1) += alpha * (A Bᵀ)[r0:r1, :].
+void matmul_nt_rows(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
+                    std::size_t r0, std::size_t r1) {
+  const std::size_t K = a.cols(), N = b.rows();
+  for (std::size_t i = r0; i < r1; ++i) {
     const double* arow = a.row(i);
     double* crow = c.row(i);
     for (std::size_t j = 0; j < N; ++j) {
@@ -78,9 +77,77 @@ void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha) {
   }
 }
 
-Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+// Dispatches a row-range kernel serially or onto the shared pool. Row blocks
+// are contiguous and disjoint, so workers never write the same cache line's
+// owner row (false sharing on block edges is possible but harmless).
+template <typename RowKernel>
+void run_rows(std::size_t rows, std::size_t threads, RowKernel&& kernel) {
+  if (threads <= 1 || rows <= 1) {
+    kernel(0, rows);
+    return;
+  }
+  ThreadPool::global().parallel_for(rows, threads, kernel);
+}
+
+}  // namespace
+
+void set_gemm_threads(int n) {
+  g_gemm_threads.store(std::max(1, n), std::memory_order_relaxed);
+}
+
+int gemm_threads() { return g_gemm_threads.load(std::memory_order_relaxed); }
+
+void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
+                int threads) {
+  const std::size_t M = a.rows(), K = a.cols(), N = b.cols();
+  PF_CHECK(b.rows() == K) << "matmul shape: " << M << "x" << K << " * "
+                          << b.rows() << "x" << N;
+  PF_CHECK(c.rows() == M && c.cols() == N);
+  run_rows(M, resolve_threads(threads),
+           [&](std::size_t r0, std::size_t r1) {
+             matmul_rows(a, b, c, alpha, r0, r1);
+           });
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b, int threads) {
+  Matrix c(a.rows(), b.cols(), 0.0);
+  matmul_acc(a, b, c, 1.0, threads);
+  return c;
+}
+
+void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
+                   int threads) {
+  // a: (M×K), b: (M×N), c: (K×N) += alpha * aᵀ b.
+  const std::size_t M = a.rows(), K = a.cols(), N = b.cols();
+  PF_CHECK(b.rows() == M) << "matmul_tn shape mismatch";
+  PF_CHECK(c.rows() == K && c.cols() == N);
+  run_rows(K, resolve_threads(threads),
+           [&](std::size_t k0, std::size_t k1) {
+             matmul_tn_rows(a, b, c, alpha, k0, k1);
+           });
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b, int threads) {
+  Matrix c(a.cols(), b.cols(), 0.0);
+  matmul_tn_acc(a, b, c, 1.0, threads);
+  return c;
+}
+
+void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
+                   int threads) {
+  // a: (M×K), b: (N×K), c: (M×N) += alpha * a bᵀ.
+  const std::size_t M = a.rows(), K = a.cols(), N = b.rows();
+  PF_CHECK(b.cols() == K) << "matmul_nt shape mismatch";
+  PF_CHECK(c.rows() == M && c.cols() == N);
+  run_rows(M, resolve_threads(threads),
+           [&](std::size_t r0, std::size_t r1) {
+             matmul_nt_rows(a, b, c, alpha, r0, r1);
+           });
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b, int threads) {
   Matrix c(a.rows(), b.rows(), 0.0);
-  matmul_nt_acc(a, b, c);
+  matmul_nt_acc(a, b, c, 1.0, threads);
   return c;
 }
 

@@ -4,32 +4,45 @@
 // matmul_tn  : C = Aᵀ · B   (used for Kronecker factors  A_l = Uᵀ U)
 // matmul_nt  : C = A · Bᵀ   (used for backward passes dX = dY · Wᵀ ... )
 //
-// All kernels are cache-blocked single-threaded implementations; accuracy
-// over speed, but fast enough to train the scaled-down BERT in the
-// convergence benchmark.
+// All kernels are cache-blocked implementations; accuracy over speed, but
+// fast enough to train the scaled-down BERT in the convergence benchmark.
+//
+// Threading: every kernel takes a trailing `threads` argument.
+//   threads == 1  — the serial reference kernel (the seed behaviour).
+//   threads  > 1  — output rows are split into `threads` contiguous blocks
+//                   executed on the shared ThreadPool. Each output element is
+//                   accumulated in the same order as the serial kernel, so
+//                   results are bitwise identical for every thread count.
+//   threads == 0  — use the process-wide default (set_gemm_threads), which
+//                   starts at 1.
 #pragma once
 
 #include "src/linalg/matrix.h"
 
 namespace pf {
 
+// Process-wide default used when a kernel is called with threads == 0.
+// n <= 1 selects the serial path.
+void set_gemm_threads(int n);
+int gemm_threads();
+
 // C = A(M×K) · B(K×N).
-Matrix matmul(const Matrix& a, const Matrix& b);
+Matrix matmul(const Matrix& a, const Matrix& b, int threads = 0);
 
 // C = Aᵀ(M×K)ᵀ=(K×M) · B(M... ); precisely: a is (M×K), b is (M×N),
 // result is (K×N) = aᵀ·b.
-Matrix matmul_tn(const Matrix& a, const Matrix& b);
+Matrix matmul_tn(const Matrix& a, const Matrix& b, int threads = 0);
 
 // a is (M×K), b is (N×K), result is (M×N) = a·bᵀ.
-Matrix matmul_nt(const Matrix& a, const Matrix& b);
+Matrix matmul_nt(const Matrix& a, const Matrix& b, int threads = 0);
 
 // In-place accumulating variants: c += alpha * product. Shapes must match.
 void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c,
-                double alpha = 1.0);
+                double alpha = 1.0, int threads = 0);
 void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c,
-                   double alpha = 1.0);
+                   double alpha = 1.0, int threads = 0);
 void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c,
-                   double alpha = 1.0);
+                   double alpha = 1.0, int threads = 0);
 
 // y = A·x for a vector x (len = cols). Result length = rows.
 std::vector<double> matvec(const Matrix& a, const std::vector<double>& x);

@@ -1,12 +1,18 @@
-// Tests for src/common: checked errors, RNG, statistics, strings.
+// Tests for src/common: checked errors, RNG, statistics, strings, thread
+// pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
+#include <utility>
 
 #include "src/common/check.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/strings.h"
+#include "src/common/thread_pool.h"
 
 namespace pf {
 namespace {
@@ -144,6 +150,89 @@ TEST(Strings, Padding) {
 TEST(Strings, Join) {
   EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
   EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), 8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroTotalAndZeroWorkersAreFine) {
+  ThreadPool empty(0);
+  bool ran = false;
+  empty.parallel_for(0, 4, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  // With no workers the calling thread executes every chunk itself.
+  std::atomic<int> sum{0};
+  empty.parallel_for(10, 4, [&](std::size_t b, std::size_t e) {
+    sum += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(sum.load(), 10);
+}
+
+TEST(ThreadPool, ChunksAreContiguousDisjointAndBalanced) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for(10, 4, [&](std::size_t b, std::size_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(b, e);
+  });
+  ASSERT_EQ(chunks.size(), 4u);
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t covered = 0;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_EQ(b, covered);
+    EXPECT_GE(e - b, 2u);  // 10 over 4 chunks: sizes 3,3,2,2
+    EXPECT_LE(e - b, 3u);
+    covered = e;
+  }
+  EXPECT_EQ(covered, 10u);
+}
+
+TEST(ThreadPool, MoreChunksThanWorkersStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.parallel_for(100, 64, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, ExceptionInChunkPropagatesAfterAllChunksFinish) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(8, 4,
+                        [&](std::size_t b, std::size_t) {
+                          if (b == 0) throw Error("chunk failure");
+                          ++completed;
+                        }),
+      Error);
+  EXPECT_EQ(completed.load(), 3);
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  std::atomic<bool> ran{false};
+  {
+    ThreadPool pool(1);
+    pool.submit([&] { ran = true; });
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<int> sum{0};
+  ThreadPool::global().parallel_for(7, 3, [&](std::size_t b, std::size_t e) {
+    sum += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(sum.load(), 7);
+  EXPECT_GE(ThreadPool::global().n_threads(), 1u);
 }
 
 }  // namespace

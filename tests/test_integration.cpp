@@ -8,6 +8,7 @@
 #include "src/common/check.h"
 #include "src/common/stats.h"
 #include "src/core/pipefisher.h"
+#include "src/linalg/gemm.h"
 #include "src/optim/kfac_optimizer.h"
 #include "src/optim/lamb.h"
 #include "src/perfmodel/perf_model.h"
@@ -63,6 +64,50 @@ TEST(Integration, SchedulerRefreshFeedsNumericKfacIntervals) {
                   tc);
   const auto trace = trainer.run();
   EXPECT_LT(trace.loss.back(), trace.loss.front());
+}
+
+TEST(Integration, ParallelGemmTrainingIsBitwiseIdenticalToSerial) {
+  // End-to-end guarantee behind the gemm_threads knob: a full K-FAC
+  // training run (forward, backward, curvature, precondition, optimizer)
+  // produces the exact same loss trajectory with row-block parallel GEMMs
+  // as with the serial seed kernels.
+  auto run_short_training = [](int threads) {
+    set_gemm_threads(threads);  // default threads=0 call sites follow this
+    BertConfig cfg;
+    cfg.vocab = 36;
+    cfg.d_model = 16;
+    cfg.d_ff = 32;
+    cfg.n_heads = 2;
+    cfg.n_layers = 1;
+    cfg.seq_len = 12;
+    Rng rng(3);
+    BertModel model(cfg, rng);
+    CorpusConfig cc;
+    cc.vocab = cfg.vocab;
+    SyntheticCorpus corpus(cc);
+    MlmBatcherConfig bc;
+    bc.seq_len = cfg.seq_len;
+    MlmBatcher batcher(corpus, bc);
+    TrainerConfig tc;
+    tc.batch_size = 8;
+    tc.total_steps = 25;
+    tc.schedule = PolyWarmupSchedule(1e-2, 4, 25);
+    KfacOptimizerOptions o;
+    o.kfac.gemm_threads = 0;  // follow the global knob too
+    o.inverse_interval = 3;
+    Trainer trainer(model, batcher,
+                    std::make_unique<KfacOptimizer>(
+                        model.kfac_linears(), std::make_unique<Lamb>(), o),
+                    tc);
+    const auto trace = trainer.run();
+    set_gemm_threads(1);
+    return trace.loss;
+  };
+  const auto serial = run_short_training(1);
+  const auto parallel = run_short_training(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(serial[i], parallel[i]) << "step " << i;
 }
 
 TEST(Integration, PerfModelRefreshMatchesSimulatedAssignerRoughly) {

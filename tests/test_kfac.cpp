@@ -194,6 +194,35 @@ TEST(KfacEngine, KroneckerApproximationMatchesExactFisherOnRankOneCase) {
   EXPECT_LT(max_abs_diff(l.weight().g, expect2), 1e-7);
 }
 
+TEST(KfacEngine, GemmThreadsKnobIsBitwiseNeutral) {
+  // The gemm_threads option routes curvature and precondition through the
+  // row-block parallel kernels; factors, inverses and preconditioned
+  // gradients must stay bitwise identical to the serial engine.
+  auto run_engine = [](int threads, Matrix* grad_out) {
+    Rng rng(29);
+    Linear l(5, 3, rng, "l");
+    KfacOptions opts;
+    opts.gemm_threads = threads;
+    KfacEngine engine({&l}, opts);
+    const Matrix x = Matrix::randn(32, 5, rng);
+    const Matrix dy = Matrix::randn(32, 3, rng);
+    zero_grads(l.params());
+    fake_pass(l, x, dy);
+    engine.update_curvature();
+    engine.update_inverses();
+    engine.precondition();
+    *grad_out = l.weight().g;
+    return std::pair<Matrix, Matrix>{engine.state(0).a_ema,
+                                     engine.state(0).b_ema};
+  };
+  Matrix g_serial, g_parallel;
+  const auto [a_serial, b_serial] = run_engine(1, &g_serial);
+  const auto [a_parallel, b_parallel] = run_engine(4, &g_parallel);
+  EXPECT_EQ(max_abs_diff(a_serial, a_parallel), 0.0);
+  EXPECT_EQ(max_abs_diff(b_serial, b_parallel), 0.0);
+  EXPECT_EQ(max_abs_diff(g_serial, g_parallel), 0.0);
+}
+
 TEST(KfacEngine, RejectsBadOptions) {
   Rng rng(23);
   Linear l(2, 2, rng, "l");

@@ -123,6 +123,100 @@ TEST(Gemm, BlockedMatchesNaiveOnLargerSizes) {
   EXPECT_LT(max_abs_diff(c, ref), 1e-10);
 }
 
+// The parallel kernels promise bitwise-identical results to the serial path
+// (gemm.h): row blocks only partition the output, never reorder the
+// per-element accumulation. Verified with exact equality, not a tolerance.
+TEST(GemmParallel, AllVariantsBitwiseEqualSerialAcrossThreadCounts) {
+  Rng rng(71);
+  const Matrix a = Matrix::randn(97, 43, rng);
+  const Matrix b = Matrix::randn(43, 71, rng);
+  const Matrix t = Matrix::randn(97, 71, rng);   // for tn: (97x43)ᵀ·(97x71)
+  const Matrix n = Matrix::randn(51, 43, rng);   // for nt: (97x43)·(51x43)ᵀ
+  const Matrix s_nn = matmul(a, b, 1);
+  const Matrix s_tn = matmul_tn(a, t, 1);
+  const Matrix s_nt = matmul_nt(a, n, 1);
+  for (int threads : {2, 3, 7, 16, 64}) {
+    EXPECT_EQ(max_abs_diff(matmul(a, b, threads), s_nn), 0.0)
+        << "matmul threads=" << threads;
+    EXPECT_EQ(max_abs_diff(matmul_tn(a, t, threads), s_tn), 0.0)
+        << "matmul_tn threads=" << threads;
+    EXPECT_EQ(max_abs_diff(matmul_nt(a, n, threads), s_nt), 0.0)
+        << "matmul_nt threads=" << threads;
+  }
+}
+
+TEST(GemmParallel, AccumulatingVariantsBitwiseEqualSerial) {
+  Rng rng(73);
+  const Matrix a = Matrix::randn(66, 30, rng);
+  const Matrix b = Matrix::randn(30, 20, rng);
+  Matrix serial(66, 20, 0.5), parallel(66, 20, 0.5);
+  matmul_acc(a, b, serial, 1.7, 1);
+  matmul_acc(a, b, parallel, 1.7, 5);
+  EXPECT_EQ(max_abs_diff(serial, parallel), 0.0);
+
+  const Matrix dy = Matrix::randn(66, 20, rng);
+  Matrix s_tn(30, 20, -1.0), p_tn(30, 20, -1.0);
+  matmul_tn_acc(a, dy, s_tn, 0.25, 1);
+  matmul_tn_acc(a, dy, p_tn, 0.25, 4);
+  EXPECT_EQ(max_abs_diff(s_tn, p_tn), 0.0);
+
+  const Matrix c = Matrix::randn(20, 30, rng);
+  Matrix s_nt(66, 20, 2.0), p_nt(66, 20, 2.0);
+  matmul_nt_acc(a, c, s_nt, -3.0, 1);
+  matmul_nt_acc(a, c, p_nt, -3.0, 8);
+  EXPECT_EQ(max_abs_diff(s_nt, p_nt), 0.0);
+}
+
+TEST(GemmParallel, GlobalThreadKnobSelectsParallelPath) {
+  Rng rng(79);
+  const Matrix a = Matrix::randn(40, 25, rng);
+  const Matrix b = Matrix::randn(25, 33, rng);
+  const Matrix serial = matmul(a, b, 1);
+  EXPECT_EQ(gemm_threads(), 1);  // seed default: serial
+  set_gemm_threads(4);
+  EXPECT_EQ(gemm_threads(), 4);
+  const Matrix via_knob = matmul(a, b);  // threads=0 → global default
+  set_gemm_threads(1);
+  EXPECT_EQ(max_abs_diff(via_knob, serial), 0.0);
+  // The knob floors at 1: "0 threads" is not a meaningful request.
+  set_gemm_threads(-3);
+  EXPECT_EQ(gemm_threads(), 1);
+}
+
+TEST(GemmParallel, ShapeMismatchThrowsOnThreadedPath) {
+  Matrix a(4, 3), b(5, 6), c(4, 6);
+  EXPECT_THROW(matmul(a, b, 4), Error);
+  EXPECT_THROW(matmul_tn(a, b, 4), Error);
+  EXPECT_THROW(matmul_nt(a, b, 4), Error);
+  Matrix bad_c(3, 6);
+  Matrix b_ok(3, 6);
+  EXPECT_THROW(matmul_acc(a, b_ok, bad_c, 1.0, 4), Error);
+}
+
+TEST(GemmParallel, ZeroSizedAndSingleRowEdgeCases) {
+  // threads far exceeding the row count must clamp, not crash; empty
+  // operands must yield empty/zero results on both paths.
+  Rng rng(83);
+  for (int threads : {1, 8}) {
+    const Matrix e0 = matmul(Matrix(0, 5), Matrix(5, 3), threads);
+    EXPECT_EQ(e0.rows(), 0u);
+    EXPECT_EQ(e0.cols(), 3u);
+    const Matrix e1 = matmul(Matrix(3, 0), Matrix(0, 2), threads);
+    EXPECT_EQ(e1.rows(), 3u);
+    EXPECT_EQ(e1.cols(), 2u);
+    EXPECT_DOUBLE_EQ(e1.max_abs(), 0.0);  // empty K: all-zero accumulators
+
+    const Matrix row = Matrix::randn(1, 9, rng);
+    const Matrix w = Matrix::randn(9, 4, rng);
+    EXPECT_EQ(max_abs_diff(matmul(row, w, threads), matmul(row, w, 1)), 0.0);
+    const Matrix col = Matrix::randn(9, 1, rng);
+    const Matrix tn = matmul_tn(col, Matrix::randn(9, 6, rng), threads);
+    EXPECT_EQ(tn.rows(), 1u);
+    const Matrix nt = matmul_nt(row, Matrix::randn(1, 9, rng), threads);
+    EXPECT_EQ(nt.cols(), 1u);
+  }
+}
+
 TEST(Gemm, Matvec) {
   const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
   const auto y = matvec(a, {1.0, -1.0});
