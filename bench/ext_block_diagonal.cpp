@@ -38,7 +38,7 @@ int main() {
       PerfModelInput in;
       in.cfg = scaled_bert(k);
       in.hw = p100();
-      in.family = ScheduleFamily::kChimera;
+      in.schedule = "chimera";
       in.depth = 8;
       in.n_micro = 8;
       in.b_micro = 32;

@@ -25,8 +25,8 @@ int main() {
                             "recomputation (R)"
                           : "(a) time & memory breakdown");
     const auto pts =
-        sweep_depth_bmicro(bert_base(), p100(), ScheduleFamily::kChimera,
-                           depths, b_micros, 1, recompute);
+        sweep_depth_bmicro(bert_base(), p100(), "chimera", depths, b_micros,
+                           1, recompute);
     for (const auto& p : pts)
       std::printf("%s", render_time_memory_breakdown(p).c_str());
   }
@@ -36,8 +36,8 @@ int main() {
                                 : "(b) throughput & ratio");
     std::printf("%s\n", sweep_header().c_str());
     const auto pts =
-        sweep_depth_bmicro(bert_base(), p100(), ScheduleFamily::kChimera,
-                           depths, b_micros, 1, recompute);
+        sweep_depth_bmicro(bert_base(), p100(), "chimera", depths, b_micros,
+                           1, recompute);
     for (const auto& p : pts)
       std::printf("%s\n", render_throughput_row(p).c_str());
   }

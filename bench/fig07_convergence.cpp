@@ -20,6 +20,9 @@
 // Environment: PF_FIG7_STEPS overrides the 600-step default (e.g. 150 for a
 // quick run, 1200 for a tighter curve). PF_GEMM_THREADS=<n> runs the GEMM
 // kernels n-way row-block parallel (bitwise-identical results).
+// PF_SCHEDULE=<name> picks the pipeline schedule for the steps→time
+// conversion (any name in list_schedules(); default chimera, as in the
+// paper).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -30,6 +33,7 @@
 #include "src/common/stats.h"
 #include "src/core/pipefisher.h"
 #include "src/linalg/gemm.h"
+#include "src/pipeline/schedule_registry.h"
 #include "src/trace/ascii_plot.h"
 #include "src/optim/kfac_optimizer.h"
 #include "src/optim/lamb.h"
@@ -72,6 +76,8 @@ int main() {
   const std::size_t steps =
       static_cast<std::size_t>(std::max(1, env_int("PF_FIG7_STEPS", 600)));
   set_gemm_threads(env_int("PF_GEMM_THREADS", 1));
+  const std::string schedule = env_str("PF_SCHEDULE", "chimera");
+  traits_of(schedule);  // fail a typo now, not after the training runs
 
   bench::heading(format(
       "Figure 7: pretraining convergence, NVLAMB vs K-FAC (%zu steps)",
@@ -102,9 +108,10 @@ int main() {
   const auto kfac_trace = run_training(cfg, batcher, steps, true);
 
   // Per-step times from the pipeline simulation (paper: 256 P100 GPUs,
-  // Chimera, 4 stages; we use the same D=4 Chimera configuration).
+  // Chimera, 4 stages; we default to the same D=4 Chimera configuration —
+  // PF_SCHEDULE swaps in any other registered schedule).
   PipeFisherConfig pcfg;
-  pcfg.schedule = "chimera";
+  pcfg.schedule = schedule;
   pcfg.arch = bert_base();
   pcfg.hw = p100();
   pcfg.n_stages = 4;
@@ -143,20 +150,27 @@ int main() {
                    cmp.baseline_steps, cmp.step_fraction * 100)
           : std::string("not reached"),
       "2961/7038 (42.0%)");
-  bench::compare_line("NVLAMB time/step (Chimera)",
-                      human_time(prep.step_time_baseline), "847.8 ms");
-  bench::compare_line("K-FAC time/step (Chimera w/ PipeFisher)",
-                      human_time(prep.step_time), "980.2 ms");
+  // The paper's reference numbers are for Chimera; under PF_SCHEDULE they
+  // no longer apply.
+  const auto ref = [&schedule](const char* paper_value) {
+    return schedule == "chimera" ? paper_value : "n/a (paper: chimera)";
+  };
+  bench::compare_line(format("NVLAMB time/step (%s)", schedule.c_str()),
+                      human_time(prep.step_time_baseline), ref("847.8 ms"));
+  bench::compare_line(
+      format("K-FAC time/step (%s w/ PipeFisher)", schedule.c_str()),
+      human_time(prep.step_time), ref("980.2 ms"));
   bench::compare_line("NVLAMB utilization",
-                      percent(prep.utilization_baseline), "75.9%");
+                      percent(prep.utilization_baseline), ref("75.9%"));
   bench::compare_line("PipeFisher utilization", percent(prep.utilization),
-                      "93.2%");
+                      ref("93.2%"));
   bench::compare_line("simulated time, NVLAMB",
-                      human_time(cmp.baseline_time), "99.4 min");
+                      human_time(cmp.baseline_time), ref("99.4 min"));
   bench::compare_line("simulated time, K-FAC w/ PipeFisher",
-                      human_time(cmp.challenger_time), "48.4 min");
+                      human_time(cmp.challenger_time), ref("48.4 min"));
   bench::compare_line("time fraction",
-                      format("%.1f%%", cmp.time_fraction * 100), "48.7%");
+                      format("%.1f%%", cmp.time_fraction * 100),
+                      ref("48.7%"));
 
   bench::subheading("Figure 8: learning-rate schedules");
   std::printf(

@@ -1,0 +1,95 @@
+// Perf-trajectory baseline across every registered pipeline schedule.
+//
+//   $ ./schedules_baseline [out.json]
+//
+// Runs the end-to-end PipeFisher experiment on a fixed MODEL (16 BERT-Base
+// blocks over 8 devices, N=8, B=32, P100) for each schedule in the
+// registry and writes makespan / utilization / refresh numbers to a JSON
+// file (default BENCH_schedules.json). Blocks per (virtual) stage are
+// derived from the traits so every row pipelines the same 16-block model —
+// virtual-pipeline schedules split it across D·V chunks — keeping the rows
+// comparable. `cmake --build build --target bench_all` refreshes the
+// committed copy so future PRs can track regressions per schedule — a
+// newly registered schedule joins the baseline automatically.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+#include "src/core/pipefisher.h"
+#include "src/pipeline/schedule_registry.h"
+
+using namespace pf;
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "BENCH_schedules.json";
+
+  constexpr int kDevices = 8;
+  constexpr int kModelBlocks = 16;
+  constexpr int kMicros = 8;
+  constexpr int kBMicro = 32;
+  std::string json = format(
+      "{\n  \"shape\": {\"arch\": \"bert-base\", \"hw\": \"p100\", "
+      "\"devices\": %d, \"model_blocks\": %d, \"n_micro\": %d, "
+      "\"b_micro\": %d},\n  \"schedules\": {\n",
+      kDevices, kModelBlocks, kMicros, kBMicro);
+  std::vector<std::string> rows;
+  for (const auto& name : list_schedules()) {
+    const ScheduleTraits& traits = traits_of(name);
+    PipeFisherConfig cfg;
+    cfg.schedule = name;
+    cfg.arch = bert_base();
+    cfg.hw = p100();
+    cfg.n_stages = kDevices;
+    cfg.n_micro = kMicros;
+    cfg.b_micro = kBMicro;
+    // Same 16-block model for every row: virtual-pipeline schedules slice
+    // it across D·V chunks, the rest across D stages. A registered
+    // schedule whose constraints reject the fixed shape is skipped, not
+    // fatal — the baseline must keep covering everything it can.
+    const ScheduleParams sp = schedule_params(cfg);
+    try {
+      traits.check_params(sp);
+      cfg.blocks_per_stage = kModelBlocks / traits.model_stages(sp);
+      PF_CHECK(cfg.blocks_per_stage >= 1)
+          << name << " slices the model into more than " << kModelBlocks
+          << " chunks";
+    } catch (const Error& e) {
+      std::printf("%-16s skipped: incompatible with the baseline shape "
+                  "(%s)\n",
+                  name.c_str(), e.what());
+      continue;
+    }
+    // Outside the catch: a simulator failure here is a real regression and
+    // must fail the bench, not silently drop the row.
+    {
+      const auto rep = run_pipefisher(cfg);
+      rows.push_back(format(
+          "    \"%s\": {\"blocks_per_stage\": %d, \"pipe_makespan_s\": "
+          "%.9g, \"step_time_baseline_s\": %.9g, "
+          "\"step_time_pipefisher_s\": %.9g, \"utilization_baseline\": "
+          "%.6g, \"utilization_pipefisher\": %.6g, \"refresh_steps\": %d, "
+          "\"bubble_per_step_s\": %.9g, \"traits_c_f\": %.6g, "
+          "\"traits_c_b\": %.6g}",
+          name.c_str(), cfg.blocks_per_stage, rep.pipe_makespan,
+          rep.step_time_baseline, rep.step_time, rep.utilization_baseline,
+          rep.utilization, rep.refresh_interval_steps, rep.bubble_per_step,
+          traits.critical_path_forwards(sp),
+          traits.critical_path_backwards(sp)));
+      std::printf("%-16s makespan %s  util %s -> %s  refresh %d st\n",
+                  name.c_str(), human_time(rep.pipe_makespan).c_str(),
+                  percent(rep.utilization_baseline).c_str(),
+                  percent(rep.utilization).c_str(),
+                  rep.refresh_interval_steps);
+    }
+  }
+  json += join(rows, ",\n") + "\n  }\n}\n";
+
+  std::ofstream f(path);
+  PF_CHECK(f.good()) << "cannot open " << path;
+  f << json;
+  PF_CHECK(f.good()) << "write failed for " << path;
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -6,11 +6,13 @@
 //
 // Prints, per (schedule, D, B_micro): throughput, how many steps a curvature
 // refresh takes, and whether device memory fits, flagging the paper's
-// recommended operating points.
+// recommended operating points. The schedule column enumerates the
+// registry, so a newly registered schedule shows up here automatically.
 #include <cstdio>
 
 #include "src/common/strings.h"
 #include "src/perfmodel/perf_model.h"
+#include "src/pipeline/schedule_registry.h"
 
 int main(int argc, char** argv) {
   using namespace pf;
@@ -20,27 +22,24 @@ int main(int argc, char** argv) {
   std::printf("bubble planning for %s on %s (memory %s)\n\n",
               cfg.name.c_str(), hw.name.c_str(),
               human_bytes(hw.memory_capacity).c_str());
-  std::printf("%-10s %3s %5s | %9s %8s %7s | %9s %6s\n", "schedule", "D",
+  std::printf("%-16s %3s %5s | %9s %8s %7s | %9s %6s\n", "schedule", "D",
               "B", "thr(PF)", "refresh", "ratio", "memory", "fits?");
 
-  for (const auto family :
-       {ScheduleFamily::kGpipe1F1B, ScheduleFamily::kChimera}) {
-    const char* name =
-        family == ScheduleFamily::kChimera ? "chimera" : "gpipe/1f1b";
+  for (const auto& name : list_schedules()) {
     for (std::size_t d : {4, 8, 16}) {
       for (std::size_t b : {8, 16, 32, 64}) {
         PerfModelInput in;
         in.cfg = cfg;
         in.hw = hw;
-        in.family = family;
+        in.schedule = name;
         in.depth = d;
         in.n_micro = d;
         in.b_micro = b;
         const auto r = run_perf_model(in);
         const bool fits = r.memory.total() < hw.memory_capacity;
-        std::printf("%-10s %3zu %5zu | %9.1f %7dst %7.2f | %9s %6s\n", name,
-                    d, b, r.throughput_pipefisher, r.refresh_steps,
-                    r.curv_inv_bubble_ratio,
+        std::printf("%-16s %3zu %5zu | %9.1f %7dst %7.2f | %9s %6s\n",
+                    name.c_str(), d, b, r.throughput_pipefisher,
+                    r.refresh_steps, r.curv_inv_bubble_ratio,
                     human_bytes(r.memory.total()).c_str(),
                     fits ? "yes" : "NO");
       }
@@ -51,6 +50,9 @@ int main(int argc, char** argv) {
       "\nReading the table: pick the highest-throughput row whose refresh "
       "interval is a\nfew steps and whose memory fits; if memory is the "
       "binding constraint, enable\nactivation recomputation (R) — it trades "
-      "throughput for memory AND refresh frequency.\n");
+      "throughput for memory AND refresh frequency.\nNote: virtual-pipeline "
+      "rows (interleaved-1f1b) keep one block per CHUNK, so at the\nsame D "
+      "they model a model V=2x deeper than the other rows — compare within "
+      "a row's\nmodel size, or rescale blocks per stage.\n");
   return 0;
 }

@@ -4,13 +4,16 @@
 //   $ ./quickstart
 //
 // This walks the library's main entry point, run_pipefisher(): pick a
-// schedule (GPipe / 1F1B / Chimera), an architecture, a hardware profile
-// and a pipeline shape; get back utilization before/after, the refresh
-// interval, and the full schedule as a timeline you can render or export.
+// schedule from the registry (gpipe / 1f1b / interleaved-1f1b / chimera —
+// see src/pipeline/schedule_registry.h), an architecture, a hardware
+// profile and a pipeline shape; get back utilization before/after, the
+// refresh interval, and the full schedule as a timeline you can render or
+// export.
 #include <cstdio>
 
 #include "src/common/strings.h"
 #include "src/core/pipefisher.h"
+#include "src/pipeline/schedule_registry.h"
 #include "src/trace/ascii_gantt.h"
 #include "src/trace/chrome_trace.h"
 
@@ -19,6 +22,9 @@ int main() {
 
   // 1. Describe the experiment: BERT-Base, 4 pipeline stages of 3 encoder
   //    blocks each, 4 micro-batches of 32 sequences, on a modeled P100.
+  //    Any name in list_schedules() works here.
+  std::printf("available schedules : %s\n",
+              join(list_schedules(), " | ").c_str());
   PipeFisherConfig cfg;
   cfg.schedule = "gpipe";
   cfg.arch = bert_base();

@@ -79,4 +79,10 @@ int env_int(const char* name, int fallback) {
   return static_cast<int>(v);
 }
 
+std::string env_str(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  if (!raw || !*raw) return fallback;
+  return raw;
+}
+
 }  // namespace pf

@@ -30,4 +30,8 @@ std::string join(const std::vector<std::string>& parts,
 // not a valid integer. Used for runtime tuning flags like PF_GEMM_THREADS.
 int env_int(const char* name, int fallback);
 
+// String environment knob: returns fallback when the variable is unset or
+// empty. Used for selection flags like PF_SCHEDULE.
+std::string env_str(const char* name, const std::string& fallback);
+
 }  // namespace pf

@@ -4,24 +4,22 @@
 
 #include "src/common/check.h"
 #include "src/core/parallel_kfac.h"
-#include "src/pipeline/chimera.h"
-#include "src/pipeline/gpipe.h"
-#include "src/pipeline/interleaved_1f1b.h"
-#include "src/pipeline/one_f_one_b.h"
+#include "src/pipeline/schedule_registry.h"
 
 namespace pf {
 
+ScheduleParams schedule_params(const PipeFisherConfig& cfg) {
+  ScheduleParams p;
+  p.n_stages = cfg.n_stages;
+  p.n_micro = cfg.n_micro;
+  // Virtual-pipeline schedules keep the default two chunks per device;
+  // `blocks_per_stage` counts blocks per virtual chunk, so the modeled
+  // model is `virtual_chunks` times as deep.
+  return p;
+}
+
 ScheduleSpec build_schedule(const PipeFisherConfig& cfg) {
-  if (cfg.schedule == "gpipe") return make_gpipe(cfg.n_stages, cfg.n_micro);
-  if (cfg.schedule == "1f1b") return make_1f1b(cfg.n_stages, cfg.n_micro);
-  if (cfg.schedule == "chimera")
-    return make_chimera(cfg.n_stages, cfg.n_micro);
-  if (cfg.schedule == "interleaved-1f1b")
-    // Two virtual chunks per device; `blocks_per_stage` counts blocks per
-    // virtual chunk, so the modeled model is twice as deep.
-    return make_interleaved_1f1b(cfg.n_stages, 2, cfg.n_micro);
-  PF_CHECK(false) << "unknown schedule: " << cfg.schedule;
-  __builtin_unreachable();
+  return build_schedule(cfg.schedule, schedule_params(cfg));
 }
 
 StepCosts derive_step_costs(const PipeFisherConfig& cfg, bool with_kfac) {
@@ -34,14 +32,17 @@ StepCosts derive_step_costs(const PipeFisherConfig& cfg, bool with_kfac) {
                                : cm.time_backward_stage(shape);
   c.t_p2p = cfg.model_p2p ? cm.time_p2p_activation(shape) : 0.0;
 
-  // Gradient sync: Chimera always allreduces across its two pipelines (the
-  // same stage lives on device d and D-1-d); data parallelism multiplies
-  // the group size.
-  std::size_t sync_world = static_cast<std::size_t>(cfg.data_parallel_world);
-  if (cfg.schedule == "chimera") sync_world *= 2;
+  // Gradient sync: the traits say how the schedule multiplies the group
+  // (Chimera allreduces across its two pipelines); data parallelism
+  // multiplies it further.
+  const ScheduleTraits& traits = traits_of(cfg.schedule);
+  std::size_t sync_world =
+      static_cast<std::size_t>(cfg.data_parallel_world) *
+      static_cast<std::size_t>(traits.grad_sync_world_multiplier);
   if (sync_world > 1) {
-    // Per device: its stages' gradients. Chimera devices own 2 stages.
-    const std::size_t stages_per_dev = cfg.schedule == "chimera" ? 2 : 1;
+    // Per device: the gradients of every stage it owns.
+    const std::size_t stages_per_dev = static_cast<std::size_t>(
+        traits.stages_per_device_for(schedule_params(cfg)));
     c.t_sync_grad =
         cm.time_sync_grad_stage(cfg.arch,
                                 static_cast<std::size_t>(cfg.blocks_per_stage) *

@@ -9,12 +9,13 @@
 #include "src/core/bubble_assigner.h"
 #include "src/core/kfac_work.h"
 #include "src/hw/cost_model.h"
+#include "src/pipeline/schedule_registry.h"
 #include "src/pipeline/simulator.h"
 
 namespace pf {
 
 struct PipeFisherConfig {
-  std::string schedule = "chimera";  // "gpipe" | "1f1b" | "chimera"
+  std::string schedule = "chimera";  // any name in list_schedules()
   TransformerConfig arch;
   HardwareProfile hw;
   int n_stages = 4;          // pipeline depth D
@@ -57,7 +58,14 @@ PipeFisherReport run_pipefisher(const PipeFisherConfig& cfg);
 // cross-checks). `with_kfac` adds the per-stage precondition time.
 StepCosts derive_step_costs(const PipeFisherConfig& cfg, bool with_kfac);
 
-// Builds the ScheduleSpec for cfg.schedule; throws on unknown name.
+// The registry-shape view of a config — the single mapping from
+// PipeFisherConfig to ScheduleParams, shared by the driver and by anything
+// querying traits for the same shape it simulates.
+ScheduleParams schedule_params(const PipeFisherConfig& cfg);
+
+// Builds the ScheduleSpec for cfg.schedule via the schedule registry
+// (src/pipeline/schedule_registry.h); unknown names throw an Error listing
+// the registered schedules.
 ScheduleSpec build_schedule(const PipeFisherConfig& cfg);
 
 }  // namespace pf

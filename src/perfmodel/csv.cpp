@@ -8,7 +8,7 @@
 namespace pf {
 
 std::string sweep_csv_header() {
-  return "arch,hw,family,depth,n_micro,b_micro,recompute,block_diag_k,"
+  return "arch,hw,schedule,depth,n_micro,b_micro,recompute,block_diag_k,"
          "t_forward,t_backward,t_curvature,t_inversion,t_precondition,"
          "t_pipe,t_bubble,ratio,refresh_steps,"
          "thr_pipeline,thr_pipefisher,thr_kfac_skip,thr_kfac_naive,"
@@ -24,8 +24,7 @@ std::string sweep_point_csv(const SweepPoint& p) {
       "%s,%s,%s,%zu,%zu,%zu,%d,%zu,"
       "%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.6g,%d,"
       "%.6g,%.6g,%.6g,%.6g,%.6g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g",
-      in.cfg.name.c_str(), in.hw.name.c_str(),
-      in.family == ScheduleFamily::kChimera ? "chimera" : "gpipe-1f1b",
+      in.cfg.name.c_str(), in.hw.name.c_str(), in.schedule.c_str(),
       in.depth, in.n_micro, in.b_micro, in.recompute ? 1 : 0,
       in.block_diag_k, r.t_forward, r.t_backward, r.t_curvature,
       r.t_inversion, r.t_precondition, r.t_pipe, r.t_bubble,

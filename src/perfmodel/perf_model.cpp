@@ -4,22 +4,20 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/pipeline/schedule_registry.h"
 
 namespace pf {
 
-ScheduleFamily schedule_family_by_name(const std::string& name) {
-  // Interleaved 1F1B shares 1F1B's flush-based closed form; its smaller
-  // realized bubble (÷ virtual chunks) is captured by the simulator, the
-  // closed form here is the conservative upper bound.
-  if (name == "gpipe" || name == "1f1b" || name == "interleaved-1f1b")
-    return ScheduleFamily::kGpipe1F1B;
-  if (name == "chimera") return ScheduleFamily::kChimera;
-  PF_CHECK(false) << "unknown schedule family: " << name;
-  __builtin_unreachable();
-}
-
 PerfModelResult run_perf_model(const PerfModelInput& in) {
   PF_CHECK(in.depth >= 2 && in.n_micro >= 1 && in.b_micro >= 1);
+  const ScheduleTraits& traits = traits_of(in.schedule);
+  ScheduleParams sp;
+  sp.n_stages = static_cast<int>(in.depth);
+  sp.n_micro = static_cast<int>(in.n_micro);
+  sp.virtual_chunks = static_cast<int>(in.virtual_chunks);
+  // The closed form is only meaningful for shapes the schedule can actually
+  // take (e.g. Chimera's even stages/micros) — reject the rest up front.
+  traits.check_params(sp);
   const CostModel cm(in.hw);
   const StageShape shape{in.cfg, in.blocks_per_stage, in.b_micro};
   const double n = static_cast<double>(in.n_micro);
@@ -53,27 +51,28 @@ PerfModelResult run_perf_model(const PerfModelInput& in) {
   }
   r.t_precondition = cm.time_precondition_stage(in.cfg, in.blocks_per_stage);
 
-  double cf = 0.0, cb = 0.0;
-  switch (in.family) {
-    case ScheduleFamily::kGpipe1F1B:
-      cf = cb = n + d - 1.0;
-      break;
-    case ScheduleFamily::kChimera:
-      cf = n;
-      cb = n + d - 2.0;
-      break;
-  }
+  const double cf = traits.critical_path_forwards(sp);
+  const double cb = traits.critical_path_backwards(sp);
+  // Pipeline ops per device per micro-batch (1 for single-stage-per-device
+  // and Chimera, V for interleaved) — scales the useful work, the per-device
+  // K-FAC work, and the precondition tail alike.
+  const double w = traits.useful_ops_per_micro(sp);
   r.t_pipe = cf * r.t_forward + cb * r.t_backward;
-  r.t_bubble = r.t_pipe - n * (r.t_forward + r.t_backward);
+  r.t_bubble = r.t_pipe - n * w * (r.t_forward + r.t_backward);
+  // Degenerate shapes (e.g. Chimera at D=2) have a zero closed-form bubble;
+  // the ratio/refresh quantities below would be infinite.
+  PF_CHECK(r.t_bubble > 0.0)
+      << in.schedule << " at D=" << in.depth << " N=" << in.n_micro
+      << " has no pipeline bubble; the closed-form ratio is undefined";
 
-  const double curv_inv = n * r.t_curvature + r.t_inversion;
+  const double curv_inv = w * (n * r.t_curvature + r.t_inversion);
   r.curv_inv_bubble_ratio = curv_inv / r.t_bubble;
   r.refresh_steps =
       std::max(1, static_cast<int>(std::ceil(r.curv_inv_bubble_ratio)));
 
   const double seqs = n * static_cast<double>(in.b_micro);
   r.throughput_pipeline = seqs / r.t_pipe;
-  const double t_pf = r.t_pipe + r.t_precondition;
+  const double t_pf = r.t_pipe + w * r.t_precondition;
   r.throughput_pipefisher = seqs / t_pf;
   r.throughput_kfac_naive = seqs / (t_pf + curv_inv);
   r.throughput_kfac_skip =
@@ -84,7 +83,8 @@ PerfModelResult run_perf_model(const PerfModelInput& in) {
   MemoryModelInput mm;
   mm.cfg = in.cfg;
   mm.blocks_per_stage = in.blocks_per_stage;
-  mm.stages_per_device = in.family == ScheduleFamily::kChimera ? 2 : 1;
+  mm.stages_per_device =
+      static_cast<std::size_t>(traits.stages_per_device_for(sp));
   mm.b_micro = in.b_micro;
   mm.n_micro = in.n_micro;
   mm.recompute = in.recompute;

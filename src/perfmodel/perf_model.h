@@ -1,12 +1,17 @@
 // Closed-form performance model (paper §3.3, Figures 5, 6, 9-16).
 //
 //   T_pipe   = C_f·T_f + C_b·T_b
-//   T_bubble = T_pipe − N_micro·(T_f + T_b)
+//   T_bubble = T_pipe − N_micro·w·(T_f + T_b)
 //   T⁺_kfac  = N_micro·T_curv + T_inv (fit into bubbles) + T_prec
 //
-// with (Table 1, and the bubble-invariance of Chimera for N = k·D):
-//   GPipe / 1F1B (flush): C_f = C_b = N + D − 1
-//   Chimera (2 pipelines): C_f = N, C_b = N + D − 2
+// C_f/C_b and the per-micro useful-work multiplier w come from the
+// schedule's registered traits (src/pipeline/schedule_registry.h), e.g.
+// (Table 1, and the bubble-invariance of Chimera for N = k·D):
+//   GPipe / 1F1B (flush):   C_f = C_b = N + D − 1,      w = 1
+//   Chimera (2 pipelines):  C_f = N, C_b = N + D − 2,   w = 1
+//   interleaved-1F1B (V):   C_f = C_b = V·N + D − 1,    w = V
+//     (the ideal static-order path; the greedy simulator realizes 0-25%
+//      above it for N >= D — see tests/test_schedule_registry.cpp)
 //
 // Under activation recomputation (R) the backward time includes one extra
 // forward. Memory comes from src/hw/memory_model.h.
@@ -19,19 +24,17 @@
 
 namespace pf {
 
-enum class ScheduleFamily { kGpipe1F1B, kChimera };
-
-ScheduleFamily schedule_family_by_name(const std::string& name);
-
 struct PerfModelInput {
   TransformerConfig cfg;
   HardwareProfile hw;
-  ScheduleFamily family = ScheduleFamily::kChimera;
+  std::string schedule = "chimera";  // any name in list_schedules()
   std::size_t depth = 4;         // D (= number of devices, 1 block/stage in
                                  // the paper's Figure 5 setting)
-  std::size_t blocks_per_stage = 1;
+  std::size_t blocks_per_stage = 1;  // per (virtual) stage
   std::size_t n_micro = 4;       // N
   std::size_t b_micro = 8;       // B
+  // Chunks per device for virtual-pipeline schedules (others ignore it).
+  std::size_t virtual_chunks = 2;
   bool recompute = false;        // R
   // Appendix A.2: k-block-diagonal factor approximation. Curvature work for
   // a factor of dim d shrinks to k·(d/k)² per token and inversion to

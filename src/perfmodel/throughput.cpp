@@ -6,7 +6,7 @@ namespace pf {
 
 std::vector<SweepPoint> sweep_depth_bmicro(
     const TransformerConfig& cfg, const HardwareProfile& hw,
-    ScheduleFamily family, const std::vector<std::size_t>& depths,
+    const std::string& schedule, const std::vector<std::size_t>& depths,
     const std::vector<std::size_t>& b_micros, std::size_t n_micro_per_depth,
     bool recompute) {
   std::vector<SweepPoint> out;
@@ -15,7 +15,7 @@ std::vector<SweepPoint> sweep_depth_bmicro(
       PerfModelInput in;
       in.cfg = cfg;
       in.hw = hw;
-      in.family = family;
+      in.schedule = schedule;
       in.depth = d;
       in.n_micro = d * n_micro_per_depth;
       in.b_micro = b;
@@ -38,7 +38,7 @@ std::vector<SweepPoint> sweep_figure6(
         PerfModelInput in;
         in.cfg = cfg;
         in.hw = hw;
-        in.family = ScheduleFamily::kChimera;
+        in.schedule = "chimera";
         in.depth = d;
         in.n_micro = d * k;
         in.b_micro = b;

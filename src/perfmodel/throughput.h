@@ -15,9 +15,10 @@ struct SweepPoint {
 };
 
 // The paper's Figure 5 grid: B ∈ b_micros, D ∈ depths, N = N_micro = D·k.
+// `schedule` is any name registered in the schedule registry.
 std::vector<SweepPoint> sweep_depth_bmicro(
     const TransformerConfig& cfg, const HardwareProfile& hw,
-    ScheduleFamily family, const std::vector<std::size_t>& depths,
+    const std::string& schedule, const std::vector<std::size_t>& depths,
     const std::vector<std::size_t>& b_micros, std::size_t n_micro_per_depth,
     bool recompute);
 

@@ -1,0 +1,208 @@
+#include "src/pipeline/schedule_registry.h"
+
+#include <map>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+#include "src/pipeline/chimera.h"
+#include "src/pipeline/gpipe.h"
+#include "src/pipeline/interleaved_1f1b.h"
+#include "src/pipeline/one_f_one_b.h"
+
+namespace pf {
+
+double PathCoeff::eval(const ScheduleParams& p) const {
+  const double n = static_cast<double>(p.n_micro) *
+                   (n_scales_with_virtual
+                        ? static_cast<double>(p.virtual_chunks)
+                        : 1.0);
+  return c_n * n + c_d * static_cast<double>(p.n_stages) + c_k;
+}
+
+int ScheduleTraits::stages_per_device_for(const ScheduleParams& p) const {
+  return stages_per_device_is_virtual ? p.virtual_chunks : stages_per_device;
+}
+
+int ScheduleTraits::model_stages(const ScheduleParams& p) const {
+  return p.n_stages *
+         (stages_per_device_is_virtual ? p.virtual_chunks : 1);
+}
+
+double ScheduleTraits::critical_path_forwards(const ScheduleParams& p) const {
+  return c_f.eval(p);
+}
+
+double ScheduleTraits::critical_path_backwards(const ScheduleParams& p) const {
+  return c_b.eval(p);
+}
+
+double ScheduleTraits::useful_ops_per_micro(const ScheduleParams& p) const {
+  return static_cast<double>(stages_per_device_for(p)) /
+         static_cast<double>(n_pipelines);
+}
+
+void ScheduleTraits::check_params(const ScheduleParams& p) const {
+  PF_CHECK(p.n_stages >= min_stages)
+      << name << " needs at least " << min_stages << " stages, got "
+      << p.n_stages;
+  PF_CHECK(p.n_micro >= min_micros)
+      << name << " needs at least " << min_micros << " micro-batches, got "
+      << p.n_micro;
+  PF_CHECK(!even_stages || p.n_stages % 2 == 0)
+      << name << " needs an even number of stages, got " << p.n_stages;
+  PF_CHECK(!even_micros || p.n_micro % 2 == 0)
+      << name << " needs an even micro-batch count, got " << p.n_micro;
+  PF_CHECK(!stages_per_device_is_virtual || p.virtual_chunks >= 1)
+      << name << " needs at least 1 virtual chunk, got " << p.virtual_chunks;
+}
+
+namespace {
+
+struct ScheduleEntry {
+  ScheduleTraits traits;
+  ScheduleFactory factory;
+};
+
+ScheduleSpec gpipe_factory(const ScheduleParams& p) {
+  return make_gpipe(p.n_stages, p.n_micro);
+}
+
+ScheduleSpec one_f_one_b_factory(const ScheduleParams& p) {
+  return make_1f1b(p.n_stages, p.n_micro);
+}
+
+ScheduleSpec chimera_factory(const ScheduleParams& p) {
+  return make_chimera(p.n_stages, p.n_micro);
+}
+
+ScheduleSpec interleaved_1f1b_factory(const ScheduleParams& p) {
+  return make_interleaved_1f1b(p.n_stages, p.virtual_chunks, p.n_micro);
+}
+
+ScheduleTraits gpipe_traits() {
+  ScheduleTraits t;
+  t.name = "gpipe";
+  t.description =
+      "all forwards then all backwards with a flush (Huang et al. 2019)";
+  t.c_f = {1.0, 1.0, -1.0};  // C_f = N + D - 1
+  t.c_b = {1.0, 1.0, -1.0};  // C_b = N + D - 1
+  return t;
+}
+
+ScheduleTraits one_f_one_b_traits() {
+  ScheduleTraits t;
+  t.name = "1f1b";
+  t.description =
+      "warmup forwards then one-forward-one-backward with a flush "
+      "(Narayanan et al. 2019)";
+  t.c_f = {1.0, 1.0, -1.0};
+  t.c_b = {1.0, 1.0, -1.0};
+  return t;
+}
+
+ScheduleTraits chimera_traits() {
+  ScheduleTraits t;
+  t.name = "chimera";
+  t.description =
+      "two bidirectional pipelines over the same devices (Li & Hoefler "
+      "2021)";
+  t.n_pipelines = 2;
+  t.stages_per_device = 2;  // one stage of each pipeline
+  t.grad_sync_world_multiplier = 2;
+  t.dynamic_order = true;
+  t.c_f = {1.0, 0.0, 0.0};   // C_f = N
+  t.c_b = {1.0, 1.0, -2.0};  // C_b = N + D - 2
+  t.min_stages = 2;
+  t.min_micros = 2;
+  t.even_stages = true;
+  t.even_micros = true;
+  return t;
+}
+
+ScheduleTraits interleaved_1f1b_traits() {
+  ScheduleTraits t;
+  t.name = "interleaved-1f1b";
+  t.description =
+      "1F1B with V virtual model chunks per device (Narayanan et al. "
+      "2021b)";
+  t.stages_per_device_is_virtual = true;  // owns V virtual stages
+  t.dynamic_order = true;
+  // Per virtual-chunk op times: a device runs V ops per micro-batch, and
+  // interleaving shrinks the startup/teardown ramp to D-1 chunk slots:
+  // C = V·N + D - 1 — the ideal static-order critical path (Narayanan et
+  // al. 2021b). The greedy executor realizes 0-25% above it for N >= D
+  // (pinned in tests/test_schedule_registry.cpp), so the traits are a
+  // lower bound on the simulated makespan, not an exact replay.
+  t.c_f = {1.0, 1.0, -1.0, /*n_scales_with_virtual=*/true};
+  t.c_b = {1.0, 1.0, -1.0, /*n_scales_with_virtual=*/true};
+  t.min_stages = 2;
+  return t;
+}
+
+std::map<std::string, ScheduleEntry>& registry() {
+  static std::map<std::string, ScheduleEntry> reg = [] {
+    std::map<std::string, ScheduleEntry> m;
+    m.emplace("gpipe", ScheduleEntry{gpipe_traits(), &gpipe_factory});
+    m.emplace("1f1b", ScheduleEntry{one_f_one_b_traits(),
+                                    &one_f_one_b_factory});
+    m.emplace("chimera", ScheduleEntry{chimera_traits(), &chimera_factory});
+    m.emplace("interleaved-1f1b",
+              ScheduleEntry{interleaved_1f1b_traits(),
+                            &interleaved_1f1b_factory});
+    return m;
+  }();
+  return reg;
+}
+
+const ScheduleEntry& entry_of(const std::string& name) {
+  const auto& reg = registry();
+  const auto it = reg.find(name);
+  PF_CHECK(it != reg.end())
+      << "unknown schedule: " << name
+      << " (registered: " << join(list_schedules(), ", ") << ")";
+  return it->second;
+}
+
+}  // namespace
+
+void register_schedule(const ScheduleTraits& traits,
+                       ScheduleFactory factory) {
+  PF_CHECK(!traits.name.empty()) << "schedule name must be non-empty";
+  PF_CHECK(factory != nullptr) << "schedule factory must be non-null";
+  auto& reg = registry();
+  PF_CHECK(!reg.contains(traits.name))
+      << "schedule already registered: " << traits.name;
+  reg.emplace(traits.name, ScheduleEntry{traits, factory});
+}
+
+bool schedule_registered(const std::string& name) {
+  return registry().contains(name);
+}
+
+const ScheduleTraits& traits_of(const std::string& name) {
+  return entry_of(name).traits;
+}
+
+std::vector<std::string> list_schedules() {
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : registry()) names.push_back(name);
+  return names;  // std::map iterates in sorted order
+}
+
+ScheduleSpec build_schedule(const std::string& name,
+                            const ScheduleParams& params) {
+  const auto& entry = entry_of(name);
+  entry.traits.check_params(params);
+  ScheduleSpec spec = entry.factory(params);
+  PF_CHECK(spec.name == name)
+      << "factory for " << name << " produced a spec named " << spec.name;
+  PF_CHECK(spec.dynamic_order == entry.traits.dynamic_order)
+      << name << ": spec dynamic_order disagrees with the traits";
+  PF_CHECK(spec.n_pipelines == entry.traits.n_pipelines)
+      << name << ": spec n_pipelines disagrees with the traits";
+  spec.validate();
+  return spec;
+}
+
+}  // namespace pf

@@ -1,0 +1,123 @@
+// First-class pipeline-schedule API.
+//
+// PipeFisher's central claim (paper §3.1) is that bubble filling works with
+// ANY pipeline schedule. This header makes "a pipeline schedule" a value the
+// rest of the library can reason about without name comparisons:
+//
+//  * ScheduleParams — the shape knobs a caller picks (stages, micro-batches,
+//    virtual chunks).
+//  * ScheduleTraits — static facts consumers need without building the
+//    schedule: pipeline count, stages per device, gradient-sync world
+//    multiplier, the §3.3 closed-form critical-path coefficients C_f/C_b,
+//    flush semantics, and parameter constraints (e.g. Chimera's even-stage
+//    requirement).
+//  * a factory producing the executable ScheduleSpec.
+//
+// The registry maps name -> {traits, factory} and is the single name-based
+// dispatch site in the library. Adding a schedule is a one-file change:
+// write the factory, fill in the traits, call register_schedule() (see the
+// README section "Pipeline schedule API").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/pipeline/ops.h"
+
+namespace pf {
+
+struct ScheduleParams {
+  int n_stages = 4;        // pipeline depth D (one device per depth slot)
+  int n_micro = 4;         // micro-batches per device per step
+  // Model chunks owned per device for virtual-pipeline schedules
+  // (interleaved 1F1B); schedules without virtual stages ignore it.
+  int virtual_chunks = 2;
+};
+
+// Closed-form op count c_n·N + c_d·D + c_k (§3.3 Table 1), optionally with
+// N scaled by the virtual-chunk count V: a device of a virtual-pipeline
+// schedule executes V ops per micro-batch.
+struct PathCoeff {
+  double c_n = 1.0;
+  double c_d = 0.0;
+  double c_k = 0.0;
+  bool n_scales_with_virtual = false;
+
+  double eval(const ScheduleParams& p) const;
+};
+
+struct ScheduleTraits {
+  std::string name;
+  std::string description;  // one line, shown by registry enumerations
+
+  int n_pipelines = 1;  // Chimera: 2 (down + up over the same devices)
+  // Stages a device owns. Virtual-pipeline schedules own
+  // `params.virtual_chunks` (set stages_per_device_is_virtual); everything
+  // else a fixed count (Chimera: one stage of each pipeline).
+  int stages_per_device = 1;
+  bool stages_per_device_is_virtual = false;
+  // Gradient-sync group multiplier on top of data parallelism. Chimera
+  // allreduces each stage across its two pipelines (the stage lives on
+  // device d and D-1-d), so its multiplier is 2.
+  int grad_sync_world_multiplier = 1;
+  // Synchronous pipeline flush at the step boundary (all registered
+  // schedules today; a flushless PipeDream-style schedule would clear it).
+  bool flush = true;
+  // Realized op order comes from the simulator's greedy executor rather
+  // than a static per-device program.
+  bool dynamic_order = false;
+
+  // Critical path: T_pipe = C_f·T_f + C_b·T_b with per-(virtual-)stage op
+  // times T_f/T_b.
+  PathCoeff c_f;
+  PathCoeff c_b;
+
+  // Parameter constraints, enforced by build_schedule() before the factory
+  // runs.
+  int min_stages = 1;
+  int min_micros = 1;
+  bool even_stages = false;
+  bool even_micros = false;
+
+  // Stages a device owns under `p` (resolves virtual-chunk ownership).
+  int stages_per_device_for(const ScheduleParams& p) const;
+  // Total (virtual) stages the model is cut into under `p`: D for plain
+  // and bidirectional schedules, D·V for virtual-pipeline schedules.
+  int model_stages(const ScheduleParams& p) const;
+  // C_f / C_b evaluated at `p`.
+  double critical_path_forwards(const ScheduleParams& p) const;
+  double critical_path_backwards(const ScheduleParams& p) const;
+  // Pipeline ops a device executes per micro-batch — the useful-work
+  // multiplier in T_bubble = T_pipe − N·useful·(T_f + T_b). Equals
+  // stages_per_device / n_pipelines: a Chimera device owns two stages but
+  // each sees only its pipeline's half of the micro-batches (= 1); an
+  // interleaved device runs every micro-batch through each of its V chunks
+  // (= V).
+  double useful_ops_per_micro(const ScheduleParams& p) const;
+  // Throws pf::Error when `p` violates the constraints above.
+  void check_params(const ScheduleParams& p) const;
+};
+
+// Builds the executable spec for validated params.
+using ScheduleFactory = ScheduleSpec (*)(const ScheduleParams&);
+
+// Registers a schedule under traits.name. Throws pf::Error on an empty or
+// already-registered name. Not thread-safe; register during startup.
+void register_schedule(const ScheduleTraits& traits, ScheduleFactory factory);
+
+// True when `name` is registered.
+bool schedule_registered(const std::string& name);
+
+// Traits lookup; unknown names throw an Error listing every registered
+// schedule.
+const ScheduleTraits& traits_of(const std::string& name);
+
+// Sorted names of every registered schedule.
+std::vector<std::string> list_schedules();
+
+// Validates `params` against the schedule's traits and invokes its factory.
+// Unknown names throw an Error listing every registered schedule.
+ScheduleSpec build_schedule(const std::string& name,
+                            const ScheduleParams& params);
+
+}  // namespace pf

@@ -4,7 +4,9 @@
 // placed, utilization consistent with busy-time accounting.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
+#include <string>
 
 #include "src/common/check.h"
 #include "src/common/rng.h"
@@ -13,6 +15,7 @@
 #include "src/pipeline/gpipe.h"
 #include "src/pipeline/interleaved_1f1b.h"
 #include "src/pipeline/one_f_one_b.h"
+#include "src/pipeline/schedule_registry.h"
 #include "src/pipeline/simulator.h"
 
 namespace pf {
@@ -199,6 +202,46 @@ TEST(AssignerFuzz, RandomTaskSetsAlwaysPlaceCompletely) {
         base_busy * res.steps_used + total_placed;
     ASSERT_LE(filled_busy, expected + 1e-6);
     ASSERT_GE(filled_busy, base_busy * res.steps_used - 1e-6);
+  }
+}
+
+TEST(RegistryFuzz, MalformedNamesAlwaysThrowAndListRegisteredSchedules) {
+  Rng rng(424242);
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+      "-_ .:/\\\t\n\"'{}";
+  std::vector<std::string> names;
+  // Random garbage of every length, including empty.
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string name;
+    const std::size_t len = rng.uniform_int(24);
+    for (std::size_t i = 0; i < len; ++i)
+      name += alphabet[rng.uniform_int(alphabet.size())];
+    names.push_back(name);
+  }
+  // Near-misses of registered names: case flips, suffixes, whitespace.
+  for (const auto& real : list_schedules()) {
+    std::string upper = real;
+    for (char& c : upper) c = static_cast<char>(std::toupper(c));
+    names.push_back(upper);
+    names.push_back(real + " ");
+    names.push_back(" " + real);
+    names.push_back(real + "2");
+    names.push_back(real.substr(0, real.size() - 1));
+  }
+  ScheduleParams params;
+  for (const auto& name : names) {
+    if (schedule_registered(name)) continue;  // e.g. "1f1b" from a substr
+    try {
+      build_schedule(name, params);
+      FAIL() << "expected pf::Error for \"" << name << "\"";
+    } catch (const Error& e) {
+      // The error must point the caller at the registered names.
+      const std::string what = e.what();
+      EXPECT_NE(what.find("unknown schedule"), std::string::npos) << name;
+      EXPECT_NE(what.find("registered:"), std::string::npos) << name;
+      EXPECT_NE(what.find("chimera"), std::string::npos) << name;
+    }
   }
 }
 

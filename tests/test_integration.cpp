@@ -129,7 +129,7 @@ TEST(Integration, PerfModelRefreshMatchesSimulatedAssignerRoughly) {
     PerfModelInput in;
     in.cfg = cfg.arch;
     in.hw = cfg.hw;
-    in.family = schedule_family_by_name(sched);
+    in.schedule = sched;
     in.depth = 8;
     in.n_micro = 8;
     in.b_micro = 16;

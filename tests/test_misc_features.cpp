@@ -68,9 +68,8 @@ TEST(Dropout, RejectsInvalidProbability) {
 }
 
 TEST(SweepCsv, HeaderAndRowColumnCountsMatch) {
-  const auto pts = sweep_depth_bmicro(bert_base(), p100(),
-                                      ScheduleFamily::kChimera, {4}, {8}, 1,
-                                      false);
+  const auto pts = sweep_depth_bmicro(bert_base(), p100(), "chimera", {4},
+                                      {8}, 1, false);
   const std::string header = sweep_csv_header();
   const std::string row = sweep_point_csv(pts[0]);
   const auto count = [](const std::string& s) {
@@ -81,8 +80,7 @@ TEST(SweepCsv, HeaderAndRowColumnCountsMatch) {
 }
 
 TEST(SweepCsv, DocumentHasOneLinePerPointPlusHeader) {
-  const auto pts = sweep_depth_bmicro(bert_base(), p100(),
-                                      ScheduleFamily::kChimera, {4, 8},
+  const auto pts = sweep_depth_bmicro(bert_base(), p100(), "chimera", {4, 8},
                                       {8, 16}, 1, false);
   const std::string csv = sweep_to_csv(pts);
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);  // header + 4
@@ -91,9 +89,8 @@ TEST(SweepCsv, DocumentHasOneLinePerPointPlusHeader) {
 }
 
 TEST(SweepCsv, WritesFile) {
-  const auto pts = sweep_depth_bmicro(bert_base(), p100(),
-                                      ScheduleFamily::kChimera, {4}, {8}, 1,
-                                      false);
+  const auto pts = sweep_depth_bmicro(bert_base(), p100(), "chimera", {4},
+                                      {8}, 1, false);
   const std::string path = ::testing::TempDir() + "/sweep.csv";
   write_sweep_csv(pts, path);
   std::ifstream f(path);

@@ -8,6 +8,7 @@
 #include "src/core/pipefisher.h"
 #include "src/perfmodel/perf_model.h"
 #include "src/perfmodel/throughput.h"
+#include "src/pipeline/schedule_registry.h"
 
 namespace pf {
 namespace {
@@ -16,18 +17,35 @@ PerfModelInput base_input() {
   PerfModelInput in;
   in.cfg = bert_base();
   in.hw = p100();
-  in.family = ScheduleFamily::kChimera;
+  in.schedule = "chimera";
   in.depth = 8;
   in.n_micro = 8;
   in.b_micro = 32;
   return in;
 }
 
-TEST(PerfModel, FamilyLookup) {
-  EXPECT_EQ(schedule_family_by_name("gpipe"), ScheduleFamily::kGpipe1F1B);
-  EXPECT_EQ(schedule_family_by_name("1f1b"), ScheduleFamily::kGpipe1F1B);
-  EXPECT_EQ(schedule_family_by_name("chimera"), ScheduleFamily::kChimera);
-  EXPECT_THROW(schedule_family_by_name("gpipe2"), Error);
+TEST(PerfModel, RunsForEveryRegisteredScheduleAndRejectsUnknown) {
+  for (const auto& name : list_schedules()) {
+    auto in = base_input();
+    in.schedule = name;
+    const auto r = run_perf_model(in);
+    EXPECT_GT(r.t_pipe, 0.0) << name;
+    EXPECT_GT(r.t_bubble, 0.0) << name;
+  }
+  auto in = base_input();
+  in.schedule = "gpipe2";
+  EXPECT_THROW(run_perf_model(in), Error);
+  // Schedule constraints gate the closed form too: no Chimera numbers for
+  // shapes Chimera cannot take.
+  in = base_input();
+  in.n_micro = 7;
+  EXPECT_THROW(run_perf_model(in), Error);
+  // Degenerate bubble: Chimera at D=2 has t_bubble = 0, so the closed-form
+  // ratio is undefined and must be rejected rather than returned as inf.
+  in = base_input();
+  in.depth = 2;
+  in.n_micro = 2;
+  EXPECT_THROW(run_perf_model(in), Error);
 }
 
 TEST(PerfModel, Table1CriticalPathCoefficients) {
@@ -35,9 +53,17 @@ TEST(PerfModel, Table1CriticalPathCoefficients) {
   const auto r = run_perf_model(in);
   // Chimera, N = D: T_pipe = D·T_f + (2D-2)·T_b.
   EXPECT_NEAR(r.t_pipe, 8 * r.t_forward + 14 * r.t_backward, 1e-12);
-  in.family = ScheduleFamily::kGpipe1F1B;
+  in.schedule = "1f1b";
   const auto g = run_perf_model(in);
   EXPECT_NEAR(g.t_pipe, 15 * (g.t_forward + g.t_backward), 1e-12);
+  // Interleaved 1F1B, V chunks: T_pipe = (V·N + D - 1)·(T_f + T_b) in
+  // per-chunk op times — a first-class traits citizen, no longer the
+  // conservative flush upper bound.
+  in.schedule = "interleaved-1f1b";
+  in.virtual_chunks = 2;
+  const auto i2 = run_perf_model(in);
+  EXPECT_NEAR(i2.t_pipe, 23 * (i2.t_forward + i2.t_backward), 1e-12);
+  EXPECT_NEAR(i2.t_bubble, 7 * (i2.t_forward + i2.t_backward), 1e-12);
 }
 
 TEST(PerfModel, BubbleIsPipeMinusUsefulWork) {
@@ -66,12 +92,12 @@ TEST(PerfModel, MatchesDiscreteEventSimulatorOnPipeTime) {
     PerfModelInput in;
     in.cfg = cfg.arch;
     in.hw = cfg.hw;
-    in.family = schedule_family_by_name(sched);
+    in.schedule = sched;
     in.depth = 8;
     in.n_micro = 8;
     in.b_micro = 16;
     const auto r = run_perf_model(in);
-    if (in.family == ScheduleFamily::kGpipe1F1B) {
+    if (std::string(sched) != "chimera") {
       EXPECT_NEAR(step.pipe_makespan, r.t_pipe, 1e-9) << sched;
     } else {
       // Chimera's C_f = D / C_b = 2D-2 closed form assumes T_b = 2·T_f
@@ -184,16 +210,15 @@ TEST(PerfModel, ChimeraOutperformsGPipeThroughput) {
   // GPipe and 1F1B (smaller bubble), but refreshes curvature less often."
   auto in = base_input();
   const auto c = run_perf_model(in);
-  in.family = ScheduleFamily::kGpipe1F1B;
+  in.schedule = "gpipe";
   const auto g = run_perf_model(in);
   EXPECT_GT(c.throughput_pipefisher, g.throughput_pipefisher);
   EXPECT_GE(c.curv_inv_bubble_ratio, g.curv_inv_bubble_ratio);
 }
 
 TEST(Sweeps, Figure5GridShapes) {
-  const auto pts = sweep_depth_bmicro(bert_base(), p100(),
-                                      ScheduleFamily::kChimera, {4, 8, 16},
-                                      {8, 16, 32}, 1, false);
+  const auto pts = sweep_depth_bmicro(bert_base(), p100(), "chimera",
+                                      {4, 8, 16}, {8, 16, 32}, 1, false);
   EXPECT_EQ(pts.size(), 9u);
   for (const auto& p : pts) {
     EXPECT_GT(p.result.throughput_pipefisher, 0.0);
@@ -208,9 +233,8 @@ TEST(Sweeps, Figure6CoversAllCombinations) {
 }
 
 TEST(Sweeps, RenderingContainsKeyNumbers) {
-  const auto pts = sweep_depth_bmicro(bert_base(), p100(),
-                                      ScheduleFamily::kChimera, {4}, {8}, 1,
-                                      false);
+  const auto pts = sweep_depth_bmicro(bert_base(), p100(), "chimera", {4},
+                                      {8}, 1, false);
   const std::string row = render_throughput_row(pts[0]);
   EXPECT_NE(row.find("bert-base"), std::string::npos);
   EXPECT_NE(row.find("p100"), std::string::npos);
