@@ -59,6 +59,7 @@ TrainTrace run_training(const BertConfig& cfg, const MlmBatcher& batcher,
     KfacOptimizerOptions o;
     o.kfac.damping = 1e-3;
     o.kfac.gemm_threads = 0;  // follow the PF_GEMM_THREADS global knob
+    o.kfac.layer_threads = env_int("PF_KFAC_LAYER_THREADS", 1);
     o.curvature_interval = 1;
     o.inverse_interval = 3;  // PipeFisher-style frequent refresh
     opt = std::make_unique<KfacOptimizer>(model.kfac_linears(),

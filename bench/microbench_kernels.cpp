@@ -3,8 +3,22 @@
 // these are the Nsight-profiled kernels; here they time our CPU kernels for
 // GEMM (forward/backward), SYRK-style curvature, Cholesky + inverse
 // (inversion work) and the two-sided precondition product.
+//
+// GEMM-family benchmarks carry two extra dimensions:
+//   threads  1 = serial, >1 = row-block ThreadPool path (bitwise identical
+//            within one SIMD level).
+//   avx2     1 = the runtime-dispatched AVX2+FMA microkernel, 0 = the
+//            portable scalar microkernel (what PF_FORCE_SCALAR pins). avx2=1
+//            rows are skipped on hosts/builds without AVX2.
+//
+// CI compares the GFLOP/s of these rows against the committed
+// BENCH_kernels.json via tools/check_bench_regression.py — but only when
+// context.num_cpus matches the baseline's, because the committed file may
+// come from a cgroup-limited dev container (see the cpu_budget_note context
+// entry written by the bench_all target).
 #include <benchmark/benchmark.h>
 
+#include "src/common/cpu_features.h"
 #include "src/common/rng.h"
 #include "src/linalg/cholesky.h"
 #include "src/linalg/gemm.h"
@@ -12,12 +26,24 @@
 namespace {
 
 using pf::Matrix;
+using pf::SimdLevel;
 
-// Each GEMM-family kernel is reported per thread count: 1 = the serial seed
-// path, >1 = the row-block ThreadPool path (bitwise-identical results).
+// Applies the benchmark's requested SIMD level; returns false (after marking
+// the benchmark skipped) when the host/build can't run it.
+bool apply_simd_arg(benchmark::State& state, int64_t avx2) {
+  const SimdLevel want = avx2 != 0 ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+  if (pf::set_simd_level(want) != want) {
+    state.SkipWithError("AVX2 not available on this host/build");
+    return false;
+  }
+  return true;
+}
+
 void BM_GemmForward(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto threads = static_cast<int>(state.range(1));
+  const SimdLevel entry_level = pf::active_simd_level();
+  if (!apply_simd_arg(state, state.range(2))) return;
   pf::Rng rng(1);
   const Matrix x = Matrix::randn(n, n, rng);
   const Matrix w = Matrix::randn(n, n, rng);
@@ -25,15 +51,18 @@ void BM_GemmForward(benchmark::State& state) {
     benchmark::DoNotOptimize(pf::matmul(x, w, threads));
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  pf::set_simd_level(entry_level);
 }
 BENCHMARK(BM_GemmForward)
-    ->ArgsProduct({{32, 64, 128}, {1, 2, 4}})
-    ->ArgNames({"n", "threads"});
+    ->ArgsProduct({{32, 64, 128}, {1, 2, 4}, {0, 1}})
+    ->ArgNames({"n", "threads", "avx2"});
 
 void BM_GemmBackwardNt(benchmark::State& state) {
   // dX = dY · Wᵀ — the backward-pass product.
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto threads = static_cast<int>(state.range(1));
+  const SimdLevel entry_level = pf::active_simd_level();
+  if (!apply_simd_arg(state, state.range(2))) return;
   pf::Rng rng(5);
   const Matrix dy = Matrix::randn(n, n, rng);
   const Matrix w = Matrix::randn(n, n, rng);
@@ -41,15 +70,18 @@ void BM_GemmBackwardNt(benchmark::State& state) {
     benchmark::DoNotOptimize(pf::matmul_nt(dy, w, threads));
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  pf::set_simd_level(entry_level);
 }
 BENCHMARK(BM_GemmBackwardNt)
-    ->ArgsProduct({{64, 128}, {1, 2, 4}})
-    ->ArgNames({"n", "threads"});
+    ->ArgsProduct({{64, 128}, {1, 2, 4}, {0, 1}})
+    ->ArgNames({"n", "threads", "avx2"});
 
 void BM_CurvatureFactor(benchmark::State& state) {
   // A_l = XᵀX/N for N tokens of dimension d (the SYRK-style tn kernel).
   const auto d = static_cast<std::size_t>(state.range(0));
   const auto threads = static_cast<int>(state.range(1));
+  const SimdLevel entry_level = pf::active_simd_level();
+  if (!apply_simd_arg(state, state.range(2))) return;
   const std::size_t tokens = 256;
   pf::Rng rng(2);
   const Matrix x = Matrix::randn(tokens, d, rng);
@@ -59,29 +91,37 @@ void BM_CurvatureFactor(benchmark::State& state) {
     benchmark::DoNotOptimize(a);
   }
   state.SetItemsProcessed(state.iterations() * tokens * d * d);
+  pf::set_simd_level(entry_level);
 }
 BENCHMARK(BM_CurvatureFactor)
-    ->ArgsProduct({{32, 64, 128}, {1, 2, 4}})
-    ->ArgNames({"d", "threads"});
+    ->ArgsProduct({{32, 64, 128}, {1, 2, 4}, {0, 1}})
+    ->ArgNames({"d", "threads", "avx2"});
 
 void BM_InversionWork(benchmark::State& state) {
-  // Cholesky + cholesky_inverse of a damped SPD factor.
+  // Cholesky + cholesky_inverse of a damped SPD factor — now the blocked
+  // right-looking factorization with column-parallel inverse solves.
   const auto d = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<int>(state.range(1));
   pf::Rng rng(3);
   const Matrix u = Matrix::randn(d, d, rng);
   Matrix spd = pf::matmul_tn(u, u);
   spd *= 1.0 / static_cast<double>(d);
   pf::add_diagonal(spd, 1.0);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pf::cholesky_inverse(pf::cholesky(spd)));
+    benchmark::DoNotOptimize(
+        pf::cholesky_inverse(pf::cholesky(spd, threads), threads));
   }
 }
-BENCHMARK(BM_InversionWork)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_InversionWork)
+    ->ArgsProduct({{32, 64, 128}, {1, 2, 4}})
+    ->ArgNames({"d", "threads"});
 
 void BM_PreconditionWork(benchmark::State& state) {
   // B⁻¹ · G · A⁻¹ for a d×4d layer (the FFN shape).
   const auto d = static_cast<std::size_t>(state.range(0));
   const auto threads = static_cast<int>(state.range(1));
+  const SimdLevel entry_level = pf::active_simd_level();
+  if (!apply_simd_arg(state, state.range(2))) return;
   pf::Rng rng(4);
   const Matrix a_inv = Matrix::randn(d, d, rng);
   const Matrix b_inv = Matrix::randn(4 * d, 4 * d, rng);
@@ -90,10 +130,11 @@ void BM_PreconditionWork(benchmark::State& state) {
     benchmark::DoNotOptimize(
         pf::matmul(pf::matmul(a_inv, g, threads), b_inv, threads));
   }
+  pf::set_simd_level(entry_level);
 }
 BENCHMARK(BM_PreconditionWork)
-    ->ArgsProduct({{32, 64}, {1, 2, 4}})
-    ->ArgNames({"d", "threads"});
+    ->ArgsProduct({{32, 64}, {1, 2, 4}, {0, 1}})
+    ->ArgNames({"d", "threads", "avx2"});
 
 }  // namespace
 

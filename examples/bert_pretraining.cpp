@@ -6,6 +6,10 @@
 //
 // PF_GEMM_THREADS=<n> parallelizes the GEMM-dominated K-FAC work over n
 // row blocks (results are bitwise identical to the serial run).
+// PF_KFAC_LAYER_THREADS=<n> fans the per-layer K-FAC loops across n pool
+// chunks (also bitwise identical; see KfacOptions::layer_threads).
+// PF_FORCE_SCALAR=1 pins the GEMM microkernel to the portable scalar path
+// (the banner line reports which SIMD level is active).
 // PF_SCHEDULE=<name> picks the pipeline schedule used for the closing
 // steps→simulated-wall-clock report (any name in list_schedules();
 // default chimera, mirroring PF_GEMM_THREADS' env-knob style).
@@ -13,6 +17,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "src/common/cpu_features.h"
 #include "src/common/stats.h"
 #include "src/common/strings.h"
 #include "src/core/pipefisher.h"
@@ -27,6 +32,15 @@ int main(int argc, char** argv) {
   const std::size_t steps =
       argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 200;
   set_gemm_threads(env_int("PF_GEMM_THREADS", 1));
+  const int layer_threads = env_int("PF_KFAC_LAYER_THREADS", 1);
+  // Config banner goes to stderr: stdout must stay byte-identical across
+  // the bitwise-neutral thread knobs (the verify contract for this binary).
+  std::fprintf(stderr,
+               "linalg: %s kernels (detected %s), gemm_threads=%d, "
+               "kfac layer_threads=%d\n",
+               simd_level_name(active_simd_level()),
+               simd_level_name(detected_simd_level()), gemm_threads(),
+               layer_threads);
   const std::string schedule = env_str("PF_SCHEDULE", "chimera");
   traits_of(schedule);  // fail a typo now, not after the training run
 
@@ -65,6 +79,7 @@ int main(int argc, char** argv) {
       KfacOptimizerOptions o;
       o.kfac.damping = 1e-3;
       o.kfac.gemm_threads = 0;  // follow the PF_GEMM_THREADS global knob
+      o.kfac.layer_threads = layer_threads;
       o.inverse_interval = 3;
       opt = std::make_unique<KfacOptimizer>(model.kfac_linears(),
                                             std::make_unique<Lamb>(), o);

@@ -1,0 +1,65 @@
+#include "src/common/cpu_features.h"
+
+#include <atomic>
+
+#include "src/common/strings.h"
+
+namespace pf {
+
+namespace {
+
+SimdLevel detect() {
+#if defined(PF_HAVE_AVX2) && (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  // __builtin_cpu_supports folds the cpuid dance (including the xgetbv
+  // OS-support check for the ymm state) into one call on GCC and Clang.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+SimdLevel clamp_to_detected(SimdLevel level) {
+  return static_cast<int>(level) > static_cast<int>(detected_simd_level())
+             ? detected_simd_level()
+             : level;
+}
+
+std::atomic<int>& active_storage() {
+  // First use resolves the PF_FORCE_SCALAR environment override; after that
+  // the level only changes through set_simd_level.
+  static std::atomic<int> level{static_cast<int>(
+      env_int("PF_FORCE_SCALAR", 0) != 0 ? SimdLevel::kScalar : detect())};
+  return level;
+}
+
+}  // namespace
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel detected_simd_level() {
+  static const SimdLevel level = detect();
+  return level;
+}
+
+SimdLevel active_simd_level() {
+  return static_cast<SimdLevel>(
+      active_storage().load(std::memory_order_relaxed));
+}
+
+SimdLevel set_simd_level(SimdLevel level) {
+  const SimdLevel clamped = clamp_to_detected(level);
+  active_storage().store(static_cast<int>(clamped),
+                         std::memory_order_relaxed);
+  return clamped;
+}
+
+}  // namespace pf

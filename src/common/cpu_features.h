@@ -1,0 +1,45 @@
+// Runtime CPU feature detection and SIMD dispatch level for linalg kernels.
+//
+// The packed GEMM driver has two ISA paths: a portable scalar microkernel and
+// an AVX2+FMA microkernel living in a dedicated TU
+// (src/linalg/gemm_kernels_avx2.cpp, compiled with -mavx2 -mfma only when the
+// toolchain supports those flags). Which path runs is a process-wide runtime
+// choice:
+//
+//   detected_simd_level()  what this host *and* this build can execute:
+//                          cpuid must report AVX2+FMA and the AVX2 TU must
+//                          have been compiled in (PF_HAVE_AVX2).
+//   active_simd_level()    what the kernels will actually use. Starts at the
+//                          detected level, demoted to scalar when the
+//                          PF_FORCE_SCALAR=1 environment knob is set, and
+//                          adjustable with set_simd_level so tests and
+//                          benches can compare both paths in one process.
+//
+// Determinism contract (see gemm.h): within one SIMD level results are
+// bitwise reproducible across thread counts; across levels the AVX2 path may
+// differ from scalar in the last ulps because FMA rounds the multiply-add as
+// one operation.
+#pragma once
+
+namespace pf {
+
+enum class SimdLevel {
+  kScalar = 0,  // portable C++ kernels, no ISA assumptions
+  kAvx2 = 1,    // AVX2 + FMA packed microkernel
+};
+
+// "scalar" / "avx2" — stable strings for logs and bench labels.
+const char* simd_level_name(SimdLevel level);
+
+// Highest level this host + build supports. Computed once (cpuid), cached.
+SimdLevel detected_simd_level();
+
+// Level the linalg kernels dispatch on right now.
+SimdLevel active_simd_level();
+
+// Requests a level; clamped to detected_simd_level(). Returns the level
+// actually in effect afterwards. Thread-safe, but callers racing concurrent
+// GEMMs get whichever level each call observes — switch while quiescent.
+SimdLevel set_simd_level(SimdLevel level);
+
+}  // namespace pf

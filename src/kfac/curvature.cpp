@@ -1,5 +1,7 @@
 // Curvature work: building the Kronecker factors from layer caches.
+// Also home of the engine's layer-parallel dispatch helper.
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
 #include "src/kfac/kfac_engine.h"
 #include "src/linalg/gemm.h"
 
@@ -22,10 +24,21 @@ const KfacFactorState& KfacEngine::state(std::size_t i) const {
   return states_[i];
 }
 
+void KfacEngine::for_each_layer(
+    const std::function<void(std::size_t)>& fn) {
+  // Layers are independent: chunking them across the pool cannot change any
+  // per-layer result, so every layer_threads value is bitwise equivalent.
+  ThreadPool::global().parallel_for(
+      layers_.size(), resolve_gemm_threads(opts_.layer_threads),
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) fn(i);
+      });
+}
+
 void KfacEngine::update_curvature() {
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
+  for_each_layer([&](std::size_t i) {
     Linear* l = layers_[i];
-    if (!l->has_kfac_caches()) continue;
+    if (!l->has_kfac_caches()) return;
     const Matrix& x = l->cached_input();        // a_l  [N × d_in]
     const Matrix& dy = l->cached_output_grad();  // e_l  [N × d_out]
     const double n = static_cast<double>(x.rows());
@@ -40,7 +53,7 @@ void KfacEngine::update_curvature() {
     st.a_ema.axpby(opts_.ema_decay, a, 1.0 - opts_.ema_decay);
     st.b_ema.axpby(opts_.ema_decay, b, 1.0 - opts_.ema_decay);
     ++st.curvature_updates;
-  }
+  });
 }
 
 }  // namespace pf

@@ -16,7 +16,9 @@ double trace(const Matrix& m) {
 
 // (block-diag_k(m) + damping·I)⁻¹: inverts the k diagonal blocks
 // independently and zeroes all cross-block entries (Appendix A.2).
-Matrix block_diag_inverse(const Matrix& m, double damping, std::size_t k) {
+// `threads` reaches the blocked Cholesky + column solves (cholesky.h).
+Matrix block_diag_inverse(const Matrix& m, double damping, std::size_t k,
+                          int threads) {
   const std::size_t n = m.rows();
   if (k <= 1 || k >= n) {
     if (k >= n && n > 0) {
@@ -26,7 +28,7 @@ Matrix block_diag_inverse(const Matrix& m, double damping, std::size_t k) {
         inv(i, i) = 1.0 / (m(i, i) + damping);
       return inv;
     }
-    return spd_inverse(m, damping);
+    return spd_inverse(m, damping, threads);
   }
   Matrix inv(n, n, 0.0);
   const std::size_t base = n / k;
@@ -39,7 +41,7 @@ Matrix block_diag_inverse(const Matrix& m, double damping, std::size_t k) {
     for (std::size_t i = 0; i < size; ++i)
       for (std::size_t j = 0; j < size; ++j)
         block(i, j) = m(start + i, start + j);
-    const Matrix binv = spd_inverse(block, damping);
+    const Matrix binv = spd_inverse(block, damping, threads);
     for (std::size_t i = 0; i < size; ++i)
       for (std::size_t j = 0; j < size; ++j)
         inv(start + i, start + j) = binv(i, j);
@@ -52,9 +54,9 @@ Matrix block_diag_inverse(const Matrix& m, double damping, std::size_t k) {
 
 void KfacEngine::update_inverses() {
   const double gamma = std::sqrt(opts_.damping);
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
+  for_each_layer([&](std::size_t i) {
     auto& st = states_[i];
-    if (!st.has_curvature()) continue;
+    if (!st.has_curvature()) return;
     const Matrix a = st.corrected_a(opts_.ema_decay);
     const Matrix b = st.corrected_b(opts_.ema_decay);
 
@@ -70,10 +72,12 @@ void KfacEngine::update_inverses() {
       damp_a = gamma * pi;
       damp_b = gamma / pi;
     }
-    st.a_inv = block_diag_inverse(a, damp_a, opts_.block_diag_k);
-    st.b_inv = block_diag_inverse(b, damp_b, opts_.block_diag_k);
+    st.a_inv =
+        block_diag_inverse(a, damp_a, opts_.block_diag_k, opts_.gemm_threads);
+    st.b_inv =
+        block_diag_inverse(b, damp_b, opts_.block_diag_k, opts_.gemm_threads);
     ++st.inverse_updates;
-  }
+  });
 }
 
 }  // namespace pf

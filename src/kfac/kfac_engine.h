@@ -13,6 +13,7 @@
 // π = sqrt( (tr A/d_in) / (tr B/d_out) ) of Martens & Grosse.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "src/kfac/factor_state.h"
@@ -32,6 +33,16 @@ struct KfacOptions {
   // work. 1 = serial seed behaviour (results are bitwise identical for any
   // value; see gemm.h). 0 = follow the process-wide set_gemm_threads knob.
   int gemm_threads = 1;
+  // Layer-level parallelism: each layer's curvature, inversion and
+  // precondition work is independent of every other layer's, so the
+  // per-layer loops dispatch across the shared ThreadPool in chunks of
+  // layers. Results are bitwise identical for any value. 1 = serial seed
+  // behaviour, 0 = follow the set_gemm_threads knob. Composes with
+  // gemm_threads: a layer task may itself fan row blocks onto the pool
+  // (parallel_for callers help drain the queue, so nesting cannot
+  // deadlock), but the two knobs compete for the same cores — prefer
+  // layer_threads for many small layers, gemm_threads for few wide ones.
+  int layer_threads = 1;
 };
 
 class KfacEngine {
@@ -56,6 +67,10 @@ class KfacEngine {
   const KfacOptions& options() const { return opts_; }
 
  private:
+  // Runs fn(i) for every layer index, serially or chunked across the global
+  // ThreadPool according to opts_.layer_threads (see curvature.cpp).
+  void for_each_layer(const std::function<void(std::size_t)>& fn);
+
   std::vector<Linear*> layers_;
   std::vector<KfacFactorState> states_;
   KfacOptions opts_;

@@ -5,13 +5,13 @@
 namespace pf {
 
 void KfacEngine::precondition() {
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
+  for_each_layer([&](std::size_t i) {
     auto& st = states_[i];
-    if (!st.has_inverse()) continue;  // stale-inverse rule: identity
+    if (!st.has_inverse()) return;  // stale-inverse rule: identity
     Linear* l = layers_[i];
     l->weight().g = matmul(matmul(st.a_inv, l->weight().g, opts_.gemm_threads),
                            st.b_inv, opts_.gemm_threads);
-  }
+  });
 }
 
 }  // namespace pf

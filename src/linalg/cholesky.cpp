@@ -1,32 +1,116 @@
 #include "src/linalg/cholesky.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "src/common/thread_pool.h"
+#include "src/linalg/gemm.h"
 
 namespace pf {
 
-std::optional<Matrix> try_cholesky(const Matrix& m) {
-  PF_CHECK(m.rows() == m.cols()) << "cholesky needs a square matrix";
-  const std::size_t n = m.rows();
-  Matrix l(n, n, 0.0);
-  for (std::size_t j = 0; j < n; ++j) {
-    double diag = m(j, j);
-    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
-    if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
+namespace {
+
+// Panel width for the right-looking blocked factorization. Matrices up to
+// kNB take the unblocked path in one shot (identical to the seed algorithm).
+constexpr std::size_t kNB = 64;
+
+// Unblocked lower-Cholesky of the jb×jb diagonal block at (j0, j0), assuming
+// trailing updates for columns < j0 were already applied. Returns false when
+// the block is not (numerically) positive definite.
+bool factor_diag_block(Matrix& w, std::size_t j0, std::size_t jb) {
+  for (std::size_t j = j0; j < j0 + jb; ++j) {
+    const double* wrow_j = w.row(j);
+    double diag = w(j, j);
+    for (std::size_t k = j0; k < j; ++k) diag -= wrow_j[k] * wrow_j[k];
+    if (!(diag > 0.0) || !std::isfinite(diag)) return false;
     const double ljj = std::sqrt(diag);
-    l(j, j) = ljj;
-    for (std::size_t i = j + 1; i < n; ++i) {
-      double s = m(i, j);
-      const double* lrow_i = l.row(i);
-      const double* lrow_j = l.row(j);
-      for (std::size_t k = 0; k < j; ++k) s -= lrow_i[k] * lrow_j[k];
-      l(i, j) = s / ljj;
+    w(j, j) = ljj;
+    for (std::size_t i = j + 1; i < j0 + jb; ++i) {
+      double s = w(i, j);
+      const double* wrow_i = w.row(i);
+      for (std::size_t k = j0; k < j; ++k) s -= wrow_i[k] * wrow_j[k];
+      w(i, j) = s / ljj;
     }
   }
-  return l;
+  return true;
 }
 
-Matrix cholesky(const Matrix& m) {
-  auto l = try_cholesky(m);
+}  // namespace
+
+std::optional<Matrix> try_cholesky(const Matrix& m, int threads) {
+  PF_CHECK(m.rows() == m.cols()) << "cholesky needs a square matrix";
+  const std::size_t n = m.rows();
+  const std::size_t n_threads = resolve_gemm_threads(threads);
+  Matrix w = m;
+  // Right-looking blocked algorithm: factor a kNB-wide diagonal block, solve
+  // the panel below it, then rank-kNB-downdate the trailing matrix. The two
+  // O(n²·kNB) phases parallelize over rows; each element's update is a fixed
+  // ascending-k sum, so results are bitwise identical for any thread count.
+  for (std::size_t j0 = 0; j0 < n; j0 += kNB) {
+    const std::size_t jb = std::min(kNB, n - j0);
+    if (!factor_diag_block(w, j0, jb)) return std::nullopt;
+    const std::size_t row0 = j0 + jb;
+    const std::size_t rest = n - row0;
+    if (rest == 0) break;
+    // Panel solve: L21 = A21·L11⁻ᵀ, one forward substitution per row. Every
+    // row costs the same, so even row chunks balance.
+    ThreadPool::global().parallel_for(
+        rest, n_threads, [&](std::size_t b, std::size_t e) {
+          for (std::size_t i = row0 + b; i < row0 + e; ++i) {
+            double* wrow_i = w.row(i);
+            for (std::size_t c = j0; c < row0; ++c) {
+              const double* wrow_c = w.row(c);
+              double s = wrow_i[c];
+              for (std::size_t k = j0; k < c; ++k) s -= wrow_i[k] * wrow_c[k];
+              wrow_i[c] = s / wrow_c[c];
+            }
+          }
+        });
+    // Trailing update (lower triangle only): A22 -= L21·L21ᵀ. Row i touches
+    // i−row0+1 columns, so equal row counts would load the last chunk ~2× the
+    // average; instead chunk boundaries follow sqrt so each chunk covers an
+    // equal share of the triangle. Per-row sums are unchanged — the balanced
+    // partition is bitwise identical to any other.
+    auto update_rows = [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = row0 + b; i < row0 + e; ++i) {
+        double* wrow_i = w.row(i);
+        for (std::size_t j = row0; j <= i; ++j) {
+          const double* wrow_j = w.row(j);
+          double s = 0.0;
+          for (std::size_t k = j0; k < row0; ++k) s += wrow_i[k] * wrow_j[k];
+          wrow_i[j] -= s;
+        }
+      }
+    };
+    const std::size_t n_chunks = std::min(n_threads, rest);
+    if (n_chunks <= 1) {
+      update_rows(0, rest);
+    } else {
+      auto bound = [&](std::size_t c) {
+        return c >= n_chunks
+                   ? rest
+                   : static_cast<std::size_t>(
+                         static_cast<double>(rest) *
+                         std::sqrt(static_cast<double>(c) /
+                                   static_cast<double>(n_chunks)));
+      };
+      ThreadPool::global().parallel_for(
+          n_chunks, n_chunks, [&](std::size_t c0, std::size_t c1) {
+            for (std::size_t c = c0; c < c1; ++c)
+              update_rows(bound(c), bound(c + 1));
+          });
+    }
+  }
+  // The factorization only wrote the lower triangle; clear the copied upper.
+  for (std::size_t i = 0; i < n; ++i) {
+    double* wrow = w.row(i);
+    for (std::size_t j = i + 1; j < n; ++j) wrow[j] = 0.0;
+  }
+  return w;
+}
+
+Matrix cholesky(const Matrix& m, int threads) {
+  auto l = try_cholesky(m, threads);
   PF_CHECK(l.has_value()) << "matrix is not positive definite";
   return std::move(*l);
 }
@@ -63,19 +147,23 @@ std::vector<double> cholesky_solve(const Matrix& l,
   return back_substitute(l, forward_substitute(l, b));
 }
 
-Matrix cholesky_inverse(const Matrix& l) {
+Matrix cholesky_inverse(const Matrix& l, int threads) {
   const std::size_t n = l.rows();
   PF_CHECK(l.cols() == n);
   // Solve (LLᵀ) X = I column by column. O(n³), matching the cost model's
-  // treatment of inversion work as a cubic kernel.
+  // treatment of inversion work as a cubic kernel. Columns are independent,
+  // so they fan out across the pool without changing any result bit.
   Matrix inv(n, n, 0.0);
-  std::vector<double> e(n, 0.0);
-  for (std::size_t j = 0; j < n; ++j) {
-    e[j] = 1.0;
-    const std::vector<double> col = cholesky_solve(l, e);
-    e[j] = 0.0;
-    for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
-  }
+  ThreadPool::global().parallel_for(
+      n, resolve_gemm_threads(threads), [&](std::size_t b, std::size_t e) {
+    std::vector<double> unit(n, 0.0);
+    for (std::size_t j = b; j < e; ++j) {
+      unit[j] = 1.0;
+      const std::vector<double> col = cholesky_solve(l, unit);
+      unit[j] = 0.0;
+      for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+    }
+  });
   // Symmetrize to wash out round-off asymmetry.
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = i + 1; j < n; ++j) {
@@ -86,11 +174,11 @@ Matrix cholesky_inverse(const Matrix& l) {
   return inv;
 }
 
-Matrix spd_inverse(const Matrix& m, double damping) {
+Matrix spd_inverse(const Matrix& m, double damping, int threads) {
   PF_CHECK(damping >= 0.0);
   Matrix damped = m;
   if (damping > 0.0) add_diagonal(damped, damping);
-  return cholesky_inverse(cholesky(damped));
+  return cholesky_inverse(cholesky(damped, threads), threads);
 }
 
 void add_diagonal(Matrix& m, double eps) {

@@ -3,6 +3,13 @@
 // K-FAC inverts its Kronecker factors A_l, B_l (symmetric PSD + damping)
 // with exactly this pair of operations — the paper calls
 // torch.linalg.cholesky() followed by torch.linalg.cholesky_inverse().
+//
+// The factorization is right-looking and blocked (64-wide panels): the panel
+// solve and trailing rank-k update parallelize over rows on the shared
+// ThreadPool, and cholesky_inverse fans its independent column solves across
+// the same pool. `threads` follows the GEMM convention (gemm.h): 1 = serial,
+// 0 = the process-wide set_gemm_threads default, and results are bitwise
+// identical for every thread count.
 #pragma once
 
 #include <optional>
@@ -13,10 +20,10 @@ namespace pf {
 
 // Lower-triangular L with L·Lᵀ = m. Throws pf::Error if m is not
 // (numerically) positive definite or not square.
-Matrix cholesky(const Matrix& m);
+Matrix cholesky(const Matrix& m, int threads = 0);
 
 // Same, but returns nullopt instead of throwing on a non-PD matrix.
-std::optional<Matrix> try_cholesky(const Matrix& m);
+std::optional<Matrix> try_cholesky(const Matrix& m, int threads = 0);
 
 // Solve L·y = b (forward substitution), L lower-triangular.
 std::vector<double> forward_substitute(const Matrix& l,
@@ -31,10 +38,10 @@ std::vector<double> cholesky_solve(const Matrix& l,
                                    const std::vector<double>& b);
 
 // Full inverse (L·Lᵀ)⁻¹ from the factor L (torch.cholesky_inverse analog).
-Matrix cholesky_inverse(const Matrix& l);
+Matrix cholesky_inverse(const Matrix& l, int threads = 0);
 
 // Convenience: (m + damping·I)⁻¹ for symmetric PSD m via Cholesky.
-Matrix spd_inverse(const Matrix& m, double damping = 0.0);
+Matrix spd_inverse(const Matrix& m, double damping = 0.0, int threads = 0);
 
 // m += eps·I in place.
 void add_diagonal(Matrix& m, double eps);

@@ -2,91 +2,162 @@
 
 #include <algorithm>
 #include <atomic>
+#include <vector>
 
+#include "src/common/cpu_features.h"
 #include "src/common/thread_pool.h"
+#include "src/linalg/gemm_kernel.h"
 
 namespace pf {
 
+namespace detail {
+
+void micro_kernel_scalar(std::size_t kc, double alpha, const double* ap,
+                         const double* bp, double* c, std::size_t ldc,
+                         std::size_t mr, std::size_t nr) {
+  // Two output rows per pass: their 2×kNR accumulators fit the baseline
+  // SSE2 register file (a full 6×8 tile would spill) while giving the
+  // floating-point adders enough independent chains to hide their latency.
+  // Per element the k loop ascends and alpha is applied once at the end —
+  // the same structure as the AVX2 kernel, in plain mul+add arithmetic, so
+  // thread partitioning is bitwise neutral here too (an element's chain does
+  // not depend on whether its row ran paired or as the odd tail); the B
+  // sliver is re-streamed per row pair from L1.
+  std::size_t i = 0;
+  for (; i + 1 < mr; i += 2) {
+    double acc0[kNR] = {}, acc1[kNR] = {};
+    for (std::size_t k = 0; k < kc; ++k) {
+      const double a0 = ap[k * mr + i];
+      const double a1 = ap[k * mr + i + 1];
+      const double* brow = bp + k * kNR;
+      for (std::size_t j = 0; j < kNR; ++j) {
+        acc0[j] += a0 * brow[j];
+        acc1[j] += a1 * brow[j];
+      }
+    }
+    for (std::size_t j = 0; j < nr; ++j) {
+      c[i * ldc + j] += alpha * acc0[j];
+      c[(i + 1) * ldc + j] += alpha * acc1[j];
+    }
+  }
+  for (; i < mr; ++i) {
+    double acc[kNR] = {};
+    for (std::size_t k = 0; k < kc; ++k) {
+      const double a = ap[k * mr + i];
+      const double* brow = bp + k * kNR;
+      for (std::size_t j = 0; j < kNR; ++j) acc[j] += a * brow[j];
+    }
+    for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] += alpha * acc[j];
+  }
+}
+
+MicroKernelFn active_micro_kernel() {
+#if defined(PF_HAVE_AVX2)
+  if (active_simd_level() == SimdLevel::kAvx2) return micro_kernel_avx2;
+#endif
+  return micro_kernel_scalar;
+}
+
+}  // namespace detail
+
 namespace {
-// Block size tuned for L1-resident panels of doubles.
-constexpr std::size_t kBlock = 64;
+
+using detail::kKC;
+using detail::kMC;
+using detail::kMR;
+using detail::kNR;
 
 std::atomic<int> g_gemm_threads{1};
 
-// Resolves a per-call thread count: 0 = global default, floor of 1.
-std::size_t resolve_threads(int threads) {
-  const int n = threads == 0 ? g_gemm_threads.load(std::memory_order_relaxed)
-                             : threads;
-  return static_cast<std::size_t>(std::max(1, n));
+// Packs all of B (reduction dim K × output cols N, element getter b(k, j))
+// into kNR-wide, zero-padded column slivers grouped by kKC block:
+//   packed[block t][panel p][k*kNR + j]
+// Block t occupies kb_t * n_panels * kNR doubles starting at
+// t * kKC * n_panels * kNR (every block before the last is full, so the
+// prefix is exact). Packing happens once, before the row-parallel phase; the
+// workers only read it.
+template <typename BGet>
+std::vector<double> pack_b(std::size_t K, std::size_t N, const BGet& b) {
+  const std::size_t n_panels = (N + kNR - 1) / kNR;
+  std::vector<double> packed(K * n_panels * kNR);
+  for (std::size_t k0 = 0; k0 < K; k0 += kKC) {
+    const std::size_t kb = std::min(kKC, K - k0);
+    double* block = packed.data() + k0 * n_panels * kNR;
+    for (std::size_t p = 0; p < n_panels; ++p) {
+      const std::size_t j0 = p * kNR;
+      const std::size_t jw = std::min(kNR, N - j0);
+      double* dst = block + p * kb * kNR;
+      for (std::size_t k = 0; k < kb; ++k)
+        for (std::size_t jj = 0; jj < kNR; ++jj)
+          dst[k * kNR + jj] = jj < jw ? b(k0 + k, j0 + jj) : 0.0;
+    }
+  }
+  return packed;
 }
 
-// C rows [r0, r1) += alpha * A[r0:r1, :] · B. Per output element the k-index
-// ascends exactly as in the full serial kernel, so splitting rows across
-// threads cannot change the floating-point result.
-void matmul_rows(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
-                 std::size_t r0, std::size_t r1) {
-  const std::size_t K = a.cols(), N = b.cols();
-  for (std::size_t i0 = r0; i0 < r1; i0 += kBlock) {
-    const std::size_t i1 = std::min(r1, i0 + kBlock);
-    for (std::size_t k0 = 0; k0 < K; k0 += kBlock) {
-      const std::size_t k1 = std::min(K, k0 + kBlock);
-      for (std::size_t i = i0; i < i1; ++i) {
-        const double* arow = a.row(i);
-        double* crow = c.row(i);
-        for (std::size_t k = k0; k < k1; ++k) {
-          const double aik = alpha * arow[k];
-          if (aik == 0.0) continue;
-          const double* brow = b.row(k);
-          for (std::size_t j = 0; j < N; ++j) crow[j] += aik * brow[j];
+// Computes C rows [r0, r1) += alpha * Op(A)·Op(B) from the pre-packed B.
+// Loop order: row block → k block → column sliver → row tile, so each output
+// element sees ascending k regardless of where [r0, r1) starts — the thread
+// partition cannot change results within one SIMD level.
+template <typename AGet>
+void gemm_rows_packed(std::size_t r0, std::size_t r1, std::size_t N,
+                      std::size_t K, double alpha, const AGet& a,
+                      const double* packed_b, Matrix& cmat,
+                      detail::MicroKernelFn micro) {
+  const std::size_t n_panels = (N + kNR - 1) / kNR;
+  const std::size_t ldc = cmat.cols();
+  // Per-thread scratch for packed A tiles; reused across calls. Safe with
+  // nested parallel_for help-draining: executions on one thread are
+  // sequential and repack before every use.
+  thread_local std::vector<double> apack;
+  apack.resize(kMC * kKC);
+  for (std::size_t i0 = r0; i0 < r1; i0 += kMC) {
+    const std::size_t i1 = std::min(r1, i0 + kMC);
+    for (std::size_t k0 = 0; k0 < K; k0 += kKC) {
+      const std::size_t kb = std::min(kKC, K - k0);
+      // Pack A rows [i0, i1) × k block into kMR tiles, k-major, stride mr.
+      for (std::size_t ti = i0; ti < i1; ti += kMR) {
+        const std::size_t mr = std::min(kMR, i1 - ti);
+        double* dst = apack.data() + (ti - i0) * kb;
+        for (std::size_t k = 0; k < kb; ++k)
+          for (std::size_t ii = 0; ii < mr; ++ii)
+            dst[k * mr + ii] = a(ti + ii, k0 + k);
+      }
+      const double* bblock = packed_b + k0 * n_panels * kNR;
+      for (std::size_t p = 0; p < n_panels; ++p) {
+        const std::size_t j0 = p * kNR;
+        const std::size_t jw = std::min(kNR, N - j0);
+        const double* bp = bblock + p * kb * kNR;
+        for (std::size_t ti = i0; ti < i1; ti += kMR) {
+          const std::size_t mr = std::min(kMR, i1 - ti);
+          micro(kb, alpha, apack.data() + (ti - i0) * kb, bp,
+                cmat.row(ti) + j0, ldc, mr, jw);
         }
       }
     }
   }
 }
 
-// C rows [k0, k1) += alpha * (Aᵀ B)[k0:k1, :]. The serial kernel accumulates
-// m-ascending into each output row; so does this.
-void matmul_tn_rows(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
-                    std::size_t k0, std::size_t k1) {
-  const std::size_t M = a.rows(), N = b.cols();
-  for (std::size_t m = 0; m < M; ++m) {
-    const double* arow = a.row(m);
-    const double* brow = b.row(m);
-    for (std::size_t k = k0; k < k1; ++k) {
-      const double v = alpha * arow[k];
-      if (v == 0.0) continue;
-      double* crow = c.row(k);
-      for (std::size_t j = 0; j < N; ++j) crow[j] += v * brow[j];
-    }
-  }
-}
-
-// C rows [r0, r1) += alpha * (A Bᵀ)[r0:r1, :].
-void matmul_nt_rows(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
-                    std::size_t r0, std::size_t r1) {
-  const std::size_t K = a.cols(), N = b.rows();
-  for (std::size_t i = r0; i < r1; ++i) {
-    const double* arow = a.row(i);
-    double* crow = c.row(i);
-    for (std::size_t j = 0; j < N; ++j) {
-      const double* brow = b.row(j);
-      double s = 0.0;
-      for (std::size_t k = 0; k < K; ++k) s += arow[k] * brow[k];
-      crow[j] += alpha * s;
-    }
-  }
-}
-
-// Dispatches a row-range kernel serially or onto the shared pool. Row blocks
-// are contiguous and disjoint, so workers never write the same cache line's
-// owner row (false sharing on block edges is possible but harmless).
-template <typename RowKernel>
-void run_rows(std::size_t rows, std::size_t threads, RowKernel&& kernel) {
-  if (threads <= 1 || rows <= 1) {
-    kernel(0, rows);
+// Shared driver: C(M×N) += alpha * Op(A)·Op(B) with element getters a(i, k),
+// b(k, j) absorbing the nn/tn/nt transposes. B is packed once up front;
+// output rows are then split into contiguous blocks across the pool.
+template <typename AGet, typename BGet>
+void gemm_driver(std::size_t M, std::size_t N, std::size_t K, double alpha,
+                 const AGet& a, const BGet& b, Matrix& c, int threads) {
+  if (M == 0 || N == 0 || K == 0) return;  // += alpha·0: nothing to do
+  const std::vector<double> packed_b = pack_b(K, N, b);
+  const detail::MicroKernelFn micro = detail::active_micro_kernel();
+  const std::size_t n_threads = resolve_gemm_threads(threads);
+  if (n_threads <= 1 || M <= 1) {
+    // Serial fast path: skip the std::function wrap — small products in the
+    // nn forward/backward loops call in here at high frequency.
+    gemm_rows_packed(0, M, N, K, alpha, a, packed_b.data(), c, micro);
     return;
   }
-  ThreadPool::global().parallel_for(rows, threads, kernel);
+  ThreadPool::global().parallel_for(
+      M, n_threads, [&](std::size_t r0, std::size_t r1) {
+        gemm_rows_packed(r0, r1, N, K, alpha, a, packed_b.data(), c, micro);
+      });
 }
 
 }  // namespace
@@ -97,16 +168,22 @@ void set_gemm_threads(int n) {
 
 int gemm_threads() { return g_gemm_threads.load(std::memory_order_relaxed); }
 
+std::size_t resolve_gemm_threads(int threads) {
+  const int n = threads == 0 ? g_gemm_threads.load(std::memory_order_relaxed)
+                             : threads;
+  return static_cast<std::size_t>(std::max(1, n));
+}
+
 void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
                 int threads) {
   const std::size_t M = a.rows(), K = a.cols(), N = b.cols();
   PF_CHECK(b.rows() == K) << "matmul shape: " << M << "x" << K << " * "
                           << b.rows() << "x" << N;
   PF_CHECK(c.rows() == M && c.cols() == N);
-  run_rows(M, resolve_threads(threads),
-           [&](std::size_t r0, std::size_t r1) {
-             matmul_rows(a, b, c, alpha, r0, r1);
-           });
+  gemm_driver(
+      M, N, K, alpha,
+      [&](std::size_t i, std::size_t k) { return a.row(i)[k]; },
+      [&](std::size_t k, std::size_t j) { return b.row(k)[j]; }, c, threads);
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b, int threads) {
@@ -117,14 +194,14 @@ Matrix matmul(const Matrix& a, const Matrix& b, int threads) {
 
 void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
                    int threads) {
-  // a: (M×K), b: (M×N), c: (K×N) += alpha * aᵀ b.
+  // a: (M×K), b: (M×N), c: (K×N) += alpha * aᵀ b. Reduction dim is M.
   const std::size_t M = a.rows(), K = a.cols(), N = b.cols();
   PF_CHECK(b.rows() == M) << "matmul_tn shape mismatch";
   PF_CHECK(c.rows() == K && c.cols() == N);
-  run_rows(K, resolve_threads(threads),
-           [&](std::size_t k0, std::size_t k1) {
-             matmul_tn_rows(a, b, c, alpha, k0, k1);
-           });
+  gemm_driver(
+      K, N, M, alpha,
+      [&](std::size_t i, std::size_t k) { return a.row(k)[i]; },
+      [&](std::size_t k, std::size_t j) { return b.row(k)[j]; }, c, threads);
 }
 
 Matrix matmul_tn(const Matrix& a, const Matrix& b, int threads) {
@@ -135,14 +212,14 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b, int threads) {
 
 void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
                    int threads) {
-  // a: (M×K), b: (N×K), c: (M×N) += alpha * a bᵀ.
+  // a: (M×K), b: (N×K), c: (M×N) += alpha * a bᵀ. Reduction dim is K.
   const std::size_t M = a.rows(), K = a.cols(), N = b.rows();
   PF_CHECK(b.cols() == K) << "matmul_nt shape mismatch";
   PF_CHECK(c.rows() == M && c.cols() == N);
-  run_rows(M, resolve_threads(threads),
-           [&](std::size_t r0, std::size_t r1) {
-             matmul_nt_rows(a, b, c, alpha, r0, r1);
-           });
+  gemm_driver(
+      M, N, K, alpha,
+      [&](std::size_t i, std::size_t k) { return a.row(i)[k]; },
+      [&](std::size_t k, std::size_t j) { return b.row(j)[k]; }, c, threads);
 }
 
 Matrix matmul_nt(const Matrix& a, const Matrix& b, int threads) {

@@ -4,17 +4,28 @@
 // matmul_tn  : C = Aᵀ · B   (used for Kronecker factors  A_l = Uᵀ U)
 // matmul_nt  : C = A · Bᵀ   (used for backward passes dX = dY · Wᵀ ... )
 //
-// All kernels are cache-blocked implementations; accuracy over speed, but
-// fast enough to train the scaled-down BERT in the convergence benchmark.
+// All three products (and their _acc variants) run through one packed
+// driver: B is packed once into 8-wide column slivers, A into 6-row tiles,
+// and a 6×8 register microkernel does the flops. The microkernel is chosen
+// at runtime via src/common/cpu_features.h — an AVX2+FMA kernel on hosts
+// (and builds) that support it, a scalar twin with identical blocking
+// everywhere else. PF_FORCE_SCALAR=1 in the environment pins the scalar
+// path; set_simd_level() switches it programmatically.
 //
 // Threading: every kernel takes a trailing `threads` argument.
-//   threads == 1  — the serial reference kernel (the seed behaviour).
+//   threads == 1  — single-threaded (the seed behaviour).
 //   threads  > 1  — output rows are split into `threads` contiguous blocks
-//                   executed on the shared ThreadPool. Each output element is
-//                   accumulated in the same order as the serial kernel, so
-//                   results are bitwise identical for every thread count.
+//                   executed on the shared ThreadPool.
 //   threads == 0  — use the process-wide default (set_gemm_threads), which
 //                   starts at 1.
+//
+// Determinism: within one SIMD level, results are bitwise identical for
+// every thread count — each output element accumulates its k terms in
+// ascending order no matter how the rows are partitioned. Across SIMD
+// levels results may differ in the last ulps (the AVX2 path fuses each
+// multiply-add into one rounding; the scalar path rounds twice), so
+// cross-ISA comparisons need an epsilon, not equality — see the GemmSimd
+// tests.
 #pragma once
 
 #include "src/linalg/matrix.h"
@@ -25,6 +36,12 @@ namespace pf {
 // n <= 1 selects the serial path.
 void set_gemm_threads(int n);
 int gemm_threads();
+
+// Resolves the `threads` convention every parallel linalg/K-FAC entry point
+// shares: 0 = the set_gemm_threads global knob, floor of 1. Feed the result
+// straight to ThreadPool::parallel_for (which already runs inline for one
+// chunk and clamps to the index range).
+std::size_t resolve_gemm_threads(int threads);
 
 // C = A(M×K) · B(K×N).
 Matrix matmul(const Matrix& a, const Matrix& b, int threads = 0);

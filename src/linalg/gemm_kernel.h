@@ -1,0 +1,52 @@
+// Internal microkernel ABI shared by the packed GEMM driver (gemm.cpp) and
+// the per-ISA kernel TUs. Not part of the public linalg API.
+//
+// Register tile: 6×8 doubles (MR×NR). With AVX2 that is 12 ymm accumulators
+// + 2 B loads + 1 A broadcast = 15 of 16 registers — the double-precision
+// analogue of the canonical 6×16 single-precision AVX2 tile (same
+// 12-register accumulator footprint, half the lane width).
+//
+// Panel layouts the driver guarantees:
+//   ap  packed A tile, k-major with row stride mr:   ap[k*mr + i]
+//   bp  packed B sliver, always kNR wide, zero-padded past nr:
+//       bp[k*kNR + j]
+//
+// The microkernel computes, for i<mr, j<nr:
+//   C[i*ldc + j] += alpha * sum_k ap[k*mr+i] * bp[k*kNR+j]
+// with k strictly ascending per element and the alpha scaling applied once
+// after the k loop. Both requirements are load-bearing: ascending-k per
+// element is what makes row-partitioned threading bitwise reproducible, and
+// a single alpha application keeps edge tiles identical to interior tiles.
+#pragma once
+
+#include <cstddef>
+
+namespace pf::detail {
+
+inline constexpr std::size_t kMR = 6;    // register-tile rows
+inline constexpr std::size_t kNR = 8;    // register-tile columns (doubles)
+inline constexpr std::size_t kKC = 256;  // k-panel depth (B sliver ~16 KB L1)
+inline constexpr std::size_t kMC = 96;   // packed A block rows (~192 KB L2)
+
+using MicroKernelFn = void (*)(std::size_t kc, double alpha, const double* ap,
+                               const double* bp, double* c, std::size_t ldc,
+                               std::size_t mr, std::size_t nr);
+
+// Portable fallback; mirrors the AVX2 blocking exactly (same panels, same
+// per-element accumulation order), plain mul+add arithmetic.
+void micro_kernel_scalar(std::size_t kc, double alpha, const double* ap,
+                         const double* bp, double* c, std::size_t ldc,
+                         std::size_t mr, std::size_t nr);
+
+#if defined(PF_HAVE_AVX2)
+// FMA kernel, compiled with -mavx2 -mfma in gemm_kernels_avx2.cpp. Must only
+// be called when cpu_features reports SimdLevel::kAvx2.
+void micro_kernel_avx2(std::size_t kc, double alpha, const double* ap,
+                       const double* bp, double* c, std::size_t ldc,
+                       std::size_t mr, std::size_t nr);
+#endif
+
+// The kernel matching cpu_features::active_simd_level() right now.
+MicroKernelFn active_micro_kernel();
+
+}  // namespace pf::detail

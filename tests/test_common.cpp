@@ -1,5 +1,5 @@
 // Tests for src/common: checked errors, RNG, statistics, strings, thread
-// pool.
+// pool, CPU feature detection.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/cpu_features.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/strings.h"
@@ -233,6 +234,26 @@ TEST(ThreadPool, GlobalPoolIsUsable) {
   });
   EXPECT_EQ(sum.load(), 7);
   EXPECT_GE(ThreadPool::global().n_threads(), 1u);
+}
+
+TEST(CpuFeatures, LevelsAreOrderedAndNamed) {
+  const SimdLevel detected = detected_simd_level();
+  const SimdLevel active = active_simd_level();
+  // Active can never exceed what the host/build supports.
+  EXPECT_LE(static_cast<int>(active), static_cast<int>(detected));
+  EXPECT_STREQ(simd_level_name(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(simd_level_name(SimdLevel::kAvx2), "avx2");
+}
+
+TEST(CpuFeatures, SetLevelClampsToDetectedAndRoundTrips) {
+  const SimdLevel prev = active_simd_level();
+  // Scalar is always available.
+  EXPECT_EQ(set_simd_level(SimdLevel::kScalar), SimdLevel::kScalar);
+  EXPECT_EQ(active_simd_level(), SimdLevel::kScalar);
+  // Requesting AVX2 yields AVX2 exactly when detected, scalar otherwise.
+  EXPECT_EQ(set_simd_level(SimdLevel::kAvx2), detected_simd_level());
+  set_simd_level(prev);
+  EXPECT_EQ(active_simd_level(), prev);
 }
 
 }  // namespace

@@ -223,6 +223,79 @@ TEST(KfacEngine, GemmThreadsKnobIsBitwiseNeutral) {
   EXPECT_EQ(max_abs_diff(g_serial, g_parallel), 0.0);
 }
 
+TEST(KfacEngine, LayerThreadsKnobIsBitwiseNeutral) {
+  // layer_threads fans the per-layer curvature/inversion/precondition loops
+  // across the pool; layers are independent, so every value must reproduce
+  // the serial engine exactly — factors, inverses, and preconditioned grads.
+  // Layer widths are deliberately uneven so chunks carry different work.
+  auto run_engine = [](int layer_threads, std::vector<Matrix>* grads) {
+    Rng rng(31);
+    Linear l0(5, 3, rng, "l0");
+    Linear l1(7, 2, rng, "l1");
+    Linear l2(4, 6, rng, "l2");
+    Linear l3(3, 3, rng, "l3");
+    std::vector<Linear*> layers = {&l0, &l1, &l2, &l3};
+    KfacOptions opts;
+    opts.layer_threads = layer_threads;
+    KfacEngine engine(layers, opts);
+    const std::size_t batch = 16;
+    for (Linear* l : layers) {
+      zero_grads(l->params());
+      fake_pass(*l, Matrix::randn(batch, l->d_in(), rng),
+                Matrix::randn(batch, l->d_out(), rng));
+    }
+    engine.update_curvature();
+    engine.update_inverses();
+    engine.precondition();
+    grads->clear();
+    std::vector<Matrix> factors;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      grads->push_back(layers[i]->weight().g);
+      factors.push_back(engine.state(i).a_ema);
+      factors.push_back(engine.state(i).b_ema);
+      factors.push_back(engine.state(i).a_inv);
+      factors.push_back(engine.state(i).b_inv);
+    }
+    return factors;
+  };
+  std::vector<Matrix> g_serial, g_parallel;
+  const auto f_serial = run_engine(1, &g_serial);
+  for (int layer_threads : {2, 4, 16}) {
+    const auto f_parallel = run_engine(layer_threads, &g_parallel);
+    ASSERT_EQ(f_serial.size(), f_parallel.size());
+    for (std::size_t i = 0; i < f_serial.size(); ++i)
+      EXPECT_EQ(max_abs_diff(f_serial[i], f_parallel[i]), 0.0)
+          << "factor " << i << " layer_threads=" << layer_threads;
+    ASSERT_EQ(g_serial.size(), g_parallel.size());
+    for (std::size_t i = 0; i < g_serial.size(); ++i)
+      EXPECT_EQ(max_abs_diff(g_serial[i], g_parallel[i]), 0.0)
+          << "grad " << i << " layer_threads=" << layer_threads;
+  }
+}
+
+TEST(KfacEngine, GemmThreadsReachInversionWithoutChangingResults) {
+  // gemm_threads now also routes the Cholesky-bound inversion work through
+  // the pool (blocked factorization + column-parallel inverse); results must
+  // stay bitwise identical to the serial engine.
+  auto run_engine = [](int gemm_threads_opt) {
+    Rng rng(37);
+    Linear l(6, 4, rng, "l");
+    KfacOptions opts;
+    opts.gemm_threads = gemm_threads_opt;
+    KfacEngine engine({&l}, opts);
+    zero_grads(l.params());
+    fake_pass(l, Matrix::randn(24, 6, rng), Matrix::randn(24, 4, rng));
+    engine.update_curvature();
+    engine.update_inverses();
+    return std::pair<Matrix, Matrix>{engine.state(0).a_inv,
+                                     engine.state(0).b_inv};
+  };
+  const auto [a1, b1] = run_engine(1);
+  const auto [a4, b4] = run_engine(4);
+  EXPECT_EQ(max_abs_diff(a1, a4), 0.0);
+  EXPECT_EQ(max_abs_diff(b1, b4), 0.0);
+}
+
 TEST(KfacEngine, RejectsBadOptions) {
   Rng rng(23);
   Linear l(2, 2, rng, "l");

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
+#include "src/common/cpu_features.h"
 #include "src/common/rng.h"
 #include "src/linalg/cholesky.h"
 #include "src/linalg/gemm.h"
@@ -217,6 +219,135 @@ TEST(GemmParallel, ZeroSizedAndSingleRowEdgeCases) {
   }
 }
 
+// RAII guard: force a SIMD level for one scope, restore the previous one.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) : prev_(active_simd_level()) {
+    set_simd_level(level);
+  }
+  ~ScopedSimdLevel() { set_simd_level(prev_); }
+
+ private:
+  SimdLevel prev_;
+};
+
+// The packed microkernel has two ISA paths (gemm.h): cross-ISA results may
+// differ in the last ulps (FMA fuses one rounding), so the AVX2-vs-scalar
+// comparisons use an epsilon; within one ISA thread partitioning must be
+// bitwise neutral. Shapes are deliberately odd — none is a multiple of the
+// 6×8 register tile, several straddle the 256-deep k panel — so the edge
+// kernels and every pack path get exercised.
+TEST(GemmSimd, DetectionAndOverrideAreConsistent) {
+  const SimdLevel detected = detected_simd_level();
+  EXPECT_STRNE(simd_level_name(detected), "unknown");
+  EXPECT_STRNE(simd_level_name(active_simd_level()), "unknown");
+  // set_simd_level clamps to what the host/build supports.
+  const SimdLevel prev = active_simd_level();
+  EXPECT_EQ(set_simd_level(SimdLevel::kAvx2), detected);
+  EXPECT_EQ(set_simd_level(SimdLevel::kScalar), SimdLevel::kScalar);
+  EXPECT_EQ(active_simd_level(), SimdLevel::kScalar);
+  set_simd_level(prev);
+}
+
+TEST(GemmSimd, Avx2MatchesScalarWithinEpsilonAcrossOddShapes) {
+  if (detected_simd_level() != SimdLevel::kAvx2)
+    GTEST_SKIP() << "no AVX2 on this host/build";
+  struct Shape {
+    std::size_t m, k, n;
+  };
+  const Shape shapes[] = {{1, 1, 1},   {2, 3, 4},    {5, 7, 9},
+                          {6, 8, 16},  {7, 17, 33},  {13, 67, 29},
+                          {97, 43, 71}, {64, 300, 5}, {3, 257, 40}};
+  Rng rng(101);
+  for (const auto& s : shapes) {
+    const Matrix a = Matrix::randn(s.m, s.k, rng);
+    const Matrix b = Matrix::randn(s.k, s.n, rng);
+    const Matrix at = Matrix::randn(s.k, s.m, rng);  // tn: (k×m)ᵀ·(k×n)
+    const Matrix bn = Matrix::randn(s.k, s.n, rng);
+    const Matrix bt = Matrix::randn(s.n, s.k, rng);  // nt: (m×k)·(n×k)ᵀ
+    const double tol = 1e-11 * static_cast<double>(s.k);
+    for (int threads : {1, 3}) {
+      Matrix nn_sc, tn_sc, nt_sc;
+      {
+        ScopedSimdLevel scalar(SimdLevel::kScalar);
+        nn_sc = matmul(a, b, threads);
+        tn_sc = matmul_tn(at, bn, threads);
+        nt_sc = matmul_nt(a, bt, threads);
+      }
+      ScopedSimdLevel avx2(SimdLevel::kAvx2);
+      EXPECT_LT(max_abs_diff(matmul(a, b, threads), nn_sc), tol)
+          << "nn " << s.m << "x" << s.k << "x" << s.n << " t=" << threads;
+      EXPECT_LT(max_abs_diff(matmul_tn(at, bn, threads), tn_sc), tol)
+          << "tn " << s.m << "x" << s.k << "x" << s.n << " t=" << threads;
+      EXPECT_LT(max_abs_diff(matmul_nt(a, bt, threads), nt_sc), tol)
+          << "nt " << s.m << "x" << s.k << "x" << s.n << " t=" << threads;
+    }
+  }
+}
+
+TEST(GemmSimd, AccVariantsMatchAcrossIsaWithinEpsilon) {
+  if (detected_simd_level() != SimdLevel::kAvx2)
+    GTEST_SKIP() << "no AVX2 on this host/build";
+  Rng rng(103);
+  const Matrix a = Matrix::randn(11, 70, rng);
+  const Matrix b = Matrix::randn(70, 13, rng);
+  const Matrix dy = Matrix::randn(11, 13, rng);
+  const Matrix c_nt = Matrix::randn(13, 70, rng);
+  const double alpha = -1.7;
+  for (int threads : {1, 4}) {
+    Matrix acc_sc(11, 13, 0.25), tn_sc(70, 13, -2.0), nt_sc(11, 13, 0.5);
+    {
+      ScopedSimdLevel scalar(SimdLevel::kScalar);
+      matmul_acc(a, b, acc_sc, alpha, threads);
+      matmul_tn_acc(a, dy, tn_sc, alpha, threads);
+      matmul_nt_acc(a, c_nt, nt_sc, alpha, threads);
+    }
+    Matrix acc_v(11, 13, 0.25), tn_v(70, 13, -2.0), nt_v(11, 13, 0.5);
+    ScopedSimdLevel avx2(SimdLevel::kAvx2);
+    matmul_acc(a, b, acc_v, alpha, threads);
+    matmul_tn_acc(a, dy, tn_v, alpha, threads);
+    matmul_nt_acc(a, c_nt, nt_v, alpha, threads);
+    EXPECT_LT(max_abs_diff(acc_sc, acc_v), 1e-9) << "t=" << threads;
+    EXPECT_LT(max_abs_diff(tn_sc, tn_v), 1e-9) << "t=" << threads;
+    EXPECT_LT(max_abs_diff(nt_sc, nt_v), 1e-9) << "t=" << threads;
+  }
+}
+
+TEST(GemmSimd, ThreadPartitionIsBitwiseNeutralPerIsa) {
+  // Both microkernels promise ascending-k accumulation per element no matter
+  // how rows are split, so within one SIMD level every thread count must be
+  // bitwise identical — including counts that leave partial 6-row tiles at
+  // chunk boundaries.
+  Rng rng(107);
+  const Matrix a = Matrix::randn(89, 53, rng);
+  const Matrix b = Matrix::randn(53, 37, rng);
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (detected_simd_level() == SimdLevel::kAvx2)
+    levels.push_back(SimdLevel::kAvx2);
+  for (SimdLevel level : levels) {
+    ScopedSimdLevel guard(level);
+    const Matrix serial = matmul(a, b, 1);
+    for (int threads : {2, 3, 7, 16, 89}) {
+      EXPECT_EQ(max_abs_diff(matmul(a, b, threads), serial), 0.0)
+          << simd_level_name(level) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(GemmSimd, ScalarKernelMatchesNaiveReference) {
+  // The scalar microkernel is the always-available reference path (and the
+  // one PF_FORCE_SCALAR pins); check it against a textbook triple loop.
+  ScopedSimdLevel scalar(SimdLevel::kScalar);
+  Rng rng(109);
+  const Matrix a = Matrix::randn(19, 31, rng);
+  const Matrix b = Matrix::randn(31, 23, rng);
+  Matrix ref(19, 23, 0.0);
+  for (std::size_t i = 0; i < 19; ++i)
+    for (std::size_t k = 0; k < 31; ++k)
+      for (std::size_t j = 0; j < 23; ++j) ref(i, j) += a(i, k) * b(k, j);
+  EXPECT_LT(max_abs_diff(matmul(a, b, 1), ref), 1e-12);
+}
+
 TEST(Gemm, Matvec) {
   const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
   const auto y = matvec(a, {1.0, -1.0});
@@ -273,6 +404,82 @@ TEST(Cholesky, SpdInverseAppliesDamping) {
   // (I + damping·I)⁻¹ = 1/(1+damping)·I.
   const Matrix inv = spd_inverse(Matrix::identity(4), 1.0);
   EXPECT_LT(max_abs_diff(inv, Matrix::identity(4) * 0.5), 1e-12);
+}
+
+// Unblocked reference factorization (the seed algorithm) for pinning the
+// blocked right-looking path.
+Matrix reference_cholesky(const Matrix& m) {
+  const std::size_t n = m.rows();
+  Matrix l(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = m(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    EXPECT_GT(diag, 0.0);
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = m(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / ljj;
+    }
+  }
+  return l;
+}
+
+TEST(CholeskyBlocked, MatchesUnblockedReferenceAcrossPanelBoundaries) {
+  // Sizes straddle the 64-wide panel: below, exactly at, one past, and
+  // multiple panels with a partial tail.
+  Rng rng(113);
+  for (std::size_t n : {48u, 64u, 65u, 96u, 130u}) {
+    const Matrix m = random_spd(n, rng);
+    const Matrix l = cholesky(m);
+    const Matrix ref = reference_cholesky(m);
+    // Different summation grouping → epsilon, not equality.
+    EXPECT_LT(max_abs_diff(l, ref), 1e-9) << "n=" << n;
+    EXPECT_LT(max_abs_diff(matmul_nt(l, l), m), 1e-9) << "n=" << n;
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = r + 1; c < n; ++c)
+        ASSERT_EQ(l(r, c), 0.0) << "upper triangle must be cleared";
+  }
+}
+
+TEST(CholeskyBlocked, ThreadCountIsBitwiseNeutral) {
+  // Panel solves and trailing updates are row-partitioned with a fixed
+  // per-element ascending-k sum, so every thread count must reproduce the
+  // serial factorization (and inverse) exactly.
+  Rng rng(127);
+  const Matrix m = random_spd(130, rng);
+  const Matrix l1 = cholesky(m, 1);
+  const Matrix inv1 = cholesky_inverse(l1, 1);
+  const Matrix spd1 = spd_inverse(m, 0.3, 1);
+  for (int threads : {2, 3, 8}) {
+    EXPECT_EQ(max_abs_diff(cholesky(m, threads), l1), 0.0)
+        << "cholesky threads=" << threads;
+    EXPECT_EQ(max_abs_diff(cholesky_inverse(l1, threads), inv1), 0.0)
+        << "cholesky_inverse threads=" << threads;
+    EXPECT_EQ(max_abs_diff(spd_inverse(m, 0.3, threads), spd1), 0.0)
+        << "spd_inverse threads=" << threads;
+  }
+}
+
+TEST(CholeskyBlocked, ParallelInverseTimesInputIsIdentity) {
+  Rng rng(131);
+  const Matrix m = random_spd(96, rng);
+  const Matrix inv = spd_inverse(m, 0.0, 4);
+  EXPECT_LT(max_abs_diff(matmul(inv, m), Matrix::identity(96)), 1e-7);
+}
+
+TEST(CholeskyBlocked, RejectsSpdViolationInLaterPanel) {
+  // The indefinite pivot sits in the second 64-wide panel, so the failure is
+  // only reachable through the blocked path's trailing updates.
+  Matrix m = Matrix::identity(100);
+  m(80, 80) = -2.0;
+  EXPECT_FALSE(try_cholesky(m).has_value());
+  EXPECT_THROW(cholesky(m), Error);
+  EXPECT_THROW(cholesky(m, 4), Error);
+  EXPECT_THROW(spd_inverse(m, 0.0, 4), Error);
+  // Damping large enough to cross back into PD must succeed again.
+  EXPECT_NO_THROW(spd_inverse(m, 4.0, 2));
 }
 
 TEST(Kron, MatchesDefinitionOnSmallExample) {

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Gate CI on GEMM microbench throughput regressions.
+
+Compares a fresh microbench_kernels JSON run against the committed baseline
+(BENCH_kernels.json) and fails (exit 1) when any GEMM-family benchmark's
+GFLOP/s (items_per_second) drops more than --threshold (default 30%).
+
+The comparison only runs when both files report the same context.num_cpus:
+the committed baseline may come from a cgroup-limited dev container (its
+cpu_budget_note context entry says so), and GFLOP/s across different CPU
+budgets is not a like-for-like comparison. On mismatch the script prints the
+two budgets and exits 0 (skipped, not passed).
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.30]
+"""
+
+import argparse
+import json
+import sys
+
+# Benchmark families whose items_per_second is a GFLOP/s measure we gate on.
+GEMM_FAMILIES = ("BM_GemmForward", "BM_GemmBackwardNt", "BM_CurvatureFactor")
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def gemm_rates(doc):
+    rates = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name", "")
+        if bench.get("run_type") == "aggregate":
+            continue
+        if bench.get("error_occurred"):
+            continue  # e.g. avx2 rows skipped on a non-AVX2 runner
+        if name.startswith(GEMM_FAMILIES) and "items_per_second" in bench:
+            rates[name] = bench["items_per_second"]
+    return rates
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.30,
+                    help="max tolerated fractional GFLOP/s drop (default 0.30)")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    base_cpus = baseline.get("context", {}).get("num_cpus")
+    cur_cpus = current.get("context", {}).get("num_cpus")
+    if base_cpus != cur_cpus:
+        print(f"SKIP: baseline num_cpus={base_cpus} vs current "
+              f"num_cpus={cur_cpus} — GFLOP/s not comparable across CPU "
+              f"budgets (baseline note: "
+              f"{baseline.get('context', {}).get('cpu_budget_note', 'n/a')})")
+        return 0
+
+    base_rates = gemm_rates(baseline)
+    cur_rates = gemm_rates(current)
+    if not base_rates:
+        print("SKIP: baseline has no GEMM-family benchmarks to compare")
+        return 0
+
+    failures = []
+    compared = 0
+    for name, base in sorted(base_rates.items()):
+        cur = cur_rates.get(name)
+        if cur is None:
+            print(f"note: '{name}' missing from current run (renamed?)")
+            continue
+        compared += 1
+        ratio = cur / base
+        marker = "FAIL" if ratio < 1.0 - args.threshold else "ok"
+        print(f"{marker:>4}  {name}: {base / 1e9:.2f} -> {cur / 1e9:.2f} "
+              f"GFLOP/s ({ratio:.2%} of baseline)")
+        if ratio < 1.0 - args.threshold:
+            failures.append(name)
+
+    if compared == 0:
+        print("SKIP: no overlapping GEMM benchmarks between baseline and "
+              "current run")
+        return 0
+    if failures:
+        print(f"\n{len(failures)}/{compared} GEMM benchmarks regressed more "
+              f"than {args.threshold:.0%} vs the committed baseline")
+        return 1
+    print(f"\nall {compared} GEMM benchmarks within {args.threshold:.0%} of "
+          f"the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
