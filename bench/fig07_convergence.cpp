@@ -20,6 +20,8 @@
 // Environment: PF_FIG7_STEPS overrides the 600-step default (e.g. 150 for a
 // quick run, 1200 for a tighter curve). PF_GEMM_THREADS=<n> runs the GEMM
 // kernels n-way row-block parallel (bitwise-identical results).
+// PF_NN_THREADS=<n> parallelizes the nn forward/backward loops the same
+// way (also bitwise-identical; src/common/exec_context.h).
 // PF_SCHEDULE=<name> picks the pipeline schedule for the steps→time
 // conversion (any name in list_schedules(); default chimera, as in the
 // paper).
@@ -30,6 +32,7 @@
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "src/common/exec_context.h"
 #include "src/common/stats.h"
 #include "src/core/pipefisher.h"
 #include "src/linalg/gemm.h"
@@ -47,7 +50,7 @@ TrainTrace run_training(const BertConfig& cfg, const MlmBatcher& batcher,
                         std::size_t steps, bool use_kfac) {
   Rng rng(7);  // same init for both runs
   BertModel model(cfg, rng);
-  TrainerConfig tc;
+  TrainerConfig tc;  // tc.exec defaults to the follow-the-knobs context
   tc.batch_size = 32;
   tc.total_steps = steps;
   // NVLAMB warms up for 28% of the run (2000/7038); K-FAC for 8.5%
@@ -77,6 +80,7 @@ int main() {
   const std::size_t steps =
       static_cast<std::size_t>(std::max(1, env_int("PF_FIG7_STEPS", 600)));
   set_gemm_threads(env_int("PF_GEMM_THREADS", 1));
+  ExecContext::set_default_nn_threads(env_int("PF_NN_THREADS", 1));
   const std::string schedule = env_str("PF_SCHEDULE", "chimera");
   traits_of(schedule);  // fail a typo now, not after the training runs
 

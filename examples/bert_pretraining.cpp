@@ -4,8 +4,11 @@
 //
 //   $ ./bert_pretraining [steps]
 //
-// PF_GEMM_THREADS=<n> parallelizes the GEMM-dominated K-FAC work over n
-// row blocks (results are bitwise identical to the serial run).
+// PF_NN_THREADS=<n> parallelizes the nn forward/backward loops — attention
+// heads, layer-norm rows, embedding gather/scatter, activations, loss —
+// over n pool chunks via the process-default ExecContext (results are
+// bitwise identical to the serial run; see src/common/exec_context.h).
+// PF_GEMM_THREADS=<n> parallelizes the GEMM row blocks the same way.
 // PF_KFAC_LAYER_THREADS=<n> fans the per-layer K-FAC loops across n pool
 // chunks (also bitwise identical; see KfacOptions::layer_threads).
 // PF_FORCE_SCALAR=1 pins the GEMM microkernel to the portable scalar path
@@ -18,6 +21,7 @@
 #include <memory>
 
 #include "src/common/cpu_features.h"
+#include "src/common/exec_context.h"
 #include "src/common/stats.h"
 #include "src/common/strings.h"
 #include "src/core/pipefisher.h"
@@ -32,15 +36,16 @@ int main(int argc, char** argv) {
   const std::size_t steps =
       argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 200;
   set_gemm_threads(env_int("PF_GEMM_THREADS", 1));
+  ExecContext::set_default_nn_threads(env_int("PF_NN_THREADS", 1));
   const int layer_threads = env_int("PF_KFAC_LAYER_THREADS", 1);
   // Config banner goes to stderr: stdout must stay byte-identical across
   // the bitwise-neutral thread knobs (the verify contract for this binary).
   std::fprintf(stderr,
                "linalg: %s kernels (detected %s), gemm_threads=%d, "
-               "kfac layer_threads=%d\n",
+               "nn_threads=%d, kfac layer_threads=%d\n",
                simd_level_name(active_simd_level()),
                simd_level_name(detected_simd_level()), gemm_threads(),
-               layer_threads);
+               ExecContext::default_nn_threads(), layer_threads);
   const std::string schedule = env_str("PF_SCHEDULE", "chimera");
   traits_of(schedule);  // fail a typo now, not after the training run
 
@@ -69,7 +74,8 @@ int main(int argc, char** argv) {
     BertModel model(cfg, rng);
     std::printf("model: %zu parameters, %zu K-FAC-tracked linears\n",
                 model.n_params(), model.kfac_linears().size());
-    TrainerConfig tc;
+    TrainerConfig tc;  // tc.exec defaults to the follow-the-knobs context:
+                       // nn loops track PF_NN_THREADS, GEMMs PF_GEMM_THREADS
     tc.batch_size = 32;
     tc.total_steps = steps;
     tc.schedule = PolyWarmupSchedule(

@@ -1,7 +1,7 @@
 // Curvature work: building the Kronecker factors from layer caches.
 // Also home of the engine's layer-parallel dispatch helper.
 #include "src/common/check.h"
-#include "src/common/thread_pool.h"
+#include "src/common/exec_context.h"
 #include "src/kfac/kfac_engine.h"
 #include "src/linalg/gemm.h"
 
@@ -28,11 +28,16 @@ void KfacEngine::for_each_layer(
     const std::function<void(std::size_t)>& fn) {
   // Layers are independent: chunking them across the pool cannot change any
   // per-layer result, so every layer_threads value is bitwise equivalent.
-  ThreadPool::global().parallel_for(
-      layers_.size(), resolve_gemm_threads(opts_.layer_threads),
-      [&](std::size_t b, std::size_t e) {
-        for (std::size_t i = b; i < e; ++i) fn(i);
-      });
+  // The fan-out rides the same ExecContext machinery as the nn stack (layer
+  // chunks play the nn_threads role); layer_threads == 0 keeps its
+  // documented follow-the-gemm-knob behaviour by resolving before the
+  // context is built.
+  const ExecContext ctx(
+      static_cast<int>(resolve_gemm_threads(opts_.layer_threads)),
+      opts_.gemm_threads);
+  ctx.parallel_for(layers_.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) fn(i);
+  });
 }
 
 void KfacEngine::update_curvature() {

@@ -35,13 +35,14 @@ struct KfacOptions {
   int gemm_threads = 1;
   // Layer-level parallelism: each layer's curvature, inversion and
   // precondition work is independent of every other layer's, so the
-  // per-layer loops dispatch across the shared ThreadPool in chunks of
-  // layers. Results are bitwise identical for any value. 1 = serial seed
-  // behaviour, 0 = follow the set_gemm_threads knob. Composes with
-  // gemm_threads: a layer task may itself fan row blocks onto the pool
-  // (parallel_for callers help drain the queue, so nesting cannot
-  // deadlock), but the two knobs compete for the same cores — prefer
-  // layer_threads for many small layers, gemm_threads for few wide ones.
+  // per-layer loops dispatch across the shared ThreadPool (via an
+  // ExecContext built in for_each_layer) in chunks of layers. Results are
+  // bitwise identical for any value. 1 = serial seed behaviour, 0 = follow
+  // the set_gemm_threads knob. Composes with gemm_threads: a layer task may
+  // itself fan row blocks onto the pool (parallel_for callers help drain
+  // the queue, so nesting cannot deadlock), but the two knobs compete for
+  // the same cores — prefer layer_threads for many small layers,
+  // gemm_threads for few wide ones.
   int layer_threads = 1;
 };
 

@@ -6,7 +6,8 @@
 
 namespace pf {
 
-EigResult sym_eig(const Matrix& m, int max_sweeps, double tol) {
+EigResult sym_eig(const Matrix& m, int max_sweeps, double tol,
+                  const ExecContext& ctx, std::size_t parallel_cutoff) {
   PF_CHECK(m.rows() == m.cols()) << "sym_eig needs a square matrix";
   const std::size_t n = m.rows();
   Matrix a = m;
@@ -18,6 +19,11 @@ EigResult sym_eig(const Matrix& m, int max_sweeps, double tol) {
       a(j, i) = v;
     }
   Matrix v = Matrix::identity(n);
+
+  // Below the cutoff a rotation's O(n) update is cheaper than its pool
+  // dispatch (see eig.h); results are bitwise identical either way, so
+  // clamp to serial for small factors.
+  const ExecContext rctx = n >= parallel_cutoff ? ctx : ExecContext::serial();
 
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     double off = 0.0;
@@ -35,23 +41,43 @@ EigResult sym_eig(const Matrix& m, int max_sweeps, double tol) {
                          (std::abs(theta) + std::sqrt(theta * theta + 1.0));
         const double c = 1.0 / std::sqrt(t * t + 1.0);
         const double s = t * c;
-        // Rotate rows/cols p and q of A.
-        for (std::size_t k = 0; k < n; ++k) {
-          const double akp = a(k, p), akq = a(k, q);
-          a(k, p) = c * akp - s * akq;
-          a(k, q) = s * akp + c * akq;
-        }
-        for (std::size_t k = 0; k < n; ++k) {
-          const double apk = a(p, k), aqk = a(q, k);
-          a(p, k) = c * apk - s * aqk;
-          a(q, k) = s * apk + c * aqk;
-        }
-        // Accumulate eigenvectors.
-        for (std::size_t k = 0; k < n; ++k) {
-          const double vkp = v(k, p), vkq = v(k, q);
-          v(k, p) = c * vkp - s * vkq;
-          v(k, q) = s * vkp + c * vkq;
-        }
+        // Rotate rows/cols p and q of A and accumulate eigenvectors, fused
+        // into one parallel pass. For k ∉ {p, q} the column update touches
+        // only columns p/q of row k and the row update only row p/q of
+        // column k — disjoint locations whose inputs the serial two-phase
+        // loop also leaves untouched, so the fusion (and any thread
+        // partition of k) is bitwise identical to the seed. The 2×2 pivot
+        // block, where the phases do interact, is replayed serially below
+        // in the seed's column-then-row order.
+        rctx.parallel_for(n, [&](std::size_t k0, std::size_t k1) {
+          for (std::size_t k = k0; k < k1; ++k) {
+            if (k != p && k != q) {
+              const double akp = a(k, p), akq = a(k, q);
+              a(k, p) = c * akp - s * akq;
+              a(k, q) = s * akp + c * akq;
+              const double apk = a(p, k), aqk = a(q, k);
+              a(p, k) = c * apk - s * aqk;
+              a(q, k) = s * apk + c * aqk;
+            }
+            const double vkp = v(k, p), vkq = v(k, q);
+            v(k, p) = c * vkp - s * vkq;
+            v(k, q) = s * vkp + c * vkq;
+          }
+        });
+        // Column phase at k = p, then k = q.
+        const double app2 = a(p, p), apq2 = a(p, q);
+        a(p, p) = c * app2 - s * apq2;
+        a(p, q) = s * app2 + c * apq2;
+        const double aqp2 = a(q, p), aqq2 = a(q, q);
+        a(q, p) = c * aqp2 - s * aqq2;
+        a(q, q) = s * aqp2 + c * aqq2;
+        // Row phase at k = p, then k = q.
+        const double apk_p = a(p, p), aqk_p = a(q, p);
+        a(p, p) = c * apk_p - s * aqk_p;
+        a(q, p) = s * apk_p + c * aqk_p;
+        const double apk_q = a(p, q), aqk_q = a(q, q);
+        a(p, q) = c * apk_q - s * aqk_q;
+        a(q, q) = s * apk_q + c * aqk_q;
       }
     }
   }
@@ -74,29 +100,36 @@ EigResult sym_eig(const Matrix& m, int max_sweeps, double tol) {
 }
 
 Matrix sym_matrix_function(const EigResult& eig,
-                           const std::function<double(double)>& f) {
+                           const std::function<double(double)>& f,
+                           const ExecContext& ctx) {
   const std::size_t n = eig.values.size();
   PF_CHECK(eig.vectors.rows() == n && eig.vectors.cols() == n);
+  std::vector<double> fe(n);
+  for (std::size_t e = 0; e < n; ++e) fe[e] = f(eig.values[e]);
   Matrix out(n, n, 0.0);
-  for (std::size_t e = 0; e < n; ++e) {
-    const double fe = f(eig.values[e]);
-    if (fe == 0.0) continue;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double vie = eig.vectors(i, e) * fe;
-      for (std::size_t j = 0; j < n; ++j)
-        out(i, j) += vie * eig.vectors(j, e);
+  // Row-sharded rank-1 accumulation: every out(i, j) sums its eigenvalue
+  // terms in ascending e — the serial order — for any thread partition.
+  ctx.parallel_for(n, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t e = 0; e < n; ++e) {
+      if (fe[e] == 0.0) continue;
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double vie = eig.vectors(i, e) * fe[e];
+        for (std::size_t j = 0; j < n; ++j)
+          out(i, j) += vie * eig.vectors(j, e);
+      }
     }
-  }
+  });
   return out;
 }
 
-Matrix sym_inverse_pth_root(const Matrix& m, double p, double eps) {
+Matrix sym_inverse_pth_root(const Matrix& m, double p, double eps,
+                            const ExecContext& ctx) {
   PF_CHECK(p >= 1.0);
   PF_CHECK(eps > 0.0);
-  const auto eig = sym_eig(m);
+  const auto eig = sym_eig(m, 64, 1e-12, ctx);
   return sym_matrix_function(eig, [p, eps](double lambda) {
     return std::pow(std::max(lambda, 0.0) + eps, -1.0 / p);
-  });
+  }, ctx);
 }
 
 }  // namespace pf

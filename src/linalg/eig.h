@@ -4,8 +4,17 @@
 // eigendecomposition per Kronecker-factored matrix, which is exactly the
 // "extra work" PipeFisher would split across bubbles) and useful for
 // spectral diagnostics of K-FAC factors.
+//
+// Threading: each Jacobi rotation's O(n) row/column/eigenvector updates are
+// elementwise-independent, so (above `parallel_cutoff`) they fan out over
+// the ExecContext with the 2×2 pivot block replayed serially in the seed's
+// phase order — results are bitwise identical to serial for every thread
+// count (EigThreads tests). sym_matrix_function shards output rows, keeping
+// each coordinate's eigenvalue accumulation in ascending order (also
+// bitwise neutral; one dispatch total, so no cutoff needed).
 #pragma once
 
+#include "src/common/exec_context.h"
 #include "src/linalg/matrix.h"
 
 namespace pf {
@@ -17,14 +26,28 @@ struct EigResult {
 
 // Jacobi eigenvalue iteration for a symmetric matrix. Converges to machine
 // precision for modest sizes (the Kronecker-factor regime).
-EigResult sym_eig(const Matrix& m, int max_sweeps = 64, double tol = 1e-12);
+//
+// `parallel_cutoff`: matrices below this order run the rotations serially
+// even under a threaded context. Cyclic Jacobi can only parallelize inside
+// one rotation (rotations are sequential), so each of the n(n-1)/2
+// rotations per sweep pays a pool dispatch for O(n) fused work — measured
+// break-even is around n ≈ 512; below that the dispatch overhead dominates
+// and threading slows the sweep down. Results are bitwise identical either
+// way (tests pass 0 to force the parallel path on small matrices). A
+// rounds-based parallel Jacobi (n/2 disjoint pivots per dispatch) would
+// move the break-even down but reorders rotations — see ROADMAP.
+EigResult sym_eig(const Matrix& m, int max_sweeps = 64, double tol = 1e-12,
+                  const ExecContext& ctx = ExecContext::defaults(),
+                  std::size_t parallel_cutoff = 512);
 
 // Rebuilds V·diag(f(λ))·Vᵀ — used for inverse p-th roots in Shampoo
 // (f(λ) = (λ+ε)^(-1/p)) and for spectral floors.
 Matrix sym_matrix_function(const EigResult& eig,
-                           const std::function<double(double)>& f);
+                           const std::function<double(double)>& f,
+                           const ExecContext& ctx = ExecContext::defaults());
 
 // Convenience: (m + eps·I)^(-1/p) for symmetric PSD m.
-Matrix sym_inverse_pth_root(const Matrix& m, double p, double eps);
+Matrix sym_inverse_pth_root(const Matrix& m, double p, double eps,
+                            const ExecContext& ctx = ExecContext::defaults());
 
 }  // namespace pf

@@ -1,10 +1,10 @@
 #include "src/linalg/gemm.h"
 
 #include <algorithm>
-#include <atomic>
 #include <vector>
 
 #include "src/common/cpu_features.h"
+#include "src/common/exec_context.h"
 #include "src/common/thread_pool.h"
 #include "src/linalg/gemm_kernel.h"
 
@@ -66,8 +66,6 @@ using detail::kKC;
 using detail::kMC;
 using detail::kMR;
 using detail::kNR;
-
-std::atomic<int> g_gemm_threads{1};
 
 // Packs all of B (reduction dim K × output cols N, element getter b(k, j))
 // into kNR-wide, zero-padded column slivers grouped by kKC block:
@@ -162,15 +160,12 @@ void gemm_driver(std::size_t M, std::size_t N, std::size_t K, double alpha,
 
 }  // namespace
 
-void set_gemm_threads(int n) {
-  g_gemm_threads.store(std::max(1, n), std::memory_order_relaxed);
-}
+void set_gemm_threads(int n) { ExecContext::set_default_gemm_threads(n); }
 
-int gemm_threads() { return g_gemm_threads.load(std::memory_order_relaxed); }
+int gemm_threads() { return ExecContext::default_gemm_threads(); }
 
 std::size_t resolve_gemm_threads(int threads) {
-  const int n = threads == 0 ? g_gemm_threads.load(std::memory_order_relaxed)
-                             : threads;
+  const int n = threads == 0 ? ExecContext::default_gemm_threads() : threads;
   return static_cast<std::size_t>(std::max(1, n));
 }
 

@@ -33,7 +33,10 @@
 namespace pf {
 
 // Process-wide default used when a kernel is called with threads == 0.
-// n <= 1 selects the serial path.
+// n <= 1 selects the serial path. Since the ExecContext refactor the storage
+// lives on the process-default ExecContext (src/common/exec_context.h);
+// these remain as thin aliases of ExecContext::set_default_gemm_threads /
+// default_gemm_threads for the seed-era call sites.
 void set_gemm_threads(int n);
 int gemm_threads();
 

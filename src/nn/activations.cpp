@@ -9,72 +9,89 @@ namespace pf {
 namespace {
 constexpr double kSqrt2OverPi = 0.7978845608028654;
 constexpr double kGeluC = 0.044715;
+
+double gelu_scalar(double v) {
+  const double inner = kSqrt2OverPi * (v + kGeluC * v * v * v);
+  return 0.5 * v * (1.0 + std::tanh(inner));
+}
 }  // namespace
 
-Matrix gelu(const Matrix& x) {
-  Matrix y = x;
-  y.apply([](double v) {
-    const double inner = kSqrt2OverPi * (v + kGeluC * v * v * v);
-    return 0.5 * v * (1.0 + std::tanh(inner));
+Matrix gelu(const Matrix& x, const ExecContext& ctx) {
+  Matrix y(x.rows(), x.cols());
+  ctx.parallel_for(x.rows(), [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      const double* xr = x.row(r);
+      double* yr = y.row(r);
+      for (std::size_t c = 0; c < x.cols(); ++c) yr[c] = gelu_scalar(xr[c]);
+    }
   });
   return y;
 }
 
-Matrix gelu_backward(const Matrix& x, const Matrix& dy) {
+Matrix gelu_backward(const Matrix& x, const Matrix& dy,
+                     const ExecContext& ctx) {
   PF_CHECK(x.same_shape(dy));
   Matrix dx(x.rows(), x.cols());
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    for (std::size_t c = 0; c < x.cols(); ++c) {
-      const double v = x(r, c);
-      const double inner = kSqrt2OverPi * (v + kGeluC * v * v * v);
-      const double t = std::tanh(inner);
-      const double dinner = kSqrt2OverPi * (1.0 + 3.0 * kGeluC * v * v);
-      const double grad = 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * dinner;
-      dx(r, c) = grad * dy(r, c);
+  ctx.parallel_for(x.rows(), [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        const double v = x(r, c);
+        const double inner = kSqrt2OverPi * (v + kGeluC * v * v * v);
+        const double t = std::tanh(inner);
+        const double dinner = kSqrt2OverPi * (1.0 + 3.0 * kGeluC * v * v);
+        const double grad =
+            0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * dinner;
+        dx(r, c) = grad * dy(r, c);
+      }
     }
-  }
+  });
   return dx;
 }
 
-Matrix softmax_rows(const Matrix& logits) {
+Matrix softmax_rows(const Matrix& logits, const ExecContext& ctx) {
   Matrix p(logits.rows(), logits.cols());
-  for (std::size_t r = 0; r < logits.rows(); ++r) {
-    const double* row = logits.row(r);
-    double mx = row[0];
-    for (std::size_t c = 1; c < logits.cols(); ++c)
-      mx = std::max(mx, row[c]);
-    double sum = 0.0;
-    for (std::size_t c = 0; c < logits.cols(); ++c) {
-      const double e = std::exp(row[c] - mx);
-      p(r, c) = e;
-      sum += e;
+  ctx.parallel_for(logits.rows(), [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      const double* row = logits.row(r);
+      double mx = row[0];
+      for (std::size_t c = 1; c < logits.cols(); ++c)
+        mx = std::max(mx, row[c]);
+      double sum = 0.0;
+      for (std::size_t c = 0; c < logits.cols(); ++c) {
+        const double e = std::exp(row[c] - mx);
+        p(r, c) = e;
+        sum += e;
+      }
+      const double inv = 1.0 / sum;
+      for (std::size_t c = 0; c < logits.cols(); ++c) p(r, c) *= inv;
     }
-    const double inv = 1.0 / sum;
-    for (std::size_t c = 0; c < logits.cols(); ++c) p(r, c) *= inv;
-  }
+  });
   return p;
 }
 
-Matrix softmax_rows_backward(const Matrix& p, const Matrix& dy) {
+Matrix softmax_rows_backward(const Matrix& p, const Matrix& dy,
+                             const ExecContext& ctx) {
   PF_CHECK(p.same_shape(dy));
   Matrix dx(p.rows(), p.cols());
-  for (std::size_t r = 0; r < p.rows(); ++r) {
-    double dot = 0.0;
-    for (std::size_t c = 0; c < p.cols(); ++c) dot += p(r, c) * dy(r, c);
-    for (std::size_t c = 0; c < p.cols(); ++c)
-      dx(r, c) = p(r, c) * (dy(r, c) - dot);
-  }
+  ctx.parallel_for(p.rows(), [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      double dot = 0.0;
+      for (std::size_t c = 0; c < p.cols(); ++c) dot += p(r, c) * dy(r, c);
+      for (std::size_t c = 0; c < p.cols(); ++c)
+        dx(r, c) = p(r, c) * (dy(r, c) - dot);
+    }
+  });
   return dx;
 }
 
-Matrix Gelu::forward(const Matrix& x, bool training) {
+Matrix Gelu::forward(const Matrix& x, bool training, const ExecContext& ctx) {
   if (training) x_cache_ = x;
-  return gelu(x);
+  return gelu(x, ctx);
 }
 
-Matrix Gelu::backward(const Matrix& dy) {
+Matrix Gelu::backward(const Matrix& dy, const ExecContext& ctx) {
   PF_CHECK(!x_cache_.empty());
-  return gelu_backward(x_cache_, dy);
+  return gelu_backward(x_cache_, dy, ctx);
 }
 
 }  // namespace pf

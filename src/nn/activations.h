@@ -1,26 +1,37 @@
 // GELU activation (tanh approximation, as in BERT) and row-wise softmax.
+//
+// All four free functions parallelize their row loops over the ExecContext
+// (rows are independent, so every thread count is bitwise identical to the
+// serial seed path); the defaulted context keeps the seed-era signatures
+// compiling and following the process knobs.
 #pragma once
 
+#include "src/common/exec_context.h"
 #include "src/linalg/matrix.h"
 
 namespace pf {
 
 // Stateless forward; callers keep the pre-activation for backward.
-Matrix gelu(const Matrix& x);
+Matrix gelu(const Matrix& x, const ExecContext& ctx = ExecContext::defaults());
 // dL/dx given pre-activation x and upstream gradient dy.
-Matrix gelu_backward(const Matrix& x, const Matrix& dy);
+Matrix gelu_backward(const Matrix& x, const Matrix& dy,
+                     const ExecContext& ctx = ExecContext::defaults());
 
 // Row-wise softmax (numerically stable).
-Matrix softmax_rows(const Matrix& logits);
+Matrix softmax_rows(const Matrix& logits,
+                    const ExecContext& ctx = ExecContext::defaults());
 // Backward through softmax given its output p and upstream dy:
 // dx = p ∘ (dy − rowsum(dy ∘ p)).
-Matrix softmax_rows_backward(const Matrix& p, const Matrix& dy);
+Matrix softmax_rows_backward(const Matrix& p, const Matrix& dy,
+                             const ExecContext& ctx = ExecContext::defaults());
 
 // Stateful GELU layer for use inside blocks.
 class Gelu {
  public:
-  Matrix forward(const Matrix& x, bool training = true);
-  Matrix backward(const Matrix& dy);
+  Matrix forward(const Matrix& x, bool training = true,
+                 const ExecContext& ctx = ExecContext::defaults());
+  Matrix backward(const Matrix& dy,
+                  const ExecContext& ctx = ExecContext::defaults());
 
  private:
   Matrix x_cache_;

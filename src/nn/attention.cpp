@@ -47,64 +47,86 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(std::size_t d_model,
 }
 
 Matrix MultiHeadSelfAttention::forward(const Matrix& x, std::size_t batch,
-                                       std::size_t seq, bool training) {
+                                       std::size_t seq, bool training,
+                                       const ExecContext& ctx) {
   PF_CHECK(x.rows() == batch * seq && x.cols() == d_model_);
   batch_ = batch;
   seq_ = seq;
-  q_ = wq_.forward(x, training);
-  k_ = wk_.forward(x, training);
-  v_ = wv_.forward(x, training);
+  q_ = wq_.forward(x, training, ctx);
+  k_ = wk_.forward(x, training, ctx);
+  v_ = wv_.forward(x, training, ctx);
   const double scale = 1.0 / std::sqrt(static_cast<double>(d_head_));
 
   Matrix context(batch * seq, d_model_, 0.0);
   if (training) probs_.assign(batch * n_heads_, Matrix());
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t h = 0; h < n_heads_; ++h) {
+  // One task per (batch, head): each writes its own probs_ slot and a
+  // disjoint [seq × d_head] slice of `context` (rows of sequence b, columns
+  // of head h), so any partition is race-free and bitwise identical. When
+  // this loop actually fans out, the tiny per-head products run serial
+  // inside each task (the parallelism budget is the loop itself); with a
+  // serial outer loop they keep following the context's GEMM row-block
+  // knob, as before the ExecContext refactor. Either choice is bitwise
+  // neutral.
+  const bool fan_out = ctx.resolved_nn_threads() > 1;
+  const ExecContext inner = fan_out ? ExecContext::serial() : ctx;
+  const int inner_gemm = fan_out ? 1 : ctx.gemm_threads();
+  ctx.parallel_for(batch * n_heads_, [&](std::size_t bh0, std::size_t bh1) {
+    for (std::size_t bh = bh0; bh < bh1; ++bh) {
+      const std::size_t b = bh / n_heads_;
+      const std::size_t h = bh % n_heads_;
       const Matrix qb = slice_bh(q_, b, h, seq, d_head_);
       const Matrix kb = slice_bh(k_, b, h, seq, d_head_);
       const Matrix vb = slice_bh(v_, b, h, seq, d_head_);
-      Matrix scores = matmul_nt(qb, kb);
+      Matrix scores = matmul_nt(qb, kb, inner_gemm);
       scores *= scale;
-      const Matrix p = softmax_rows(scores);
-      if (training) probs_[b * n_heads_ + h] = p;
-      const Matrix ctx = matmul(p, vb);
-      add_slice_bh(context, ctx, b, h, seq, d_head_);
+      const Matrix p = softmax_rows(scores, inner);
+      if (training) probs_[bh] = p;
+      const Matrix head_ctx = matmul(p, vb, inner_gemm);
+      add_slice_bh(context, head_ctx, b, h, seq, d_head_);
     }
-  }
-  return wo_.forward(context, training);
+  });
+  return wo_.forward(context, training, ctx);
 }
 
-Matrix MultiHeadSelfAttention::backward(const Matrix& dy) {
+Matrix MultiHeadSelfAttention::backward(const Matrix& dy,
+                                        const ExecContext& ctx) {
   PF_CHECK(!probs_.empty()) << "backward before forward";
-  const Matrix dcontext = wo_.backward(dy);
+  const Matrix dcontext = wo_.backward(dy, ctx);
   const double scale = 1.0 / std::sqrt(static_cast<double>(d_head_));
 
   Matrix dq(q_.rows(), d_model_, 0.0);
   Matrix dk(k_.rows(), d_model_, 0.0);
   Matrix dv(v_.rows(), d_model_, 0.0);
-  for (std::size_t b = 0; b < batch_; ++b) {
-    for (std::size_t h = 0; h < n_heads_; ++h) {
-      const Matrix& p = probs_[b * n_heads_ + h];
+  // Same task shape as forward: (batch, head) tasks write disjoint slices
+  // of dq/dk/dv, with the same inner-threading rule.
+  const bool fan_out = ctx.resolved_nn_threads() > 1;
+  const ExecContext inner = fan_out ? ExecContext::serial() : ctx;
+  const int inner_gemm = fan_out ? 1 : ctx.gemm_threads();
+  ctx.parallel_for(batch_ * n_heads_, [&](std::size_t bh0, std::size_t bh1) {
+    for (std::size_t bh = bh0; bh < bh1; ++bh) {
+      const std::size_t b = bh / n_heads_;
+      const std::size_t h = bh % n_heads_;
+      const Matrix& p = probs_[bh];
       const Matrix qb = slice_bh(q_, b, h, seq_, d_head_);
       const Matrix kb = slice_bh(k_, b, h, seq_, d_head_);
       const Matrix vb = slice_bh(v_, b, h, seq_, d_head_);
       const Matrix dctx = slice_bh(dcontext, b, h, seq_, d_head_);
-      // ctx = p · v.
-      const Matrix dp = matmul_nt(dctx, vb);
-      const Matrix dvb = matmul_tn(p, dctx);
+      // head_ctx = p · v.
+      const Matrix dp = matmul_nt(dctx, vb, inner_gemm);
+      const Matrix dvb = matmul_tn(p, dctx, inner_gemm);
       // scores backward through softmax, then through q·kᵀ·scale.
-      Matrix dscores = softmax_rows_backward(p, dp);
+      Matrix dscores = softmax_rows_backward(p, dp, inner);
       dscores *= scale;
-      const Matrix dqb = matmul(dscores, kb);
-      const Matrix dkb = matmul_tn(dscores, qb);
+      const Matrix dqb = matmul(dscores, kb, inner_gemm);
+      const Matrix dkb = matmul_tn(dscores, qb, inner_gemm);
       add_slice_bh(dq, dqb, b, h, seq_, d_head_);
       add_slice_bh(dk, dkb, b, h, seq_, d_head_);
       add_slice_bh(dv, dvb, b, h, seq_, d_head_);
     }
-  }
-  Matrix dx = wq_.backward(dq);
-  dx += wk_.backward(dk);
-  dx += wv_.backward(dv);
+  });
+  Matrix dx = wq_.backward(dq, ctx);
+  dx += wk_.backward(dk, ctx);
+  dx += wv_.backward(dv, ctx);
   return dx;
 }
 

@@ -11,10 +11,15 @@ class MultiHeadSelfAttention {
   MultiHeadSelfAttention(std::size_t d_model, std::size_t n_heads, Rng& rng,
                          const std::string& name);
 
-  // x is [batch·seq × d_model]; attention runs within each sequence.
+  // x is [batch·seq × d_model]; attention runs within each sequence. The
+  // score/softmax/AV work parallelizes one task per (batch, head) over the
+  // context — tasks write disjoint slices, so every thread count is bitwise
+  // identical to serial (see exec_context.h).
   Matrix forward(const Matrix& x, std::size_t batch, std::size_t seq,
-                 bool training = true);
-  Matrix backward(const Matrix& dy);
+                 bool training = true,
+                 const ExecContext& ctx = ExecContext::defaults());
+  Matrix backward(const Matrix& dy,
+                  const ExecContext& ctx = ExecContext::defaults());
 
   std::vector<Param*> params();
   std::vector<Linear*> kfac_linears() { return {&wq_, &wk_, &wv_, &wo_}; }

@@ -14,15 +14,16 @@ BertModel::BertModel(const BertConfig& cfg, Rng& rng)
                          "block" + std::to_string(i));
 }
 
-Matrix BertModel::encode(const BertBatch& batch, bool training) {
+Matrix BertModel::encode(const BertBatch& batch, bool training,
+                         const ExecContext& ctx) {
   PF_CHECK(batch.seq == cfg_.seq_len)
       << "batch seq " << batch.seq << " != config " << cfg_.seq_len;
   PF_CHECK(batch.ids.size() == batch.batch * batch.seq);
   last_batch_ = batch.batch;
   Matrix h = emb_.forward(batch.ids, batch.segments, batch.batch, batch.seq,
-                          training);
+                          training, ctx);
   for (auto& block : blocks_)
-    h = block.forward(h, batch.batch, batch.seq, training);
+    h = block.forward(h, batch.batch, batch.seq, training, ctx);
   return h;
 }
 
@@ -39,37 +40,39 @@ Matrix gather_cls_rows(const Matrix& h, std::size_t batch, std::size_t seq) {
 
 }  // namespace
 
-BertLossBreakdown BertModel::train_step_backward(const BertBatch& batch) {
-  const Matrix h = encode(batch, /*training=*/true);
+BertLossBreakdown BertModel::train_step_backward(const BertBatch& batch,
+                                                 const ExecContext& ctx) {
+  const Matrix h = encode(batch, /*training=*/true, ctx);
 
-  const Matrix mlm_logits = mlm_head_.forward(h, true);
-  const auto mlm = softmax_cross_entropy(mlm_logits, batch.mlm_labels);
+  const Matrix mlm_logits = mlm_head_.forward(h, true, ctx);
+  const auto mlm = softmax_cross_entropy(mlm_logits, batch.mlm_labels, ctx);
 
   const Matrix cls = gather_cls_rows(h, batch.batch, batch.seq);
-  const Matrix nsp_logits = nsp_head_.forward(cls, true);
-  const auto nsp = softmax_cross_entropy(nsp_logits, batch.nsp_labels);
+  const Matrix nsp_logits = nsp_head_.forward(cls, true, ctx);
+  const auto nsp = softmax_cross_entropy(nsp_logits, batch.nsp_labels, ctx);
 
   // Backward: dL/dh from both heads.
-  Matrix dh = mlm_head_.backward(mlm.dlogits);
-  const Matrix dcls = nsp_head_.backward(nsp.dlogits);
+  Matrix dh = mlm_head_.backward(mlm.dlogits, ctx);
+  const Matrix dcls = nsp_head_.backward(nsp.dlogits, ctx);
   for (std::size_t b = 0; b < batch.batch; ++b) {
     double* row = dh.row(b * batch.seq);
     for (std::size_t c = 0; c < dh.cols(); ++c) row[c] += dcls(b, c);
   }
   for (std::size_t i = blocks_.size(); i-- > 0;)
-    dh = blocks_[i].backward(dh);
-  emb_.backward(dh);
+    dh = blocks_[i].backward(dh, ctx);
+  emb_.backward(dh, ctx);
 
   return {mlm.loss + nsp.loss, mlm.loss, nsp.loss};
 }
 
-BertLossBreakdown BertModel::evaluate(const BertBatch& batch) {
-  const Matrix h = encode(batch, /*training=*/false);
-  const Matrix mlm_logits = mlm_head_.forward(h, false);
-  const auto mlm = softmax_cross_entropy(mlm_logits, batch.mlm_labels);
+BertLossBreakdown BertModel::evaluate(const BertBatch& batch,
+                                      const ExecContext& ctx) {
+  const Matrix h = encode(batch, /*training=*/false, ctx);
+  const Matrix mlm_logits = mlm_head_.forward(h, false, ctx);
+  const auto mlm = softmax_cross_entropy(mlm_logits, batch.mlm_labels, ctx);
   const Matrix cls = gather_cls_rows(h, batch.batch, batch.seq);
-  const Matrix nsp_logits = nsp_head_.forward(cls, false);
-  const auto nsp = softmax_cross_entropy(nsp_logits, batch.nsp_labels);
+  const Matrix nsp_logits = nsp_head_.forward(cls, false, ctx);
+  const auto nsp = softmax_cross_entropy(nsp_logits, batch.nsp_labels, ctx);
   return {mlm.loss + nsp.loss, mlm.loss, nsp.loss};
 }
 

@@ -41,10 +41,15 @@ class BertModel {
   BertModel(const BertConfig& cfg, Rng& rng);
 
   // Forward + loss + backward (accumulates gradients). Returns the losses.
-  BertLossBreakdown train_step_backward(const BertBatch& batch);
+  // The context threads every layer loop and GEMM beneath; losses and
+  // gradients are bitwise identical for every thread count (NnThreads
+  // suite pins this end to end).
+  BertLossBreakdown train_step_backward(
+      const BertBatch& batch, const ExecContext& ctx = ExecContext::defaults());
 
   // Inference-only loss evaluation (no caches, no gradients).
-  BertLossBreakdown evaluate(const BertBatch& batch);
+  BertLossBreakdown evaluate(const BertBatch& batch,
+                             const ExecContext& ctx = ExecContext::defaults());
 
   std::vector<Param*> params();
   // The K-FAC-tracked linears: all encoder linears (6 per block). The MLM
@@ -56,7 +61,7 @@ class BertModel {
 
  private:
   // Shared forward; returns hidden states [batch·seq × d_model].
-  Matrix encode(const BertBatch& batch, bool training);
+  Matrix encode(const BertBatch& batch, bool training, const ExecContext& ctx);
 
   BertConfig cfg_;
   Embedding emb_;

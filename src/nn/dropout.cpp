@@ -4,32 +4,58 @@
 
 namespace pf {
 
-Dropout::Dropout(double p, std::uint64_t seed) : p_(p), rng_(seed) {
+Dropout::Dropout(double p, std::uint64_t seed)
+    : p_(p), seed_(seed), rng_(seed) {
   PF_CHECK(p >= 0.0 && p < 1.0) << "dropout p=" << p;
 }
 
-Matrix Dropout::forward(const Matrix& x, bool training) {
+Matrix Dropout::forward(const Matrix& x, bool training,
+                        const ExecContext& ctx) {
   if (!training || p_ == 0.0) return x;
   const double scale = 1.0 / (1.0 - p_);
   mask_ = Matrix(x.rows(), x.cols());
   Matrix y(x.rows(), x.cols());
-  for (std::size_t r = 0; r < x.rows(); ++r)
-    for (std::size_t c = 0; c < x.cols(); ++c) {
-      const double keep = rng_.bernoulli(p_) ? 0.0 : scale;
-      mask_(r, c) = keep;
-      y(r, c) = x(r, c) * keep;
-    }
+  const std::uint64_t draw = draw_count_++;
+  if (ctx.rng_partition() == RngPartition::kPerRow) {
+    // Row r of the layer's `draw`-th training forward owns an independent
+    // substream — parallel and thread-count-invariant by construction.
+    ctx.parallel_for(x.rows(), [&](std::size_t r0, std::size_t r1) {
+      for (std::size_t r = r0; r < r1; ++r) {
+        Rng row_rng(derive_stream_seed(seed_, draw, r));
+        for (std::size_t c = 0; c < x.cols(); ++c) {
+          const double keep = row_rng.bernoulli(p_) ? 0.0 : scale;
+          mask_(r, c) = keep;
+          y(r, c) = x(r, c) * keep;
+        }
+      }
+    });
+  } else {
+    // Sequential policy: draw the mask on the calling thread in the seed's
+    // row-major order, then apply it row-parallel (pure elementwise math —
+    // bitwise identical at every thread count and byte-compatible with the
+    // seed stream).
+    for (std::size_t r = 0; r < x.rows(); ++r)
+      for (std::size_t c = 0; c < x.cols(); ++c)
+        mask_(r, c) = rng_.bernoulli(p_) ? 0.0 : scale;
+    ctx.parallel_for(x.rows(), [&](std::size_t r0, std::size_t r1) {
+      for (std::size_t r = r0; r < r1; ++r)
+        for (std::size_t c = 0; c < x.cols(); ++c)
+          y(r, c) = x(r, c) * mask_(r, c);
+    });
+  }
   return y;
 }
 
-Matrix Dropout::backward(const Matrix& dy) const {
+Matrix Dropout::backward(const Matrix& dy, const ExecContext& ctx) const {
   if (p_ == 0.0) return dy;
   PF_CHECK(!mask_.empty()) << "backward before training forward";
   PF_CHECK(dy.same_shape(mask_));
   Matrix dx(dy.rows(), dy.cols());
-  for (std::size_t r = 0; r < dy.rows(); ++r)
-    for (std::size_t c = 0; c < dy.cols(); ++c)
-      dx(r, c) = dy(r, c) * mask_(r, c);
+  ctx.parallel_for(dy.rows(), [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r)
+      for (std::size_t c = 0; c < dy.cols(); ++c)
+        dx(r, c) = dy(r, c) * mask_(r, c);
+  });
   return dx;
 }
 

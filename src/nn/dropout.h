@@ -3,8 +3,18 @@
 // Deterministic given the layer's RNG stream; disabled at evaluation time
 // and when p == 0 (the default in BertConfig, so the reproduction
 // experiments are unaffected unless explicitly enabled).
+//
+// Threading follows the context's RngPartition policy (exec_context.h):
+//   kSequential — the seed stream: the mask is drawn serially in row-major
+//                 order (byte-compatible with the seed) and only the
+//                 elementwise apply parallelizes.
+//   kPerRow     — counter-derived per-row substreams (rng.h:
+//                 derive_stream_seed): mask generation parallelizes too and
+//                 stays bitwise identical at every thread count, but draws
+//                 a different (equally valid) mask than kSequential.
 #pragma once
 
+#include "src/common/exec_context.h"
 #include "src/common/rng.h"
 #include "src/linalg/matrix.h"
 
@@ -16,14 +26,18 @@ class Dropout {
 
   // Training: zeroes each element with prob p and scales survivors by
   // 1/(1-p); caches the mask for backward. Evaluation: identity.
-  Matrix forward(const Matrix& x, bool training = true);
-  Matrix backward(const Matrix& dy) const;
+  Matrix forward(const Matrix& x, bool training = true,
+                 const ExecContext& ctx = ExecContext::defaults());
+  Matrix backward(const Matrix& dy,
+                  const ExecContext& ctx = ExecContext::defaults()) const;
 
   double p() const { return p_; }
 
  private:
   double p_;
-  Rng rng_;
+  std::uint64_t seed_;
+  Rng rng_;                       // the sequential (seed-policy) stream
+  std::uint64_t draw_count_ = 0;  // training forwards taken (kPerRow stream)
   Matrix mask_;  // scaled keep-mask of the last training forward
 };
 

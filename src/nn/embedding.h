@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "src/common/exec_context.h"
 #include "src/common/rng.h"
 #include "src/nn/param.h"
 
@@ -17,11 +18,19 @@ class Embedding {
             Rng& rng, const std::string& name);
 
   // ids/segments are [batch × seq] flattened row-major; output is
-  // [batch·seq × d_model].
+  // [batch·seq × d_model]. The gather is token-parallel over the context
+  // (output rows are independent).
   Matrix forward(const std::vector<int>& ids, const std::vector<int>& segments,
-                 std::size_t batch, std::size_t seq, bool training = true);
-  // Scatter-adds gradients into the tables.
-  void backward(const Matrix& dy);
+                 std::size_t batch, std::size_t seq, bool training = true,
+                 const ExecContext& ctx = ExecContext::defaults());
+  // Scatter-adds gradients into the tables. Owner-computes sharding: the
+  // concatenated table rows [tokens | positions | segments] are split
+  // contiguously across threads and every shard scans the tokens in
+  // ascending order, applying only the updates landing in its rows — each
+  // table coordinate sees the serial accumulation order at every thread
+  // count (bitwise identical; see exec_context.h).
+  void backward(const Matrix& dy,
+                const ExecContext& ctx = ExecContext::defaults());
 
   std::vector<Param*> params() { return {&tokens_, &positions_, &segments_}; }
   std::size_t d_model() const { return d_model_; }

@@ -7,10 +7,11 @@
 
 namespace pf {
 
-double max_grad_check_error(const std::vector<Param*>& params,
-                            const std::function<double()>& loss_fn,
-                            std::size_t samples, double eps,
-                            std::uint64_t seed, double denom_floor) {
+double max_grad_check_error(
+    const std::vector<Param*>& params,
+    const std::function<double(const ExecContext&)>& loss_fn,
+    const ExecContext& ctx, std::size_t samples, double eps,
+    std::uint64_t seed, double denom_floor) {
   Rng rng(seed);
   double worst = 0.0;
   for (Param* p : params) {
@@ -22,9 +23,9 @@ double max_grad_check_error(const std::vector<Param*>& params,
       const std::size_t c = idx % p->w.cols();
       const double orig = p->w(r, c);
       p->w(r, c) = orig + eps;
-      const double up = loss_fn();
+      const double up = loss_fn(ctx);
       p->w(r, c) = orig - eps;
-      const double down = loss_fn();
+      const double down = loss_fn(ctx);
       p->w(r, c) = orig;
       const double numeric = (up - down) / (2.0 * eps);
       const double analytic = p->g(r, c);
@@ -34,6 +35,15 @@ double max_grad_check_error(const std::vector<Param*>& params,
     }
   }
   return worst;
+}
+
+double max_grad_check_error(const std::vector<Param*>& params,
+                            const std::function<double()>& loss_fn,
+                            std::size_t samples, double eps,
+                            std::uint64_t seed, double denom_floor) {
+  return max_grad_check_error(
+      params, [&](const ExecContext&) { return loss_fn(); },
+      ExecContext::defaults(), samples, eps, seed, denom_floor);
 }
 
 }  // namespace pf

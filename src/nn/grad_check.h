@@ -4,6 +4,7 @@
 
 #include <functional>
 
+#include "src/common/exec_context.h"
 #include "src/nn/param.h"
 
 namespace pf {
@@ -13,10 +14,22 @@ namespace pf {
 // deterministic pure function of the parameter values). Checks at most
 // `samples` randomly chosen coordinates per parameter.
 //
+// `loss_fn` receives the context so every numeric probe evaluates the model
+// under the same execution context that produced the analytic gradients —
+// the multi-threaded grad checks in the NnThreads suite rely on this. The
+// probes themselves stay serial (they mutate the shared parameters).
+//
 // The relative-error denominator is floored at `denom_floor`: central
 // differences of a loss L resolve gradients only down to ~eps_machine·L/eps
 // (≈1e-11 here), so near-zero gradient coordinates would otherwise report
 // pure cancellation noise as error.
+double max_grad_check_error(
+    const std::vector<Param*>& params,
+    const std::function<double(const ExecContext&)>& loss_fn,
+    const ExecContext& ctx, std::size_t samples = 8, double eps = 1e-5,
+    std::uint64_t seed = 42, double denom_floor = 1e-5);
+
+// Seed-era signature: evaluates under the process-default context.
 double max_grad_check_error(const std::vector<Param*>& params,
                             const std::function<double()>& loss_fn,
                             std::size_t samples = 8, double eps = 1e-5,

@@ -12,7 +12,8 @@ LayerNorm::LayerNorm(std::size_t dim, const std::string& name, double eps)
   gamma_.w.fill(1.0);
 }
 
-Matrix LayerNorm::forward(const Matrix& x, bool training) {
+Matrix LayerNorm::forward(const Matrix& x, bool training,
+                          const ExecContext& ctx) {
   PF_CHECK(x.cols() == dim_);
   const std::size_t n = x.rows();
   Matrix y(n, dim_);
@@ -20,53 +21,66 @@ Matrix LayerNorm::forward(const Matrix& x, bool training) {
     xhat_ = Matrix(n, dim_);
     inv_std_.assign(n, 0.0);
   }
-  for (std::size_t r = 0; r < n; ++r) {
-    const double* row = x.row(r);
-    double mean = 0.0;
-    for (std::size_t c = 0; c < dim_; ++c) mean += row[c];
-    mean /= static_cast<double>(dim_);
-    double var = 0.0;
-    for (std::size_t c = 0; c < dim_; ++c) {
-      const double d = row[c] - mean;
-      var += d * d;
+  ctx.parallel_for(n, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      const double* row = x.row(r);
+      double mean = 0.0;
+      for (std::size_t c = 0; c < dim_; ++c) mean += row[c];
+      mean /= static_cast<double>(dim_);
+      double var = 0.0;
+      for (std::size_t c = 0; c < dim_; ++c) {
+        const double d = row[c] - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(dim_);
+      const double inv = 1.0 / std::sqrt(var + eps_);
+      for (std::size_t c = 0; c < dim_; ++c) {
+        const double xh = (row[c] - mean) * inv;
+        if (training) xhat_(r, c) = xh;
+        y(r, c) = xh * gamma_.w(0, c) + beta_.w(0, c);
+      }
+      if (training) inv_std_[r] = inv;
     }
-    var /= static_cast<double>(dim_);
-    const double inv = 1.0 / std::sqrt(var + eps_);
-    for (std::size_t c = 0; c < dim_; ++c) {
-      const double xh = (row[c] - mean) * inv;
-      if (training) xhat_(r, c) = xh;
-      y(r, c) = xh * gamma_.w(0, c) + beta_.w(0, c);
-    }
-    if (training) inv_std_[r] = inv;
-  }
+  });
   return y;
 }
 
-Matrix LayerNorm::backward(const Matrix& dy) {
+Matrix LayerNorm::backward(const Matrix& dy, const ExecContext& ctx) {
   PF_CHECK(!xhat_.empty()) << "backward before forward";
   PF_CHECK(dy.rows() == xhat_.rows() && dy.cols() == dim_);
   const std::size_t n = dy.rows();
   const double dimd = static_cast<double>(dim_);
   Matrix dx(n, dim_);
-  for (std::size_t r = 0; r < n; ++r) {
-    // dxhat = dy ∘ gamma; dx = inv_std·(dxhat − mean(dxhat)
-    //         − xhat·mean(dxhat ∘ xhat)).
-    double mean_dxhat = 0.0, mean_dxhat_xhat = 0.0;
-    for (std::size_t c = 0; c < dim_; ++c) {
-      const double dxh = dy(r, c) * gamma_.w(0, c);
-      mean_dxhat += dxh;
-      mean_dxhat_xhat += dxh * xhat_(r, c);
-      gamma_.g(0, c) += dy(r, c) * xhat_(r, c);
-      beta_.g(0, c) += dy(r, c);
+  // Phase 1, row-parallel: dxhat = dy ∘ gamma;
+  // dx = inv_std·(dxhat − mean(dxhat) − xhat·mean(dxhat ∘ xhat)).
+  ctx.parallel_for(n, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      double mean_dxhat = 0.0, mean_dxhat_xhat = 0.0;
+      for (std::size_t c = 0; c < dim_; ++c) {
+        const double dxh = dy(r, c) * gamma_.w(0, c);
+        mean_dxhat += dxh;
+        mean_dxhat_xhat += dxh * xhat_(r, c);
+      }
+      mean_dxhat /= dimd;
+      mean_dxhat_xhat /= dimd;
+      for (std::size_t c = 0; c < dim_; ++c) {
+        const double dxh = dy(r, c) * gamma_.w(0, c);
+        dx(r, c) =
+            inv_std_[r] * (dxh - mean_dxhat - xhat_(r, c) * mean_dxhat_xhat);
+      }
     }
-    mean_dxhat /= dimd;
-    mean_dxhat_xhat /= dimd;
-    for (std::size_t c = 0; c < dim_; ++c) {
-      const double dxh = dy(r, c) * gamma_.w(0, c);
-      dx(r, c) =
-          inv_std_[r] * (dxh - mean_dxhat - xhat_(r, c) * mean_dxhat_xhat);
+  });
+  // Phase 2, column-sharded parameter gradients: each gamma/beta coordinate
+  // accumulates its rows in ascending order — the serial sequence per
+  // memory location, so every thread count is bitwise equal to serial.
+  ctx.parallel_for(dim_, [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = c0; c < c1; ++c) {
+        gamma_.g(0, c) += dy(r, c) * xhat_(r, c);
+        beta_.g(0, c) += dy(r, c);
+      }
     }
-  }
+  });
   return dx;
 }
 

@@ -1,6 +1,7 @@
 // Layer normalization over the feature dimension with learnable gain/bias.
 #pragma once
 
+#include "src/common/exec_context.h"
 #include "src/nn/param.h"
 
 namespace pf {
@@ -9,8 +10,15 @@ class LayerNorm {
  public:
   LayerNorm(std::size_t dim, const std::string& name, double eps = 1e-5);
 
-  Matrix forward(const Matrix& x, bool training = true);
-  Matrix backward(const Matrix& dy);
+  // Row-parallel over the context: each row's mean/variance/normalization
+  // is independent, so every thread count matches serial bit for bit.
+  Matrix forward(const Matrix& x, bool training = true,
+                 const ExecContext& ctx = ExecContext::defaults());
+  // dx is row-parallel; the gamma/beta gradient accumulation is
+  // column-sharded (each coordinate sums rows in ascending order — the
+  // serial per-location order at every thread count).
+  Matrix backward(const Matrix& dy,
+                  const ExecContext& ctx = ExecContext::defaults());
 
   std::vector<Param*> params() { return {&gamma_, &beta_}; }
 

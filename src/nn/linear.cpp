@@ -25,30 +25,37 @@ Linear::Linear(std::size_t d_in, std::size_t d_out, Rng& rng,
   w_.w = Matrix::randn(d_in, d_out, rng, init_std);
 }
 
-Matrix Linear::forward(const Matrix& x, bool training) {
+Matrix Linear::forward(const Matrix& x, bool training,
+                       const ExecContext& ctx) {
   PF_CHECK(x.cols() == d_in_)
       << name_ << ": input cols " << x.cols() << " != d_in " << d_in_;
-  Matrix y = matmul(x, w_.w);
-  for (std::size_t r = 0; r < y.rows(); ++r) {
-    double* row = y.row(r);
-    for (std::size_t c = 0; c < d_out_; ++c) row[c] += b_.w(0, c);
-  }
+  Matrix y = matmul(x, w_.w, ctx.gemm_threads());
+  ctx.parallel_for(y.rows(), [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      double* row = y.row(r);
+      for (std::size_t c = 0; c < d_out_; ++c) row[c] += b_.w(0, c);
+    }
+  });
   if (training) x_cache_ = x;
   return y;
 }
 
-Matrix Linear::backward(const Matrix& dy) {
+Matrix Linear::backward(const Matrix& dy, const ExecContext& ctx) {
   PF_CHECK(dy.cols() == d_out_);
   PF_CHECK(!x_cache_.empty()) << name_ << ": backward before forward";
   PF_CHECK(dy.rows() == x_cache_.rows());
   dy_cache_ = dy;
   // dW += xᵀ·dy; db += column sums; dx = dy·Wᵀ.
-  matmul_tn_acc(x_cache_, dy, w_.g);
-  for (std::size_t r = 0; r < dy.rows(); ++r) {
-    const double* row = dy.row(r);
-    for (std::size_t c = 0; c < d_out_; ++c) b_.g(0, c) += row[c];
-  }
-  return matmul_nt(dy, w_.w);
+  matmul_tn_acc(x_cache_, dy, w_.g, 1.0, ctx.gemm_threads());
+  // db column-sharded: every bias coordinate accumulates its rows in
+  // ascending order regardless of the partition — bitwise equal to serial.
+  ctx.parallel_for(d_out_, [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t r = 0; r < dy.rows(); ++r) {
+      const double* row = dy.row(r);
+      for (std::size_t c = c0; c < c1; ++c) b_.g(0, c) += row[c];
+    }
+  });
+  return matmul_nt(dy, w_.w, ctx.gemm_threads());
 }
 
 }  // namespace pf

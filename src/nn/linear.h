@@ -6,6 +6,7 @@
 // the two tensors the curvature work of PipeFisher consumes.
 #pragma once
 
+#include "src/common/exec_context.h"
 #include "src/common/rng.h"
 #include "src/nn/param.h"
 
@@ -16,10 +17,15 @@ class Linear {
   Linear(std::size_t d_in, std::size_t d_out, Rng& rng,
          const std::string& name, double init_std = 0.02);
 
-  // y = x·W + b. Caches x when `training`.
-  Matrix forward(const Matrix& x, bool training = true);
-  // Accumulates dW, db; returns dx. Caches dy for K-FAC.
-  Matrix backward(const Matrix& dy);
+  // y = x·W + b. Caches x when `training`. The context threads the GEMM
+  // row blocks and the bias-add row loop (bitwise identical at every thread
+  // count — see exec_context.h).
+  Matrix forward(const Matrix& x, bool training = true,
+                 const ExecContext& ctx = ExecContext::defaults());
+  // Accumulates dW, db; returns dx. Caches dy for K-FAC. db is
+  // column-sharded so each bias coordinate sums its rows in serial order.
+  Matrix backward(const Matrix& dy,
+                  const ExecContext& ctx = ExecContext::defaults());
 
   std::size_t d_in() const { return d_in_; }
   std::size_t d_out() const { return d_out_; }

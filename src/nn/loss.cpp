@@ -8,11 +8,14 @@
 namespace pf {
 
 LossResult softmax_cross_entropy(const Matrix& logits,
-                                 const std::vector<int>& labels) {
+                                 const std::vector<int>& labels,
+                                 const ExecContext& ctx) {
   PF_CHECK(labels.size() == logits.rows());
   LossResult res;
   res.dlogits = Matrix(logits.rows(), logits.cols(), 0.0);
-  const Matrix p = softmax_rows(logits);
+  const Matrix p = softmax_rows(logits, ctx);
+  // Serial scalar reduction: the loss sums counted rows in ascending order,
+  // the seed sequence, so the value is thread-count-independent.
   double total = 0.0;
   for (std::size_t r = 0; r < logits.rows(); ++r) {
     if (labels[r] < 0) continue;
@@ -25,12 +28,14 @@ LossResult softmax_cross_entropy(const Matrix& logits,
   if (res.counted == 0) return res;
   const double inv = 1.0 / static_cast<double>(res.counted);
   res.loss = total * inv;
-  for (std::size_t r = 0; r < logits.rows(); ++r) {
-    if (labels[r] < 0) continue;
-    for (std::size_t c = 0; c < logits.cols(); ++c)
-      res.dlogits(r, c) = p(r, c) * inv;
-    res.dlogits(r, static_cast<std::size_t>(labels[r])) -= inv;
-  }
+  ctx.parallel_for(logits.rows(), [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      if (labels[r] < 0) continue;
+      for (std::size_t c = 0; c < logits.cols(); ++c)
+        res.dlogits(r, c) = p(r, c) * inv;
+      res.dlogits(r, static_cast<std::size_t>(labels[r])) -= inv;
+    }
+  });
   return res;
 }
 

@@ -3,6 +3,7 @@
 // entropy. The pretraining loss is their sum, as in the paper (§4).
 #pragma once
 
+#include "src/common/exec_context.h"
 #include "src/linalg/matrix.h"
 
 namespace pf {
@@ -15,8 +16,12 @@ struct LossResult {
 };
 
 // Cross entropy over rows of `logits` [N × C]; rows with label < 0 are
-// ignored. Mean over counted rows.
+// ignored. Mean over counted rows. The softmax and the dlogits fill are
+// row-parallel over the context; the scalar loss reduction stays serial so
+// its accumulation order (and hence the value) matches the seed exactly.
 LossResult softmax_cross_entropy(const Matrix& logits,
-                                 const std::vector<int>& labels);
+                                 const std::vector<int>& labels,
+                                 const ExecContext& ctx =
+                                     ExecContext::defaults());
 
 }  // namespace pf

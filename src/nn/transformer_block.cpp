@@ -12,24 +12,26 @@ TransformerBlock::TransformerBlock(std::size_t d_model, std::size_t d_ff,
       ln2_(d_model, name + ".ln2") {}
 
 Matrix TransformerBlock::forward(const Matrix& x, std::size_t batch,
-                                 std::size_t seq, bool training) {
-  Matrix a = attn_.forward(x, batch, seq, training);
+                                 std::size_t seq, bool training,
+                                 const ExecContext& ctx) {
+  Matrix a = attn_.forward(x, batch, seq, training, ctx);
   a += x;  // residual
-  const Matrix h = ln1_.forward(a, training);
-  Matrix f = w2_.forward(gelu_.forward(w1_.forward(h, training), training),
-                         training);
+  const Matrix h = ln1_.forward(a, training, ctx);
+  Matrix f = w2_.forward(
+      gelu_.forward(w1_.forward(h, training, ctx), training, ctx), training,
+      ctx);
   f += h;  // residual
-  return ln2_.forward(f, training);
+  return ln2_.forward(f, training, ctx);
 }
 
-Matrix TransformerBlock::backward(const Matrix& dy) {
-  const Matrix df = ln2_.backward(dy);
+Matrix TransformerBlock::backward(const Matrix& dy, const ExecContext& ctx) {
+  const Matrix df = ln2_.backward(dy, ctx);
   // f = h + FFN(h): gradient flows both directly and through the FFN.
-  Matrix dh = w1_.backward(gelu_.backward(w2_.backward(df)));
+  Matrix dh = w1_.backward(gelu_.backward(w2_.backward(df, ctx), ctx), ctx);
   dh += df;
-  const Matrix da = ln1_.backward(dh);
+  const Matrix da = ln1_.backward(dh, ctx);
   // a = x + Attention(x).
-  Matrix dx = attn_.backward(da);
+  Matrix dx = attn_.backward(da, ctx);
   dx += da;
   return dx;
 }

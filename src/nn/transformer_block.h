@@ -17,8 +17,10 @@ class TransformerBlock {
                    Rng& rng, const std::string& name);
 
   Matrix forward(const Matrix& x, std::size_t batch, std::size_t seq,
-                 bool training = true);
-  Matrix backward(const Matrix& dy);
+                 bool training = true,
+                 const ExecContext& ctx = ExecContext::defaults());
+  Matrix backward(const Matrix& dy,
+                  const ExecContext& ctx = ExecContext::defaults());
 
   std::vector<Param*> params();
   std::vector<Linear*> kfac_linears();

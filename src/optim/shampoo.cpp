@@ -5,8 +5,9 @@
 
 namespace pf {
 
-Shampoo::Shampoo(double eps, std::size_t root_interval)
-    : eps_(eps), root_interval_(root_interval) {
+Shampoo::Shampoo(double eps, std::size_t root_interval,
+                 const ExecContext& exec)
+    : eps_(eps), root_interval_(root_interval), exec_(exec) {
   PF_CHECK(eps > 0.0);
   PF_CHECK(root_interval >= 1);
 }
@@ -23,16 +24,18 @@ void Shampoo::step(const std::vector<Param*>& params, double lr) {
     }
     State& st = it->second;
     // Statistics update (the analog of K-FAC curvature work).
-    matmul_nt_acc(p->g, p->g, st.l);
-    matmul_tn_acc(p->g, p->g, st.r);
+    matmul_nt_acc(p->g, p->g, st.l, 1.0, exec_.gemm_threads());
+    matmul_tn_acc(p->g, p->g, st.r, 1.0, exec_.gemm_threads());
     // Root refresh (the analog of inversion work — eigendecompositions).
     if (refresh_roots || !st.has_roots) {
-      st.l_root = sym_inverse_pth_root(st.l, 4.0, eps_);
-      st.r_root = sym_inverse_pth_root(st.r, 4.0, eps_);
+      st.l_root = sym_inverse_pth_root(st.l, 4.0, eps_, exec_);
+      st.r_root = sym_inverse_pth_root(st.r, 4.0, eps_, exec_);
       st.has_roots = true;
     }
     // Precondition + update.
-    const Matrix update = matmul(matmul(st.l_root, p->g), st.r_root);
+    const Matrix update =
+        matmul(matmul(st.l_root, p->g, exec_.gemm_threads()), st.r_root,
+               exec_.gemm_threads());
     for (std::size_t i = 0; i < p->w.rows(); ++i)
       for (std::size_t j = 0; j < p->w.cols(); ++j)
         p->w(i, j) -= lr * update(i, j);

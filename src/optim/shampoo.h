@@ -10,13 +10,18 @@
 // (stale-root rule, like K-FAC's stale inverses).
 #pragma once
 
+#include "src/common/exec_context.h"
 #include "src/optim/optimizer.h"
 
 namespace pf {
 
 class Shampoo : public Optimizer {
  public:
-  explicit Shampoo(double eps = 1e-6, std::size_t root_interval = 1);
+  // `exec` threads the statistics GEMMs and the eigendecomposition-based
+  // root refreshes (sym_eig / sym_matrix_function fan out over it; every
+  // thread count is bitwise identical — see eig.h).
+  explicit Shampoo(double eps = 1e-6, std::size_t root_interval = 1,
+                   const ExecContext& exec = ExecContext::defaults());
   void step(const std::vector<Param*>& params, double lr) override;
 
  private:
@@ -29,6 +34,7 @@ class Shampoo : public Optimizer {
   };
   double eps_;
   std::size_t root_interval_;
+  ExecContext exec_;
   std::size_t t_ = 0;
   std::unordered_map<Param*, State> state_;
 };

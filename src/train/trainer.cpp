@@ -29,7 +29,7 @@ BertLossBreakdown Trainer::step() {
   BertLossBreakdown total{};
   for (std::size_t a = 0; a < cfg_.accumulation_steps; ++a) {
     const auto batch = batcher_.next_batch(cfg_.batch_size, data_rng_);
-    const auto losses = model_.train_step_backward(batch);
+    const auto losses = model_.train_step_backward(batch, cfg_.exec);
     total.total += losses.total;
     total.mlm += losses.mlm;
     total.nsp += losses.nsp;

@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "src/common/exec_context.h"
 #include "src/data/mlm_batcher.h"
 #include "src/optim/lr_schedule.h"
 #include "src/optim/optimizer.h"
@@ -19,6 +20,10 @@ struct TrainerConfig {
   // this many micro-batches (paper Appendix B.2 simulates an 8K batch on 32
   // GPUs by accumulating over 8 sub-steps).
   std::size_t accumulation_steps = 1;
+  // Execution context every forward/backward of the run threads through
+  // (PF_NN_THREADS / PF_GEMM_THREADS in the examples). The default follows
+  // the process knobs; any value is bitwise identical to serial.
+  ExecContext exec = ExecContext::defaults();
 };
 
 struct TrainTrace {

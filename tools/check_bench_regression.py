@@ -1,21 +1,34 @@
 #!/usr/bin/env python3
 """Gate CI on GEMM microbench throughput regressions.
 
-Compares a fresh microbench_kernels JSON run against the committed baseline
-(BENCH_kernels.json) and fails (exit 1) when any GEMM-family benchmark's
-GFLOP/s (items_per_second) drops more than --threshold (default 30%).
+Compares a fresh microbench_kernels JSON run against a committed baseline
+and fails (exit 1) when any GEMM-family benchmark's GFLOP/s
+(items_per_second) drops more than --threshold (default 30%).
 
-The comparison only runs when both files report the same context.num_cpus:
-the committed baseline may come from a cgroup-limited dev container (its
-cpu_budget_note context entry says so), and GFLOP/s across different CPU
-budgets is not a like-for-like comparison. On mismatch the script prints the
-two budgets and exits 0 (skipped, not passed).
+BASELINE may be a single JSON file or a directory of per-runner-shape
+baselines (tools/bench_baselines/*.json). GFLOP/s across different CPU
+budgets is not a like-for-like comparison (the dev-container baseline is
+cgroup-limited to 1 CPU), so the baseline whose context.num_cpus matches the
+current run is selected.
 
-Usage: check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.30]
+When no committed baseline matches the runner shape, the optional
+--fallback file is tried — in CI this is the previous run's JSON restored
+from a per-shape actions/cache, so the gate arms itself on every runner
+shape from the second run onward instead of self-skipping forever. The
+fallback comparison is a run-to-run ratchet on a shared runner, so it uses
+its own, more lenient --fallback-threshold (default 50%).
+
+Only when neither source matches does the script print the shapes it saw
+and exit 0 (skipped, not passed).
+
+Usage: check_bench_regression.py BASELINE CURRENT
+           [--threshold 0.30] [--fallback FILE] [--fallback-threshold 0.50]
 """
 
 import argparse
+import glob
 import json
+import os
 import sys
 
 # Benchmark families whose items_per_second is a GFLOP/s measure we gate on.
@@ -25,6 +38,10 @@ GEMM_FAMILIES = ("BM_GemmForward", "BM_GemmBackwardNt", "BM_CurvatureFactor")
 def load(path):
     with open(path) as f:
         return json.load(f)
+
+
+def num_cpus(doc):
+    return doc.get("context", {}).get("num_cpus")
 
 
 def gemm_rates(doc):
@@ -40,32 +57,35 @@ def gemm_rates(doc):
     return rates
 
 
-def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("baseline")
-    ap.add_argument("current")
-    ap.add_argument("--threshold", type=float, default=0.30,
-                    help="max tolerated fractional GFLOP/s drop (default 0.30)")
-    args = ap.parse_args()
+def pick_baseline(path, cur_cpus):
+    """Returns (path, doc) of the first baseline matching cur_cpus, plus a
+    description of every candidate shape for the skip message."""
+    if os.path.isdir(path):
+        files = sorted(glob.glob(os.path.join(path, "*.json")))
+    else:
+        files = [path] if os.path.exists(path) else []
+    shapes = []
+    match = None
+    for f in files:
+        try:
+            doc = load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            shapes.append(f"{f} (unreadable: {e})")
+            continue
+        shapes.append(f"{f} (num_cpus={num_cpus(doc)})")
+        if match is None and num_cpus(doc) == cur_cpus:
+            match = (f, doc)
+    return match, shapes
 
-    baseline = load(args.baseline)
-    current = load(args.current)
 
-    base_cpus = baseline.get("context", {}).get("num_cpus")
-    cur_cpus = current.get("context", {}).get("num_cpus")
-    if base_cpus != cur_cpus:
-        print(f"SKIP: baseline num_cpus={base_cpus} vs current "
-              f"num_cpus={cur_cpus} — GFLOP/s not comparable across CPU "
-              f"budgets (baseline note: "
-              f"{baseline.get('context', {}).get('cpu_budget_note', 'n/a')})")
-        return 0
-
+def compare(baseline, current, threshold, label):
+    """Prints the per-benchmark comparison; returns (failures, compared) or
+    None when there is nothing to compare."""
     base_rates = gemm_rates(baseline)
     cur_rates = gemm_rates(current)
     if not base_rates:
-        print("SKIP: baseline has no GEMM-family benchmarks to compare")
-        return 0
-
+        print(f"note: {label} has no GEMM-family benchmarks to compare")
+        return None
     failures = []
     compared = 0
     for name, base in sorted(base_rates.items()):
@@ -75,22 +95,75 @@ def main():
             continue
         compared += 1
         ratio = cur / base
-        marker = "FAIL" if ratio < 1.0 - args.threshold else "ok"
+        marker = "FAIL" if ratio < 1.0 - threshold else "ok"
         print(f"{marker:>4}  {name}: {base / 1e9:.2f} -> {cur / 1e9:.2f} "
-              f"GFLOP/s ({ratio:.2%} of baseline)")
-        if ratio < 1.0 - args.threshold:
+              f"GFLOP/s ({ratio:.2%} of {label})")
+        if ratio < 1.0 - threshold:
             failures.append(name)
-
     if compared == 0:
-        print("SKIP: no overlapping GEMM benchmarks between baseline and "
-              "current run")
-        return 0
+        print(f"note: no overlapping GEMM benchmarks with {label}")
+        return None
+    return failures, compared
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline",
+                    help="committed baseline JSON file, or a directory of "
+                         "per-runner-shape baselines")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.30,
+                    help="max tolerated fractional GFLOP/s drop vs a "
+                         "committed baseline (default 0.30)")
+    ap.add_argument("--fallback", default=None,
+                    help="per-shape baseline from the previous CI run on "
+                         "this runner shape (actions/cache); used only when "
+                         "no committed baseline matches num_cpus")
+    ap.add_argument("--fallback-threshold", type=float, default=0.50,
+                    help="threshold for the run-to-run fallback comparison "
+                         "(default 0.50 — shared runners are noisy)")
+    args = ap.parse_args()
+
+    current = load(args.current)
+    cur_cpus = num_cpus(current)
+
+    match, shapes = pick_baseline(args.baseline, cur_cpus)
+    if match is not None:
+        path, baseline = match
+        print(f"baseline: {path} (num_cpus={num_cpus(baseline)})")
+        result = compare(baseline, current, args.threshold, "committed baseline")
+        if result is None:
+            print("SKIP: matching baseline had nothing comparable")
+            return 0
+    else:
+        print(f"no committed baseline matches num_cpus={cur_cpus}; saw: "
+              f"{'; '.join(shapes) if shapes else 'none'}")
+        result = None
+        if args.fallback and os.path.exists(args.fallback):
+            fallback = load(args.fallback)
+            if num_cpus(fallback) == cur_cpus:
+                print(f"fallback: {args.fallback} (previous run on this "
+                      f"runner shape, threshold "
+                      f"{args.fallback_threshold:.0%})")
+                result = compare(fallback, current, args.fallback_threshold,
+                                 "previous-run fallback")
+            else:
+                print(f"fallback {args.fallback} has num_cpus="
+                      f"{num_cpus(fallback)} — not comparable either")
+        if result is None:
+            print("SKIP: nothing comparable for this runner shape yet — "
+                  "commit this run's JSON as "
+                  f"tools/bench_baselines/BENCH_kernels_{cur_cpus}cpu.json "
+                  "to arm the committed gate (see tools/bench_baselines/"
+                  "README.md)")
+            return 0
+
+    failures, compared = result
     if failures:
-        print(f"\n{len(failures)}/{compared} GEMM benchmarks regressed more "
-              f"than {args.threshold:.0%} vs the committed baseline")
+        print(f"\n{len(failures)}/{compared} GEMM benchmarks regressed "
+              f"beyond the threshold")
         return 1
-    print(f"\nall {compared} GEMM benchmarks within {args.threshold:.0%} of "
-          f"the committed baseline")
+    print(f"\nall {compared} GEMM benchmarks within threshold")
     return 0
 
 
