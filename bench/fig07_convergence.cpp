@@ -82,7 +82,10 @@ int main() {
   set_gemm_threads(env_int("PF_GEMM_THREADS", 1));
   ExecContext::set_default_nn_threads(env_int("PF_NN_THREADS", 1));
   const std::string schedule = env_str("PF_SCHEDULE", "chimera");
-  traits_of(schedule);  // fail a typo now, not after the training runs
+  // Fail a typo (or a flushless schedule, which has no per-step bubble
+  // model) now, not after the training runs.
+  PF_CHECK(traits_of(schedule).flush)
+      << schedule << " is flushless; pick a flush schedule for this report";
 
   bench::heading(format(
       "Figure 7: pretraining convergence, NVLAMB vs K-FAC (%zu steps)",

@@ -1,0 +1,179 @@
+// Executable-pipeline-runtime baseline: REAL wall-clock evidence for the
+// paper's claim, measured on actual tensors rather than the simulator.
+//
+//   $ ./pipeline_runtime_baseline [BENCH_pipeline_runtime.json] [steps]
+//
+// For each worker count it times (a) the sequential reference — serial
+// Trainer, fwd/bwd of every micro-batch then K-FAC curvature/inversion/
+// precondition back to back — and (b) the pipeline runtime, where the same
+// K-FAC work items ride the realized pipeline bubbles. Both produce
+// bit-identical losses (asserted here every run); only the wall clock and
+// the executed timeline differ. The executed utilization is reported next
+// to the discrete-event simulator's prediction for the same schedule.
+//
+// Reading the numbers: with >= 2 worker threads the bubble-filled step
+// should beat the sequential one (the acceptance claim). On a cgroup-
+// limited 1-CPU container the extra workers add no wall-clock parallelism
+// and the pipeline's task-handoff overhead makes speedup ~1x or below —
+// the cpu_budget_note in the JSON says which world the recording came
+// from; CI's multi-core artifact (BENCH_pipeline_runtime_ci.json) is the
+// one that demonstrates the win.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/strings.h"
+#include "src/optim/lamb.h"
+#include "src/pipeline/simulator.h"
+#include "src/train/pipeline_runtime.h"
+
+namespace {
+
+using namespace pf;
+
+BertConfig bench_bert() {
+  BertConfig cfg;
+  cfg.vocab = 48;
+  cfg.d_model = 64;
+  cfg.d_ff = 128;
+  cfg.n_heads = 4;
+  cfg.n_layers = 4;
+  cfg.seq_len = 32;
+  return cfg;
+}
+
+struct TimedRun {
+  std::vector<double> losses;
+  double seconds_per_step = 0.0;
+  double utilization = 0.0;  // executed (pipeline runs only)
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : "BENCH_pipeline_runtime.json";
+  const std::size_t steps =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 8;
+  const auto cfg = bench_bert();
+  const int n_micro = 8;
+  const std::size_t micro_batch = 8;
+  const int n_stages = 4;
+  const char* schedule = "1f1b";
+
+  CorpusConfig cc;
+  cc.vocab = cfg.vocab;
+  SyntheticCorpus corpus(cc);
+  MlmBatcherConfig bc;
+  bc.seq_len = cfg.seq_len;
+  MlmBatcher batcher(corpus, bc);
+
+  auto serial_run = [&]() {
+    Rng rng(7);
+    BertModel model(cfg, rng);
+    TrainerConfig tc;
+    tc.batch_size = micro_batch;
+    tc.accumulation_steps = static_cast<std::size_t>(n_micro);
+    tc.total_steps = steps;
+    tc.schedule = PolyWarmupSchedule(1e-2, 0, steps);
+    KfacOptimizerOptions o;
+    o.inverse_interval = 3;
+    o.per_micro_curvature = true;
+    Trainer trainer(model, batcher,
+                    std::make_unique<KfacOptimizer>(
+                        model.kfac_linears(), std::make_unique<Lamb>(), o),
+                    tc);
+    TimedRun r;
+    const double t0 = now_seconds();
+    const auto trace = trainer.run();
+    r.seconds_per_step = (now_seconds() - t0) / static_cast<double>(steps);
+    r.losses = trace.loss;
+    return r;
+  };
+
+  auto pipeline_run = [&](int workers) {
+    Rng rng(7);
+    BertModel model(cfg, rng);
+    PipelineRuntimeConfig pc;
+    pc.schedule = schedule;
+    pc.n_stages = n_stages;
+    pc.n_micro = n_micro;
+    pc.micro_batch_size = micro_batch;
+    pc.total_steps = steps;
+    pc.lr = PolyWarmupSchedule(1e-2, 0, steps);
+    pc.workers = workers;
+    pc.stage_threads = 1;
+    pc.use_kfac = true;
+    pc.kfac.inverse_interval = 3;
+    PipelineRuntime rt(model, batcher, pc);
+    TimedRun r;
+    const double t0 = now_seconds();
+    const auto trace = rt.run();
+    r.seconds_per_step = (now_seconds() - t0) / static_cast<double>(steps);
+    r.losses = trace.loss;
+    r.utilization = rt.last_executed_timeline().utilization();
+    return r;
+  };
+
+  // Simulator prediction for the same schedule shape (unit §3.3 costs).
+  ScheduleParams sp;
+  sp.n_stages = n_stages;
+  sp.n_micro = n_micro;
+  const auto sim = simulate_step(build_schedule(schedule, sp), StepCosts{});
+  const double sim_util = sim.timeline.utilization(0.0, sim.pipe_makespan);
+
+  std::printf("sequential reference (serial Trainer + K-FAC)...\n");
+  const auto serial = serial_run();
+  std::printf("  %.1f ms/step\n", serial.seconds_per_step * 1e3);
+
+  std::string rows;
+  for (const int workers : {1, 2, 4}) {
+    const auto pr = pipeline_run(workers);
+    // The whole point: same bits, different wall clock.
+    PF_CHECK(pr.losses == serial.losses)
+        << "pipeline losses diverged from the serial reference at workers="
+        << workers;
+    const double speedup = serial.seconds_per_step / pr.seconds_per_step;
+    std::printf(
+        "pipeline %s D=%d workers=%d: %.1f ms/step (%.2fx vs sequential), "
+        "executed utilization %s (simulator predicts %s)\n",
+        schedule, n_stages, workers, pr.seconds_per_step * 1e3, speedup,
+        percent(pr.utilization).c_str(), percent(sim_util).c_str());
+    if (!rows.empty()) rows += ",\n";
+    rows += format(
+        "    \"workers_%d\": {\"seconds_per_step\": %.6g, "
+        "\"speedup_vs_sequential\": %.4g, \"executed_utilization\": %.4g}",
+        workers, pr.seconds_per_step, speedup, pr.utilization);
+  }
+
+  const std::string json = format(
+      "{\n  \"shape\": {\"schedule\": \"%s\", \"n_stages\": %d, "
+      "\"n_micro\": %d, \"micro_batch\": %zu, \"steps\": %zu, "
+      "\"d_model\": %zu, \"n_layers\": %zu},\n"
+      "  \"cpu_budget_note\": \"bitwise-identical losses asserted for every "
+      "row; wall-clock speedup needs real cores — on a cgroup-limited 1-CPU "
+      "recording the workers>1 rows stay ~1x and the CI artifact "
+      "(BENCH_pipeline_runtime_ci.json) carries the multi-core numbers. "
+      "Compare only against runs with the same CPU budget.\",\n"
+      "  \"sequential_seconds_per_step\": %.6g,\n"
+      "  \"simulator_predicted_utilization\": %.4g,\n"
+      "  \"pipeline\": {\n%s\n  }\n}\n",
+      schedule, n_stages, n_micro, micro_batch, steps, cfg.d_model,
+      cfg.n_layers, serial.seconds_per_step, sim_util, rows.c_str());
+  FILE* f = std::fopen(path.c_str(), "w");
+  PF_CHECK(f != nullptr) << "cannot open " << path;
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

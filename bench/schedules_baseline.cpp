@@ -37,6 +37,12 @@ int main(int argc, char** argv) {
   std::vector<std::string> rows;
   for (const auto& name : list_schedules()) {
     const ScheduleTraits& traits = traits_of(name);
+    if (!traits.flush) {
+      std::printf("%-16s skipped: flushless (streaming perf lives in "
+                  "ext_async_pipeline, not the per-step baseline)\n",
+                  name.c_str());
+      continue;
+    }
     PipeFisherConfig cfg;
     cfg.schedule = name;
     cfg.arch = bert_base();

@@ -16,6 +16,19 @@
 // PF_SCHEDULE=<name> picks the pipeline schedule used for the closing
 // steps→simulated-wall-clock report (any name in list_schedules();
 // default chimera, mirroring PF_GEMM_THREADS' env-knob style).
+//
+// Pipeline-runtime mode (the EXECUTABLE PipeFisher): PF_STAGES=<D> trains
+// the K-FAC arm through src/train/pipeline_runtime — the model partitioned
+// into D real stages, per-micro-batch fwd/bwd as tasks on a worker pool,
+// K-FAC curvature/inversion dispatched into the realized bubbles, under
+// the PF_SCHEDULE schedule (flush schedules only). PF_MICROS=<N> sets the
+// micro-batches per step (gradient accumulation in serial mode, pipeline
+// micro-batches in runtime mode), PF_STAGE_THREADS the per-stage
+// ExecContext budget, PF_STAGE_WORKERS the pool size (0 = one per
+// device). The contract: stdout is byte-identical across PF_STAGES /
+// PF_STAGE_THREADS / PF_STAGE_WORKERS at a fixed PF_MICROS — the runtime
+// is bitwise equal to the serial trainer; the executed-timeline
+// utilization report goes to stderr.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -27,9 +40,11 @@
 #include "src/core/pipefisher.h"
 #include "src/linalg/gemm.h"
 #include "src/pipeline/schedule_registry.h"
+#include "src/pipeline/simulator.h"
 #include "src/optim/kfac_optimizer.h"
 #include "src/optim/lamb.h"
 #include "src/train/convergence.h"
+#include "src/train/pipeline_runtime.h"
 
 int main(int argc, char** argv) {
   using namespace pf;
@@ -38,6 +53,11 @@ int main(int argc, char** argv) {
   set_gemm_threads(env_int("PF_GEMM_THREADS", 1));
   ExecContext::set_default_nn_threads(env_int("PF_NN_THREADS", 1));
   const int layer_threads = env_int("PF_KFAC_LAYER_THREADS", 1);
+  const int n_stages = env_int("PF_STAGES", 0);
+  const int n_micros = env_int("PF_MICROS", 1);
+  const int stage_threads = env_int("PF_STAGE_THREADS", 1);
+  const int stage_workers = env_int("PF_STAGE_WORKERS", 0);
+  PF_CHECK(n_micros >= 1 && n_stages >= 0);
   // Config banner goes to stderr: stdout must stay byte-identical across
   // the bitwise-neutral thread knobs (the verify contract for this binary).
   std::fprintf(stderr,
@@ -46,8 +66,34 @@ int main(int argc, char** argv) {
                simd_level_name(active_simd_level()),
                simd_level_name(detected_simd_level()), gemm_threads(),
                ExecContext::default_nn_threads(), layer_threads);
+  if (n_stages > 0)
+    std::fprintf(stderr,
+                 "[pipeline] executable runtime: D=%d, micros=%d, "
+                 "stage_threads=%d, workers=%d\n",
+                 n_stages, n_micros, stage_threads, stage_workers);
   const std::string schedule = env_str("PF_SCHEDULE", "chimera");
-  traits_of(schedule);  // fail a typo now, not after the training run
+  // Fail a typo now, not after the training run; the runtime (and the
+  // closing PipeFisher report) need a flush schedule.
+  PF_CHECK(traits_of(schedule).flush)
+      << schedule << " is flushless; pick a flush schedule";
+  if (n_stages > 0) {
+    // Validate the runtime shape up front with the knob names in the
+    // message — e.g. the default PF_SCHEDULE=chimera needs an even
+    // PF_MICROS >= 2, which bare PF_STAGES=2 does not satisfy.
+    ScheduleParams sp;
+    sp.n_stages = n_stages;
+    sp.n_micro = n_micros;
+    try {
+      traits_of(schedule).check_params(sp);
+    } catch (const Error& e) {
+      std::fprintf(stderr,
+                   "PF_STAGES=%d PF_MICROS=%d does not fit PF_SCHEDULE=%s: "
+                   "%s\n(adjust PF_MICROS/PF_STAGES or pick another "
+                   "PF_SCHEDULE)\n",
+                   n_stages, n_micros, schedule.c_str(), e.what());
+      return 1;
+    }
+  }
 
   // Model: a miniature BERT (2 encoder blocks) — same structure as the
   // paper's target, scaled to CPU.
@@ -74,19 +120,54 @@ int main(int argc, char** argv) {
     BertModel model(cfg, rng);
     std::printf("model: %zu parameters, %zu K-FAC-tracked linears\n",
                 model.n_params(), model.kfac_linears().size());
+    const PolyWarmupSchedule lr(
+        2e-2, use_kfac ? steps * 85 / 1000 : steps * 28 / 100, steps);
+    KfacOptimizerOptions o;
+    o.kfac.damping = 1e-3;
+    o.kfac.gemm_threads = 0;  // follow the PF_GEMM_THREADS global knob
+    o.kfac.layer_threads = layer_threads;
+    o.inverse_interval = 3;
+    // Per-micro curvature is the runtime's semantics. For THIS example's
+    // micro shape (32 sequences × 16 tokens = 512 rows, a power of two)
+    // the single-micro estimate is bit-identical to the legacy path —
+    // 1/512 scaling commutes with the GEMM's per-panel rounding — so the
+    // default run's output is unchanged (see curvature.cpp for the
+    // general shape caveat).
+    o.per_micro_curvature = true;
+    if (use_kfac && n_stages > 0) {
+      // Executable pipeline runtime: same math, really pipelined.
+      PipelineRuntimeConfig pc;
+      pc.schedule = schedule;
+      pc.n_stages = n_stages;
+      pc.n_micro = n_micros;
+      pc.micro_batch_size = 32;
+      pc.total_steps = steps;
+      pc.lr = lr;
+      pc.stage_threads = stage_threads;
+      pc.workers = stage_workers;
+      pc.use_kfac = true;
+      pc.kfac = o;
+      PipelineRuntime rt(model, batcher, pc);
+      const auto trace = rt.run();
+      const auto sim = simulate_step(rt.spec(), StepCosts{});
+      std::fprintf(stderr,
+                   "[pipeline] %s D=%d: executed utilization %s over %s "
+                   "per step (simulator predicts %s for the pipe phase)\n",
+                   schedule.c_str(), n_stages,
+                   percent(rt.last_executed_timeline().utilization()).c_str(),
+                   human_time(rt.last_step_wall_seconds()).c_str(),
+                   percent(sim.timeline.utilization(0.0, sim.pipe_makespan))
+                       .c_str());
+      return trace;
+    }
     TrainerConfig tc;  // tc.exec defaults to the follow-the-knobs context:
                        // nn loops track PF_NN_THREADS, GEMMs PF_GEMM_THREADS
     tc.batch_size = 32;
+    tc.accumulation_steps = static_cast<std::size_t>(n_micros);
     tc.total_steps = steps;
-    tc.schedule = PolyWarmupSchedule(
-        2e-2, use_kfac ? steps * 85 / 1000 : steps * 28 / 100, steps);
+    tc.schedule = lr;
     std::unique_ptr<Optimizer> opt;
     if (use_kfac) {
-      KfacOptimizerOptions o;
-      o.kfac.damping = 1e-3;
-      o.kfac.gemm_threads = 0;  // follow the PF_GEMM_THREADS global knob
-      o.kfac.layer_threads = layer_threads;
-      o.inverse_interval = 3;
       opt = std::make_unique<KfacOptimizer>(model.kfac_linears(),
                                             std::make_unique<Lamb>(), o);
     } else {

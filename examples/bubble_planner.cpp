@@ -26,6 +26,12 @@ int main(int argc, char** argv) {
               "B", "thr(PF)", "refresh", "ratio", "memory", "fits?");
 
   for (const auto& name : list_schedules()) {
+    if (!traits_of(name).flush) {
+      std::printf("%-16s (flushless — no per-step bubbles to plan; see "
+                  "ext_async_pipeline)\n",
+                  name.c_str());
+      continue;
+    }
     for (std::size_t d : {4, 8, 16}) {
       for (std::size_t b : {8, 16, 32, 64}) {
         PerfModelInput in;

@@ -22,7 +22,9 @@ int main() {
 
   // 1. Describe the experiment: BERT-Base, 4 pipeline stages of 3 encoder
   //    blocks each, 4 micro-batches of 32 sequences, on a modeled P100.
-  //    Any name in list_schedules() works here.
+  //    Any FLUSH schedule in list_schedules() works here (flushless
+  //    entries like 1f1b-flushless have no per-step bubbles and are
+  //    modeled by simulate_async_1f1b instead).
   std::printf("available schedules : %s\n",
               join(list_schedules(), " | ").c_str());
   PipeFisherConfig cfg;

@@ -52,6 +52,14 @@ int main(int argc, char** argv) {
 
   PipeFisherConfig cfg;
   cfg.schedule = argc > 1 ? argv[1] : "chimera";
+  if (schedule_registered(cfg.schedule) && !traits_of(cfg.schedule).flush) {
+    std::printf(
+        "%s is flushless: it has no per-step bubbles for PipeFisher to "
+        "fill.\nIts streaming behaviour (utilization, weight staleness) is "
+        "modeled by\nsimulate_async_1f1b — see bench/ext_async_pipeline.\n",
+        cfg.schedule.c_str());
+    return 0;
+  }
   cfg.arch = transformer_by_name(argc > 2 ? argv[2] : "bert-base");
   cfg.hw = hardware_by_name(argc > 3 ? argv[3] : "p100");
   cfg.n_stages = argc > 4 ? std::atoi(argv[4]) : 8;

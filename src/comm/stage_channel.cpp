@@ -1,0 +1,68 @@
+#include "src/comm/stage_channel.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace pf {
+
+StageChannel::StageChannel(std::string name) : name_(std::move(name)) {}
+
+void StageChannel::send(int micro, Matrix payload) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PF_CHECK(!box_.contains(micro))
+        << name_ << ": duplicate send for micro " << micro;
+    box_.emplace(micro, std::move(payload));
+    order_.push_back(micro);
+  }
+  cv_.notify_all();
+}
+
+Matrix StageChannel::take(int micro) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = box_.find(micro);
+  PF_CHECK(it != box_.end())
+      << name_ << ": take(" << micro
+      << ") before the producer sent it (missing task dependency?)";
+  Matrix out = std::move(it->second);
+  box_.erase(it);
+  return out;
+}
+
+Matrix StageChannel::recv(int micro, double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool arrived = cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds),
+      [&] { return box_.contains(micro); });
+  PF_CHECK(arrived) << name_ << ": recv(" << micro << ") timed out after "
+                    << timeout_seconds << "s";
+  auto it = box_.find(micro);
+  Matrix out = std::move(it->second);
+  box_.erase(it);
+  return out;
+}
+
+bool StageChannel::has(int micro) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return box_.contains(micro);
+}
+
+std::size_t StageChannel::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return box_.size();
+}
+
+std::vector<int> StageChannel::send_order() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return order_;
+}
+
+void StageChannel::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  box_.clear();
+  order_.clear();
+}
+
+}  // namespace pf

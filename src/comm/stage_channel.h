@@ -1,0 +1,63 @@
+// Stage-boundary handover channel for the executable pipeline runtime.
+//
+// One StageChannel carries one direction of one stage boundary: forward
+// activations stage s -> s+1, or grad-activations stage s+1 -> s. Payloads
+// are keyed by micro-batch id (globally unique within a step, across
+// pipelines — Chimera's two pipelines share the model boundary, so one
+// channel per boundary and direction serves both).
+//
+// The runtime's task graph guarantees a send() happens-before the matching
+// take() (the consumer task depends on the producer task), so the hot path
+// is the non-blocking take(). recv() additionally waits — with a timeout
+// that turns a protocol bug (a consumer dispatched before its producer)
+// into a pf::Error instead of a hang.
+//
+// The channel records the order in which micro-batches were handed over;
+// tests pin this realized handover order against the schedule
+// (tests/test_pipeline_runtime.cpp).
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/linalg/matrix.h"
+
+namespace pf {
+
+class StageChannel {
+ public:
+  explicit StageChannel(std::string name = "channel");
+
+  // Deposits the payload for `micro`. Throws on a duplicate key (a
+  // double-send means the schedule executed an op twice).
+  void send(int micro, Matrix payload);
+
+  // Removes and returns the payload for `micro`; throws if absent.
+  Matrix take(int micro);
+
+  // Blocking variant: waits up to `timeout_seconds` for the payload.
+  Matrix recv(int micro, double timeout_seconds = 60.0);
+
+  bool has(int micro) const;
+  std::size_t pending() const;
+
+  // Micro ids in send() order — the realized handover order.
+  std::vector<int> send_order() const;
+  // Drops pending payloads and the send log (step-entry reset after a
+  // failed step, so stale handovers cannot masquerade as duplicates).
+  void clear();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<int, Matrix> box_;
+  std::vector<int> order_;
+};
+
+}  // namespace pf

@@ -1,0 +1,86 @@
+// Dependency-driven task executor over a ThreadPool — the execution engine
+// beneath the pipeline runtime (src/train/pipeline_runtime.h).
+//
+// Tasks form a DAG (dependencies by task id) and are grouped into *lanes*;
+// a lane runs at most one task at a time. The runtime maps one pipeline
+// device to one lane, so lane-serial execution is exactly the "a device
+// executes one kernel at a time" property the simulator models. Tasks may
+// additionally name a *resource*: at most one task holding a given resource
+// runs at any moment, across all lanes. The runtime uses resources for
+// shared model stages (Chimera maps one model stage onto two devices);
+// because resources are acquired by the scheduler before a task starts —
+// never blocked on mid-task — they cannot deadlock.
+//
+// Dispatch rule: whenever a lane is idle, the executor starts the READY
+// (all dependencies done) task with the smallest priority value whose
+// resource is free. The pipeline runtime gives pipeline ops low priorities
+// (their event-order position) and K-FAC work high priorities, which
+// realizes PipeFisher's bubble rule: curvature/inversion work runs exactly
+// when a device has no runnable pipeline op — in the realized idle gaps.
+//
+// Determinism: the executor makes no ordering guarantees beyond the
+// dependency edges — any value the computation produces must be pinned by
+// deps, not by timing. (The pipeline runtime pins every floating-point
+// accumulation order this way; see pipeline_runtime.h.)
+//
+// run() executes the whole graph, blocks until completion, and rethrows the
+// first task exception (remaining tasks are abandoned, in-flight tasks are
+// drained first). Per-task wall-clock records (seconds since run() started)
+// are kept so callers can emit an executed trace::Timeline.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
+namespace pf {
+
+class TaskExecutor {
+ public:
+  // `n_lanes` fixed up front; lanes are ids [0, n_lanes).
+  TaskExecutor(ThreadPool& pool, std::size_t n_lanes);
+
+  // Registers a task. `deps` are ids returned by earlier add() calls.
+  // `resource` >= 0 names a mutual-exclusion token (-1: none). Returns the
+  // task id. All tasks must be added before run().
+  std::size_t add(std::function<void()> fn, std::size_t lane, long priority,
+                  std::vector<std::size_t> deps = {}, int resource = -1);
+
+  std::size_t n_tasks() const;
+  std::size_t n_lanes() const { return n_lanes_; }
+
+  // Executes the graph. The calling thread participates as a worker, so a
+  // zero-worker pool degenerates to a deterministic serial run in priority
+  // order. Throws pf::Error on dependency cycles detected as a stall.
+  void run();
+
+  struct Record {
+    double start = 0.0;  // seconds since run() began
+    double end = 0.0;
+    bool executed = false;
+  };
+  // Valid after run(); indexed by task id.
+  const std::vector<Record>& records() const { return records_; }
+
+ private:
+  struct Node {
+    std::function<void()> fn;
+    std::size_t lane = 0;
+    long priority = 0;
+    int resource = -1;
+    std::vector<std::size_t> dependents;
+    std::size_t pending_deps = 0;
+  };
+  struct State;  // shared with pump closures (see task_executor.cpp)
+
+  ThreadPool& pool_;
+  std::size_t n_lanes_;
+  int max_resource_ = -1;
+  std::vector<Node> nodes_;
+  std::vector<Record> records_;
+  bool ran_ = false;
+};
+
+}  // namespace pf

@@ -59,6 +59,10 @@ StepCosts derive_step_costs(const PipeFisherConfig& cfg, bool with_kfac) {
 }
 
 PipeFisherReport run_pipefisher(const PipeFisherConfig& cfg) {
+  PF_CHECK(traits_of(cfg.schedule).flush)
+      << cfg.schedule << " is flushless: PipeFisher fills the bubbles of "
+      << "synchronous (flush) schedules; the async stream is modeled by "
+      << "simulate_async_1f1b";
   PF_CHECK(cfg.data_parallel_world >= 1);
   PF_CHECK(!cfg.inversion_parallel || cfg.data_parallel_world > 1)
       << "inversion parallelism needs data-parallel replicas to split over";

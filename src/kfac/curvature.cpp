@@ -24,6 +24,11 @@ const KfacFactorState& KfacEngine::state(std::size_t i) const {
   return states_[i];
 }
 
+Linear* KfacEngine::layer(std::size_t i) const {
+  PF_CHECK(i < layers_.size());
+  return layers_[i];
+}
+
 void KfacEngine::for_each_layer(
     const std::function<void(std::size_t)>& fn) {
   // Layers are independent: chunking them across the pool cannot change any
@@ -38,6 +43,64 @@ void KfacEngine::for_each_layer(
   ctx.parallel_for(layers_.size(), [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) fn(i);
   });
+}
+
+void KfacEngine::accumulate_curvature_a(std::size_t i, const Matrix& x) {
+  PF_CHECK(i < states_.size());
+  Linear* l = layers_[i];
+  PF_CHECK(x.cols() == l->d_in());
+  auto& st = states_[i];
+  if (st.pending_a.empty()) st.pending_a = Matrix(l->d_in(), l->d_in(), 0.0);
+  // Ascending-k accumulation straight into the pending sum: micro m's
+  // contribution lands element-wise after micros 0..m-1's (the caller
+  // orders the calls), so the pending factor is bit-identical however the
+  // micros were executed.
+  matmul_tn_acc(x, x, st.pending_a, 1.0, opts_.gemm_threads);
+  st.pending_rows += static_cast<double>(x.rows());
+}
+
+void KfacEngine::accumulate_curvature_b(std::size_t i, const Matrix& dy) {
+  PF_CHECK(i < states_.size());
+  Linear* l = layers_[i];
+  PF_CHECK(dy.cols() == l->d_out());
+  auto& st = states_[i];
+  if (st.pending_b.empty())
+    st.pending_b = Matrix(l->d_out(), l->d_out(), 0.0);
+  // dy holds the mean-loss gradient; ×N undoes one 1/N (see kfac_engine.h).
+  matmul_tn_acc(dy, dy, st.pending_b,
+                static_cast<double>(dy.rows()), opts_.gemm_threads);
+  ++st.pending_micros;
+}
+
+void KfacEngine::commit_curvature_layer(std::size_t i) {
+  PF_CHECK(i < states_.size());
+  auto& st = states_[i];
+  if (st.pending_micros == 0 && st.pending_a.empty()) {
+    // Nothing accumulated (layer never ran) — mirror update_curvature's
+    // skip rule.
+    return;
+  }
+  PF_CHECK(st.pending_micros > 0 && !st.pending_a.empty() &&
+           st.pending_rows > 0.0)
+      << "commit with a partial A/B accumulation";
+  // A = (Σ XᵀX) / (Σ N_m); B averages the per-micro N·dYᵀdY estimates.
+  // Single-micro equivalence to update_curvature (alpha applied inside the
+  // GEMM): exact while the reduction fits one k-panel (N ≤ 256 token rows)
+  // or when 1/N is a power of two (scaling then commutes with the
+  // per-panel rounding) — e.g. the 512-row micros of the example. Beyond
+  // that the legacy path scales each 256-deep panel before summing and the
+  // two differ in the last bits; per-micro mode is therefore opt-in.
+  Matrix a = std::move(st.pending_a);
+  a *= 1.0 / st.pending_rows;
+  Matrix b = std::move(st.pending_b);
+  b *= 1.0 / static_cast<double>(st.pending_micros);
+  st.a_ema.axpby(opts_.ema_decay, a, 1.0 - opts_.ema_decay);
+  st.b_ema.axpby(opts_.ema_decay, b, 1.0 - opts_.ema_decay);
+  ++st.curvature_updates;
+  st.pending_a = Matrix();
+  st.pending_b = Matrix();
+  st.pending_rows = 0.0;
+  st.pending_micros = 0;
 }
 
 void KfacEngine::update_curvature() {

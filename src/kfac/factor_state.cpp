@@ -6,13 +6,15 @@
 
 namespace pf {
 
+double corrected_scale(double decay, std::size_t n) {
+  PF_CHECK(n > 0) << "no curvature accumulated yet";
+  return 1.0 / (1.0 - std::pow(decay, static_cast<double>(n)));
+}
+
 namespace {
 Matrix corrected(const Matrix& ema, double decay, std::size_t n) {
-  PF_CHECK(n > 0) << "no curvature accumulated yet";
-  const double corr =
-      1.0 - std::pow(decay, static_cast<double>(n));
   Matrix out = ema;
-  out *= 1.0 / corr;
+  out *= corrected_scale(decay, n);
   return out;
 }
 }  // namespace

@@ -18,6 +18,18 @@ struct KfacFactorState {
   std::size_t curvature_updates = 0;
   std::size_t inverse_updates = 0;
 
+  // Per-micro-batch curvature accumulation (PipeFisher's curvature work is
+  // one task per factor per micro-batch): pending_a sums Xᵀ·X over the
+  // micros of one step, pending_b sums N_m·dYᵀ·dY; commit averages them
+  // into the EMA. Contributions MUST be folded in ascending micro order —
+  // the engine's caller pins this (serially in KfacOptimizer's micro hook,
+  // via dependency chains in the pipeline runtime) so both paths produce
+  // bit-identical factors.
+  Matrix pending_a;
+  Matrix pending_b;
+  double pending_rows = 0.0;    // Σ_m N_m (token rows seen by A)
+  std::size_t pending_micros = 0;  // micro count folded into pending_b
+
   bool has_curvature() const { return curvature_updates > 0; }
   bool has_inverse() const { return inverse_updates > 0; }
 
@@ -25,5 +37,11 @@ struct KfacFactorState {
   Matrix corrected_a(double decay) const;
   Matrix corrected_b(double decay) const;
 };
+
+// The elementwise scale of the bias correction, 1 / (1 − decay^n) — the
+// single definition shared by corrected_a/corrected_b and by consumers
+// that only need a corrected trace (inversion's π-damping) and must match
+// the materialized matrices bit for bit. Requires n > 0.
+double corrected_scale(double decay, std::size_t n);
 
 }  // namespace pf

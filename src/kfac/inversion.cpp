@@ -8,12 +8,6 @@ namespace pf {
 
 namespace {
 
-double trace(const Matrix& m) {
-  double t = 0.0;
-  for (std::size_t i = 0; i < m.rows(); ++i) t += m(i, i);
-  return t;
-}
-
 // (block-diag_k(m) + damping·I)⁻¹: inverts the k diagonal blocks
 // independently and zeroes all cross-block entries (Appendix A.2).
 // `threads` reaches the blocked Cholesky + column solves (cholesky.h).
@@ -52,31 +46,61 @@ Matrix block_diag_inverse(const Matrix& m, double damping, std::size_t k,
 
 }  // namespace
 
-void KfacEngine::update_inverses() {
-  const double gamma = std::sqrt(opts_.damping);
-  for_each_layer([&](std::size_t i) {
-    auto& st = states_[i];
-    if (!st.has_curvature()) return;
-    const Matrix a = st.corrected_a(opts_.ema_decay);
-    const Matrix b = st.corrected_b(opts_.ema_decay);
+namespace {
 
-    double damp_a = gamma, damp_b = gamma;
-    if (opts_.pi_correction) {
-      const double mean_tr_a =
-          trace(a) / static_cast<double>(a.rows());
-      const double mean_tr_b =
-          trace(b) / static_cast<double>(b.rows());
-      // Guard against degenerate traces early in training.
-      const double pi = std::sqrt(std::max(mean_tr_a, 1e-12) /
-                                  std::max(mean_tr_b, 1e-12));
-      damp_a = gamma * pi;
-      damp_b = gamma / pi;
-    }
-    st.a_inv =
-        block_diag_inverse(a, damp_a, opts_.block_diag_k, opts_.gemm_threads);
-    st.b_inv =
-        block_diag_inverse(b, damp_b, opts_.block_diag_k, opts_.gemm_threads);
+// trace(corrected_x(decay)) without materializing the corrected matrix:
+// summing the diagonal scaled by the shared corrected_scale() reproduces
+// trace() over the materialized copy bit for bit (same per-element
+// multiply, same ascending-index sum).
+double corrected_trace(const Matrix& ema, double decay, std::size_t n) {
+  const double scale = corrected_scale(decay, n);
+  double t = 0.0;
+  for (std::size_t i = 0; i < ema.rows(); ++i) t += ema(i, i) * scale;
+  return t;
+}
+
+}  // namespace
+
+void KfacEngine::update_inverse_factor(std::size_t i, bool b_side) {
+  PF_CHECK(i < states_.size());
+  auto& st = states_[i];
+  if (!st.has_curvature()) return;
+  const double gamma = std::sqrt(opts_.damping);
+  // Both sides recompute the π-correction (it couples the A and B
+  // damping), but from the EMAs' diagonals only — materializing the full
+  // corrected matrix is reserved for the side actually being inverted, so
+  // splitting the factor pair into two bubble-sized work items costs no
+  // extra O(n²) copies and stays bit-identical to the fused loop below.
+  double damp_a = gamma, damp_b = gamma;
+  if (opts_.pi_correction) {
+    const double mean_tr_a =
+        corrected_trace(st.a_ema, opts_.ema_decay, st.curvature_updates) /
+        static_cast<double>(st.a_ema.rows());
+    const double mean_tr_b =
+        corrected_trace(st.b_ema, opts_.ema_decay, st.curvature_updates) /
+        static_cast<double>(st.b_ema.rows());
+    // Guard against degenerate traces early in training.
+    const double pi = std::sqrt(std::max(mean_tr_a, 1e-12) /
+                                std::max(mean_tr_b, 1e-12));
+    damp_a = gamma * pi;
+    damp_b = gamma / pi;
+  }
+  if (!b_side) {
+    st.a_inv = block_diag_inverse(st.corrected_a(opts_.ema_decay), damp_a,
+                                  opts_.block_diag_k, opts_.gemm_threads);
+  } else {
+    st.b_inv = block_diag_inverse(st.corrected_b(opts_.ema_decay), damp_b,
+                                  opts_.block_diag_k, opts_.gemm_threads);
+    // The B side completes the pair: only now may precondition() treat the
+    // inverses as fresh.
     ++st.inverse_updates;
+  }
+}
+
+void KfacEngine::update_inverses() {
+  for_each_layer([&](std::size_t i) {
+    update_inverse_factor(i, /*b_side=*/false);
+    update_inverse_factor(i, /*b_side=*/true);
   });
 }
 

@@ -63,7 +63,34 @@ class KfacEngine {
   // degenerates to identity preconditioning before the first inversion).
   void precondition();
 
+  // ---- Per-factor / per-micro decomposition -------------------------------
+  // The granularity PipeFisher schedules into bubbles: every method below is
+  // one BubbleTask-shaped work item. The serial KfacOptimizer (with
+  // per_micro_curvature) and the pipeline runtime both drive THESE methods,
+  // which is what makes the two execution modes bit-identical.
+  //
+  // Ordering contract: for one layer, accumulate_curvature_{a,b} must be
+  // called once per micro-batch in ascending micro order (the two factor
+  // sides are independent of each other); commit_curvature after the last
+  // micro; the inversion pair after commit (A then B — the B side bumps the
+  // inverse counter); precondition_layer after inversion and after the
+  // step's gradients are final. Different layers are fully independent.
+
+  // Folds one micro-batch's a_l = x ([N×d_in]) / e_l = dy ([N×d_out]) into
+  // the layer's pending factor sums.
+  void accumulate_curvature_a(std::size_t i, const Matrix& x);
+  void accumulate_curvature_b(std::size_t i, const Matrix& dy);
+  // Averages the pending micro contributions into the factor EMAs (no-op
+  // for a layer with nothing pending).
+  void commit_curvature_layer(std::size_t i);
+  // Recomputes one damped factor inverse from the current EMA. Call with
+  // b_side = false then true; the B side increments inverse_updates.
+  void update_inverse_factor(std::size_t i, bool b_side);
+  // Preconditions one layer's weight gradient (stale-inverse rule applies).
+  void precondition_layer(std::size_t i);
+
   std::size_t n_layers() const { return layers_.size(); }
+  Linear* layer(std::size_t i) const;
   const KfacFactorState& state(std::size_t i) const;
   const KfacOptions& options() const { return opts_; }
 

@@ -4,14 +4,17 @@
 
 namespace pf {
 
+void KfacEngine::precondition_layer(std::size_t i) {
+  PF_CHECK(i < states_.size());
+  auto& st = states_[i];
+  if (!st.has_inverse()) return;  // stale-inverse rule: identity
+  Linear* l = layers_[i];
+  l->weight().g = matmul(matmul(st.a_inv, l->weight().g, opts_.gemm_threads),
+                         st.b_inv, opts_.gemm_threads);
+}
+
 void KfacEngine::precondition() {
-  for_each_layer([&](std::size_t i) {
-    auto& st = states_[i];
-    if (!st.has_inverse()) return;  // stale-inverse rule: identity
-    Linear* l = layers_[i];
-    l->weight().g = matmul(matmul(st.a_inv, l->weight().g, opts_.gemm_threads),
-                           st.b_inv, opts_.gemm_threads);
-  });
+  for_each_layer([&](std::size_t i) { precondition_layer(i); });
 }
 
 }  // namespace pf

@@ -6,6 +6,36 @@
 
 namespace pf {
 
+namespace {
+
+// One round of the round-robin (circle-method) pivot tournament: ⌊n'/2⌋
+// disjoint pairs covering every index at most once; n'-1 rounds visit all
+// n(n-1)/2 pivots exactly once per sweep. Pairs touching the padding
+// element (odd n) are dropped. Deterministic in (n, round).
+std::vector<std::pair<std::size_t, std::size_t>> jacobi_round_pairs(
+    std::size_t n, std::size_t round) {
+  const std::size_t np = n + (n % 2);  // pad to even
+  const std::size_t ring = np - 1;
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(np / 2);
+  auto player = [&](std::size_t slot) { return (round + slot) % ring + 1; };
+  // Fixed player 0 meets the rotating ring head; the rest pair up
+  // symmetrically around the ring.
+  {
+    const std::size_t q = player(ring - 1);
+    if (q < n) pairs.emplace_back(0, q);
+  }
+  for (std::size_t i = 0; i + 2 < ring; i += 1) {
+    const std::size_t p = player(i);
+    const std::size_t q = player(ring - 2 - i);
+    if (i >= ring - 2 - i) break;  // symmetric half only
+    if (p < n && q < n) pairs.emplace_back(std::min(p, q), std::max(p, q));
+  }
+  return pairs;
+}
+
+}  // namespace
+
 EigResult sym_eig(const Matrix& m, int max_sweeps, double tol,
                   const ExecContext& ctx, std::size_t parallel_cutoff) {
   PF_CHECK(m.rows() == m.cols()) << "sym_eig needs a square matrix";
@@ -20,65 +50,74 @@ EigResult sym_eig(const Matrix& m, int max_sweeps, double tol,
     }
   Matrix v = Matrix::identity(n);
 
-  // Below the cutoff a rotation's O(n) update is cheaper than its pool
-  // dispatch (see eig.h); results are bitwise identical either way, so
-  // clamp to serial for small factors.
+  // Below the cutoff the pool dispatches cost more than the O(n²) work of
+  // a round (see eig.h); results are bitwise identical either way, so
+  // clamp to serial dispatch for small factors. The PIVOT ORDER is the
+  // round-robin tournament at every size and thread count — that is what
+  // keeps serial and parallel execution bit-identical.
   const ExecContext rctx = n >= parallel_cutoff ? ctx : ExecContext::serial();
+  const std::size_t rounds_per_sweep = n + (n % 2) - 1;
 
+  std::vector<double> cs, ss;
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     double off = 0.0;
     for (std::size_t i = 0; i < n; ++i)
       for (std::size_t j = i + 1; j < n; ++j) off += a(i, j) * a(i, j);
     if (std::sqrt(off) <= tol * std::max(1.0, a.frobenius_norm())) break;
 
-    for (std::size_t p = 0; p < n; ++p) {
-      for (std::size_t q = p + 1; q < n; ++q) {
+    for (std::size_t round = 0; round < rounds_per_sweep; ++round) {
+      const auto pairs = jacobi_round_pairs(n, round);
+      const std::size_t np = pairs.size();
+      if (np == 0) continue;
+      // Rotation angles from the CURRENT matrix: the pivot 2×2 blocks of a
+      // round are disjoint, so all angles are well-defined together (the
+      // Brent–Luk parallel ordering).
+      cs.assign(np, 1.0);
+      ss.assign(np, 0.0);
+      for (std::size_t k = 0; k < np; ++k) {
+        const auto [p, q] = pairs[k];
         const double apq = a(p, q);
-        if (std::abs(apq) < 1e-300) continue;
+        if (std::abs(apq) < 1e-300) continue;  // identity rotation
         const double app = a(p, p), aqq = a(q, q);
         const double theta = 0.5 * (aqq - app) / apq;
         const double t = (theta >= 0 ? 1.0 : -1.0) /
                          (std::abs(theta) + std::sqrt(theta * theta + 1.0));
-        const double c = 1.0 / std::sqrt(t * t + 1.0);
-        const double s = t * c;
-        // Rotate rows/cols p and q of A and accumulate eigenvectors, fused
-        // into one parallel pass. For k ∉ {p, q} the column update touches
-        // only columns p/q of row k and the row update only row p/q of
-        // column k — disjoint locations whose inputs the serial two-phase
-        // loop also leaves untouched, so the fusion (and any thread
-        // partition of k) is bitwise identical to the seed. The 2×2 pivot
-        // block, where the phases do interact, is replayed serially below
-        // in the seed's column-then-row order.
-        rctx.parallel_for(n, [&](std::size_t k0, std::size_t k1) {
-          for (std::size_t k = k0; k < k1; ++k) {
-            if (k != p && k != q) {
-              const double akp = a(k, p), akq = a(k, q);
-              a(k, p) = c * akp - s * akq;
-              a(k, q) = s * akp + c * akq;
-              const double apk = a(p, k), aqk = a(q, k);
-              a(p, k) = c * apk - s * aqk;
-              a(q, k) = s * apk + c * aqk;
-            }
-            const double vkp = v(k, p), vkq = v(k, q);
-            v(k, p) = c * vkp - s * vkq;
-            v(k, q) = s * vkp + c * vkq;
-          }
-        });
-        // Column phase at k = p, then k = q.
-        const double app2 = a(p, p), apq2 = a(p, q);
-        a(p, p) = c * app2 - s * apq2;
-        a(p, q) = s * app2 + c * apq2;
-        const double aqp2 = a(q, p), aqq2 = a(q, q);
-        a(q, p) = c * aqp2 - s * aqq2;
-        a(q, q) = s * aqp2 + c * aqq2;
-        // Row phase at k = p, then k = q.
-        const double apk_p = a(p, p), aqk_p = a(q, p);
-        a(p, p) = c * apk_p - s * aqk_p;
-        a(q, p) = s * apk_p + c * aqk_p;
-        const double apk_q = a(p, q), aqk_q = a(q, q);
-        a(p, q) = c * apk_q - s * aqk_q;
-        a(q, q) = s * apk_q + c * aqk_q;
+        cs[k] = 1.0 / std::sqrt(t * t + 1.0);
+        ss[k] = t * cs[k];
       }
+      // Apply A ← JᵀAJ with J = Π J(p_k, q_k, θ_k) in two element-parallel
+      // phases: the row phase writes only rows {p_k, q_k} (disjoint across
+      // the round's pairs), the column phase only those columns. Every
+      // element is written exactly once per phase from previous-phase
+      // values, so any thread partition of the pairs produces identical
+      // bits — ONE pool dispatch per phase instead of one per rotation.
+      rctx.parallel_for(np, [&](std::size_t k0, std::size_t k1) {
+        for (std::size_t k = k0; k < k1; ++k) {
+          const auto [p, q] = pairs[k];
+          const double c = cs[k], s = ss[k];
+          if (s == 0.0 && c == 1.0) continue;
+          for (std::size_t j = 0; j < n; ++j) {
+            const double apj = a(p, j), aqj = a(q, j);
+            a(p, j) = c * apj - s * aqj;
+            a(q, j) = s * apj + c * aqj;
+          }
+        }
+      });
+      rctx.parallel_for(np, [&](std::size_t k0, std::size_t k1) {
+        for (std::size_t k = k0; k < k1; ++k) {
+          const auto [p, q] = pairs[k];
+          const double c = cs[k], s = ss[k];
+          if (s == 0.0 && c == 1.0) continue;
+          for (std::size_t i = 0; i < n; ++i) {
+            const double aip = a(i, p), aiq = a(i, q);
+            a(i, p) = c * aip - s * aiq;
+            a(i, q) = s * aip + c * aiq;
+            const double vip = v(i, p), viq = v(i, q);
+            v(i, p) = c * vip - s * viq;
+            v(i, q) = s * vip + c * viq;
+          }
+        }
+      });
     }
   }
 

@@ -1,17 +1,24 @@
-// Symmetric eigendecomposition via the cyclic Jacobi method.
+// Symmetric eigendecomposition via the Jacobi method with the cyclic-by-
+// ROUNDS (round-robin / Brent–Luk) pivot ordering.
 //
 // Needed by the Shampoo optimizer (paper §5: Shampoo requires an
 // eigendecomposition per Kronecker-factored matrix, which is exactly the
 // "extra work" PipeFisher would split across bubbles) and useful for
 // spectral diagnostics of K-FAC factors.
 //
-// Threading: each Jacobi rotation's O(n) row/column/eigenvector updates are
-// elementwise-independent, so (above `parallel_cutoff`) they fan out over
-// the ExecContext with the 2×2 pivot block replayed serially in the seed's
-// phase order — results are bitwise identical to serial for every thread
-// count (EigThreads tests). sym_matrix_function shards output rows, keeping
-// each coordinate's eigenvalue accumulation in ascending order (also
-// bitwise neutral; one dispatch total, so no cutoff needed).
+// Pivot order & threading: each sweep runs n-1 tournament rounds of ⌊n/2⌋
+// DISJOINT pivots; a round's rotation angles all come from the current
+// matrix (disjoint 2×2 pivot blocks), and the combined update A ← JᵀAJ is
+// applied in two element-parallel phases (rows, then columns fused with
+// the eigenvector update) — every element is written exactly once per
+// phase, so any thread partition of the pairs produces identical bits,
+// and a round costs TWO pool dispatches instead of one per rotation
+// (O(n) dispatches per sweep, down from the fused-rotation scheme's
+// O(n²)). The rounds ordering is used at EVERY size and thread count, so
+// serial and parallel execution agree bit for bit (EigThreads tests).
+// sym_matrix_function shards output rows, keeping each coordinate's
+// eigenvalue accumulation in ascending order (also bitwise neutral; one
+// dispatch total, so no cutoff needed).
 #pragma once
 
 #include "src/common/exec_context.h"
@@ -27,18 +34,19 @@ struct EigResult {
 // Jacobi eigenvalue iteration for a symmetric matrix. Converges to machine
 // precision for modest sizes (the Kronecker-factor regime).
 //
-// `parallel_cutoff`: matrices below this order run the rotations serially
-// even under a threaded context. Cyclic Jacobi can only parallelize inside
-// one rotation (rotations are sequential), so each of the n(n-1)/2
-// rotations per sweep pays a pool dispatch for O(n) fused work — measured
-// break-even is around n ≈ 512; below that the dispatch overhead dominates
-// and threading slows the sweep down. Results are bitwise identical either
-// way (tests pass 0 to force the parallel path on small matrices). A
-// rounds-based parallel Jacobi (n/2 disjoint pivots per dispatch) would
-// move the break-even down but reorders rotations — see ROADMAP.
+// `parallel_cutoff`: matrices below this order run the rounds with serial
+// dispatch even under a threaded context — a round's two dispatches cover
+// O(n²) work, so the break-even sits far lower than the old per-rotation
+// scheme's n ≈ 512, but tiny factors still lose to the dispatch overhead.
+// The default 128 is an estimate (≈2n² flops per dispatch crosses pool
+// overhead around n ~ 10²; the cgroup-limited dev container cannot
+// measure wall-clock break-even — re-measure on real cores, see ROADMAP).
+// The cutoff changes DISPATCH only, never the pivot order, so results are
+// bitwise identical either way (tests pass 0 to force pool dispatch on
+// small matrices).
 EigResult sym_eig(const Matrix& m, int max_sweeps = 64, double tol = 1e-12,
                   const ExecContext& ctx = ExecContext::defaults(),
-                  std::size_t parallel_cutoff = 512);
+                  std::size_t parallel_cutoff = 128);
 
 // Rebuilds V·diag(f(λ))·Vᵀ — used for inverse p-th roots in Shampoo
 // (f(λ) = (λ+ε)^(-1/p)) and for spectral floors.

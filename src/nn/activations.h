@@ -33,6 +33,17 @@ class Gelu {
   Matrix backward(const Matrix& dy,
                   const ExecContext& ctx = ExecContext::defaults());
 
+  // Cache externalization for pipeline stages (see linear.h).
+  struct Cache {
+    Matrix x;
+  };
+  Cache save_cache() {
+    Cache c{std::move(x_cache_)};
+    x_cache_ = Matrix();
+    return c;
+  }
+  void restore_cache(const Cache& c) { x_cache_ = c.x; }
+
  private:
   Matrix x_cache_;
 };

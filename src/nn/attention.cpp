@@ -130,6 +130,38 @@ Matrix MultiHeadSelfAttention::backward(const Matrix& dy,
   return dx;
 }
 
+MultiHeadSelfAttention::Cache MultiHeadSelfAttention::save_cache() {
+  Cache c;
+  c.q = std::move(q_);
+  c.k = std::move(k_);
+  c.v = std::move(v_);
+  c.probs = std::move(probs_);
+  c.batch = batch_;
+  c.seq = seq_;
+  c.wq = wq_.save_cache();
+  c.wk = wk_.save_cache();
+  c.wv = wv_.save_cache();
+  c.wo = wo_.save_cache();
+  q_ = Matrix();
+  k_ = Matrix();
+  v_ = Matrix();
+  probs_.clear();
+  return c;
+}
+
+void MultiHeadSelfAttention::restore_cache(const Cache& c) {
+  q_ = c.q;
+  k_ = c.k;
+  v_ = c.v;
+  probs_ = c.probs;
+  batch_ = c.batch;
+  seq_ = c.seq;
+  wq_.restore_cache(c.wq);
+  wk_.restore_cache(c.wk);
+  wv_.restore_cache(c.wv);
+  wo_.restore_cache(c.wo);
+}
+
 std::vector<Param*> MultiHeadSelfAttention::params() {
   std::vector<Param*> out;
   for (Linear* l : kfac_linears())

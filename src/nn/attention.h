@@ -24,6 +24,17 @@ class MultiHeadSelfAttention {
   std::vector<Param*> params();
   std::vector<Linear*> kfac_linears() { return {&wq_, &wk_, &wv_, &wo_}; }
 
+  // Cache externalization for pipeline stages (see linear.h): bundles the
+  // attention-internal caches with the four projection linears'.
+  struct Cache {
+    Matrix q, k, v;
+    std::vector<Matrix> probs;
+    std::size_t batch = 0, seq = 0;
+    Linear::Cache wq, wk, wv, wo;
+  };
+  Cache save_cache();
+  void restore_cache(const Cache& c);
+
  private:
   std::size_t d_model_, n_heads_, d_head_;
   Linear wq_, wk_, wv_, wo_;

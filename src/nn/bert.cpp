@@ -27,8 +27,6 @@ Matrix BertModel::encode(const BertBatch& batch, bool training,
   return h;
 }
 
-namespace {
-
 Matrix gather_cls_rows(const Matrix& h, std::size_t batch, std::size_t seq) {
   Matrix cls(batch, h.cols());
   for (std::size_t b = 0; b < batch; ++b) {
@@ -37,8 +35,6 @@ Matrix gather_cls_rows(const Matrix& h, std::size_t batch, std::size_t seq) {
   }
   return cls;
 }
-
-}  // namespace
 
 BertLossBreakdown BertModel::train_step_backward(const BertBatch& batch,
                                                  const ExecContext& ctx) {

@@ -36,6 +36,11 @@ struct BertLossBreakdown {
   double nsp = 0.0;
 };
 
+// The [CLS] rows of a [batch·seq × d] hidden-state tensor (row b·seq of
+// each sequence) — the NSP head's input. Shared by the serial model and the
+// last pipeline stage so both run the identical gather.
+Matrix gather_cls_rows(const Matrix& h, std::size_t batch, std::size_t seq);
+
 class BertModel {
  public:
   BertModel(const BertConfig& cfg, Rng& rng);
@@ -58,6 +63,15 @@ class BertModel {
 
   const BertConfig& config() const { return cfg_; }
   std::size_t n_params();
+
+  // Layer access for the pipeline stage partition (stage_partition.h),
+  // which builds non-owning stage views over the same layer objects the
+  // serial path trains — so pipeline and serial execution share weights,
+  // gradients and optimizer state by construction.
+  Embedding& embedding() { return emb_; }
+  std::vector<TransformerBlock>& blocks() { return blocks_; }
+  Linear& mlm_head() { return mlm_head_; }
+  Linear& nsp_head() { return nsp_head_; }
 
  private:
   // Shared forward; returns hidden states [batch·seq × d_model].

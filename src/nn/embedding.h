@@ -35,6 +35,25 @@ class Embedding {
   std::vector<Param*> params() { return {&tokens_, &positions_, &segments_}; }
   std::size_t d_model() const { return d_model_; }
 
+  // Cache externalization for pipeline stages (see linear.h).
+  struct Cache {
+    std::vector<int> ids, segments;
+    std::size_t batch = 0, seq = 0;
+  };
+  Cache save_cache() {
+    Cache c{std::move(ids_cache_), std::move(seg_cache_), batch_cache_,
+            seq_cache_};
+    ids_cache_.clear();
+    seg_cache_.clear();
+    return c;
+  }
+  void restore_cache(const Cache& c) {
+    ids_cache_ = c.ids;
+    seg_cache_ = c.segments;
+    batch_cache_ = c.batch;
+    seq_cache_ = c.seq;
+  }
+
  private:
   std::size_t vocab_, max_seq_, d_model_;
   Param tokens_;     // [vocab × d]

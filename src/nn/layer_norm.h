@@ -22,6 +22,22 @@ class LayerNorm {
 
   std::vector<Param*> params() { return {&gamma_, &beta_}; }
 
+  // Cache externalization for pipeline stages (see linear.h).
+  struct Cache {
+    Matrix xhat;
+    std::vector<double> inv_std;
+  };
+  Cache save_cache() {
+    Cache c{std::move(xhat_), std::move(inv_std_)};
+    xhat_ = Matrix();
+    inv_std_.clear();
+    return c;
+  }
+  void restore_cache(const Cache& c) {
+    xhat_ = c.xhat;
+    inv_std_ = c.inv_std;
+  }
+
  private:
   std::size_t dim_;
   double eps_;

@@ -42,6 +42,27 @@ class Linear {
     return !x_cache_.empty() && !dy_cache_.empty();
   }
 
+  // Cache externalization for pipeline execution (stage_partition.h): a
+  // stage keeps several micro-batches in flight, so the per-forward caches
+  // move out into a per-micro stash after each op and are copied back in
+  // before the matching backward. save_cache() MOVES the caches out (the
+  // layer is left cache-empty); restore_cache() copies, leaving the stash
+  // intact for K-FAC curvature reads.
+  struct Cache {
+    Matrix x;   // a_l of one micro-batch
+    Matrix dy;  // e_l, present only after the micro's backward ran
+  };
+  Cache save_cache() {
+    Cache c{std::move(x_cache_), std::move(dy_cache_)};
+    x_cache_ = Matrix();
+    dy_cache_ = Matrix();
+    return c;
+  }
+  void restore_cache(const Cache& c) {
+    x_cache_ = c.x;
+    dy_cache_ = c.dy;
+  }
+
   std::vector<Param*> params() { return {&w_, &b_}; }
   const std::string& name() const { return name_; }
 

@@ -1,0 +1,226 @@
+#include "src/nn/stage_partition.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace pf {
+
+Matrix BertStage::forward(int micro, const BertBatch& batch, Matrix in,
+                          const ExecContext& ctx) {
+  PF_CHECK(!fwd_stash_.contains(micro))
+      << "stage " << index_ << ": duplicate forward for micro " << micro;
+  Matrix h;
+  if (is_first()) {
+    PF_CHECK(in.empty()) << "stage 0 takes its input from the batch";
+    h = emb_->forward(batch.ids, batch.segments, batch.batch, batch.seq,
+                      /*training=*/true, ctx);
+  } else {
+    PF_CHECK(!in.empty()) << "stage " << index_ << ": missing boundary input";
+    h = std::move(in);
+  }
+  for (TransformerBlock* b : blocks_)
+    h = b->forward(h, batch.batch, batch.seq, /*training=*/true, ctx);
+
+  Matrix mlm_dlogits, nsp_dlogits;
+  if (is_last()) {
+    // Identical op sequence to BertModel::train_step_backward's head/loss
+    // section — the bitwise contract depends on it.
+    const Matrix mlm_logits = mlm_head_->forward(h, /*training=*/true, ctx);
+    const auto mlm = softmax_cross_entropy(mlm_logits, batch.mlm_labels, ctx);
+    const Matrix cls = gather_cls_rows(h, batch.batch, batch.seq);
+    const Matrix nsp_logits = nsp_head_->forward(cls, /*training=*/true, ctx);
+    const auto nsp = softmax_cross_entropy(nsp_logits, batch.nsp_labels, ctx);
+    loss_stash_[micro] = {mlm.loss + nsp.loss, mlm.loss, nsp.loss};
+    mlm_dlogits = mlm.dlogits;
+    nsp_dlogits = nsp.dlogits;
+    h = Matrix();  // the step ends here; no boundary activation
+  }
+
+  StageCache sc = save_caches();
+  sc.mlm_dlogits = std::move(mlm_dlogits);
+  sc.nsp_dlogits = std::move(nsp_dlogits);
+  fwd_stash_.emplace(micro, std::move(sc));
+  return h;
+}
+
+Matrix BertStage::backward(int micro, const BertBatch& batch, Matrix grad_in,
+                           const ExecContext& ctx, bool keep_kfac_stash) {
+  const auto it = fwd_stash_.find(micro);
+  PF_CHECK(it != fwd_stash_.end())
+      << "stage " << index_ << ": backward(" << micro
+      << ") without a stashed forward";
+  PF_CHECK(!dy_stash_.contains(micro))
+      << "stage " << index_ << ": duplicate backward for micro " << micro;
+  restore_caches(it->second);
+
+  Matrix dh;
+  if (is_last()) {
+    const StageCache& sc = it->second;
+    dh = mlm_head_->backward(sc.mlm_dlogits, ctx);
+    const Matrix dcls = nsp_head_->backward(sc.nsp_dlogits, ctx);
+    for (std::size_t b = 0; b < batch.batch; ++b) {
+      double* row = dh.row(b * batch.seq);
+      for (std::size_t c = 0; c < dh.cols(); ++c) row[c] += dcls(b, c);
+    }
+  } else {
+    PF_CHECK(!grad_in.empty())
+        << "stage " << index_ << ": missing boundary gradient";
+    dh = std::move(grad_in);
+  }
+  for (std::size_t i = blocks_.size(); i-- > 0;)
+    dh = blocks_[i]->backward(dh, ctx);
+  if (is_first()) {
+    emb_->backward(dh, ctx);
+    dh = Matrix();
+  }
+
+  if (keep_kfac_stash) {
+    // Keep e_l of each K-FAC linear for the curvature-B tasks (the
+    // forward stash keeps serving a_l to curvature-A tasks); everything
+    // else the backward produced is dead weight and stays in the layers
+    // until the next forward overwrites it.
+    std::vector<Matrix> dys;
+    dys.reserve(kfac_linears_.size());
+    for (Linear* l : kfac_linears_) dys.push_back(l->save_cache().dy);
+    dy_stash_.emplace(micro, std::move(dys));
+  } else {
+    // No curvature task will read this micro: release its activations now
+    // instead of holding every micro until end of step.
+    fwd_stash_.erase(it);
+  }
+  return dh;
+}
+
+BertLossBreakdown BertStage::losses(int micro) const {
+  PF_CHECK(is_last()) << "losses live on the last stage";
+  const auto it = loss_stash_.find(micro);
+  PF_CHECK(it != loss_stash_.end())
+      << "losses(" << micro << ") before its forward";
+  return it->second;
+}
+
+const Matrix& BertStage::kfac_input(int micro, std::size_t f) const {
+  const auto it = fwd_stash_.find(micro);
+  PF_CHECK(it != fwd_stash_.end())
+      << "kfac_input(" << micro << ") before its forward";
+  const Matrix& x = kfac_cache_of(it->second, f).x;
+  PF_CHECK(!x.empty());
+  return x;
+}
+
+const Matrix& BertStage::kfac_output_grad(int micro, std::size_t f) const {
+  const auto it = dy_stash_.find(micro);
+  PF_CHECK(it != dy_stash_.end())
+      << "kfac_output_grad(" << micro << ") before its backward";
+  PF_CHECK(f < it->second.size());
+  const Matrix& dy = it->second[f];
+  PF_CHECK(!dy.empty());
+  return dy;
+}
+
+void BertStage::clear_stash() {
+  fwd_stash_.clear();
+  dy_stash_.clear();
+  loss_stash_.clear();
+}
+
+std::vector<Param*> BertStage::params() const {
+  std::vector<Param*> out;
+  if (emb_ != nullptr)
+    for (Param* p : emb_->params()) out.push_back(p);
+  for (TransformerBlock* b : blocks_)
+    for (Param* p : b->params()) out.push_back(p);
+  if (mlm_head_ != nullptr)
+    for (Param* p : mlm_head_->params()) out.push_back(p);
+  if (nsp_head_ != nullptr)
+    for (Param* p : nsp_head_->params()) out.push_back(p);
+  return out;
+}
+
+BertStage::StageCache BertStage::save_caches() {
+  StageCache c;
+  if (emb_ != nullptr) c.emb = emb_->save_cache();
+  c.blocks.reserve(blocks_.size());
+  for (TransformerBlock* b : blocks_) c.blocks.push_back(b->save_cache());
+  if (mlm_head_ != nullptr) c.mlm_head = mlm_head_->save_cache();
+  if (nsp_head_ != nullptr) c.nsp_head = nsp_head_->save_cache();
+  return c;
+}
+
+void BertStage::restore_caches(const StageCache& c) {
+  if (emb_ != nullptr) emb_->restore_cache(c.emb);
+  PF_CHECK(c.blocks.size() == blocks_.size());
+  for (std::size_t i = 0; i < blocks_.size(); ++i)
+    blocks_[i]->restore_cache(c.blocks[i]);
+  if (mlm_head_ != nullptr) mlm_head_->restore_cache(c.mlm_head);
+  if (nsp_head_ != nullptr) nsp_head_->restore_cache(c.nsp_head);
+}
+
+const Linear::Cache& BertStage::kfac_cache_of(const StageCache& c,
+                                              std::size_t f) const {
+  // kfac_linears() order: per block wq, wk, wv, wo, w1, w2 (see
+  // TransformerBlock::kfac_linears).
+  PF_CHECK(f < kfac_linears_.size());
+  const std::size_t blk = f / 6;
+  const auto& bc = c.blocks[blk];
+  switch (f % 6) {
+    case 0: return bc.attn.wq;
+    case 1: return bc.attn.wk;
+    case 2: return bc.attn.wv;
+    case 3: return bc.attn.wo;
+    case 4: return bc.w1;
+    default: return bc.w2;
+  }
+}
+
+BertStagePartition::BertStagePartition(BertModel& model, int n_stages) {
+  PF_CHECK(n_stages >= 1);
+  auto& blocks = model.blocks();
+  const std::size_t L = blocks.size();
+  const auto S = static_cast<std::size_t>(n_stages);
+  stages_.resize(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    BertStage& st = stages_[s];
+    st.index_ = static_cast<int>(s);
+    // Contiguous even split; shallow models may leave middle stages
+    // block-less (pure relays) — legal, if pointless beyond testing.
+    const std::size_t lo = s * L / S;
+    const std::size_t hi = (s + 1) * L / S;
+    for (std::size_t i = lo; i < hi; ++i) st.blocks_.push_back(&blocks[i]);
+    if (s == 0) st.emb_ = &model.embedding();
+    if (s + 1 == S) {
+      st.mlm_head_ = &model.mlm_head();
+      st.nsp_head_ = &model.nsp_head();
+    }
+    for (TransformerBlock* b : st.blocks_) {
+      // kfac_cache_of hard-codes the 6-linears-per-block layout (wq, wk,
+      // wv, wo, w1, w2); fail loudly if TransformerBlock's tracked set
+      // ever changes instead of silently mapping factors to the wrong
+      // caches.
+      PF_CHECK(b->kfac_linears().size() == 6)
+          << "kfac_cache_of assumes 6 K-FAC linears per block, got "
+          << b->kfac_linears().size();
+      for (Linear* l : b->kfac_linears()) st.kfac_linears_.push_back(l);
+    }
+  }
+}
+
+BertStage& BertStagePartition::stage(int s) {
+  PF_CHECK(s >= 0 && s < n_stages());
+  return stages_[static_cast<std::size_t>(s)];
+}
+
+const BertStage& BertStagePartition::stage(int s) const {
+  PF_CHECK(s >= 0 && s < n_stages());
+  return stages_[static_cast<std::size_t>(s)];
+}
+
+std::vector<Param*> BertStagePartition::params() const {
+  std::vector<Param*> out;
+  for (const BertStage& s : stages_)
+    for (Param* p : s.params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace pf

@@ -1,0 +1,133 @@
+// Pipeline-stage partition of a BertModel (paper §2: "the model is
+// partitioned into D stages, one per device").
+//
+// BertStagePartition cuts an existing model into `n_stages` contiguous
+// stage views — stage 0 additionally owns the embedding, the last stage
+// the MLM/NSP heads and the loss; encoder blocks are distributed evenly
+// (stages may own zero blocks on very shallow models, becoming pure
+// relays). The views are NON-owning: pipeline execution trains the same
+// Param objects the serial path trains, which is what makes the
+// bitwise-equality contract of the pipeline runtime meaningful.
+//
+// Multi-micro-batch execution: a pipeline keeps several micro-batches in
+// flight per stage, but every nn layer holds exactly one backward cache.
+// Each stage therefore stashes its layers' caches per micro-batch
+// (Layer::save_cache / restore_cache, see linear.h):
+//
+//   forward(m):  run layer forwards, then MOVE the fresh caches into
+//                fwd_stash[m]. The stash is immutable afterwards — K-FAC
+//                curvature-A tasks read a_l from it as soon as the forward
+//                is done (the paper's readiness rule 1).
+//   backward(m): COPY fwd_stash[m] back into the layers, run backwards,
+//                then move the caches (now including e_l) into
+//                bwd_stash[m] for the curvature-B tasks.
+//
+// Gradients accumulate directly into the shared Param.g, so the caller
+// (the pipeline runtime) must order each stage's backwards by ascending
+// global micro id — then every gradient coordinate receives its additions
+// in exactly the serial trainer's order, making the whole run bitwise
+// identical to `Trainer` with accumulation_steps = n_micro.
+//
+// Thread safety: a stage object is NOT internally synchronized. The
+// runtime serializes all ops (and stash-reading K-FAC tasks) of one stage
+// through a TaskExecutor resource token; Chimera maps one model stage onto
+// two devices, which is where the token actually bites.
+#pragma once
+
+#include <map>
+
+#include "src/nn/bert.h"
+
+namespace pf {
+
+class BertStage {
+ public:
+  // Per-micro forward. `in` is the boundary activation from stage s-1
+  // (ignored by stage 0, which reads the batch); returns the boundary
+  // activation for stage s+1 (empty for the last stage, which instead
+  // records the per-micro losses). Training mode is implied.
+  Matrix forward(int micro, const BertBatch& batch, Matrix in,
+                 const ExecContext& ctx);
+
+  // Per-micro backward. `grad_in` is d(out) from stage s+1 (ignored by the
+  // last stage, whose gradient starts at its own losses); returns d(in)
+  // for stage s-1 (empty for stage 0, which ends at the embedding
+  // scatter). Must be called after this micro's forward; the runtime
+  // orders calls by ascending micro (see file comment).
+  // `keep_kfac_stash`: when false (no curvature task will read this
+  // micro — LAMB-only runs, non-refresh steps) the micro's stashes are
+  // dropped here instead of held to end of step, keeping peak activation
+  // memory at O(in-flight micros) rather than O(n_micro).
+  Matrix backward(int micro, const BertBatch& batch, Matrix grad_in,
+                  const ExecContext& ctx, bool keep_kfac_stash = true);
+
+  // Last stage only: the losses recorded by forward(micro).
+  BertLossBreakdown losses(int micro) const;
+
+  // Stashed K-FAC tensors of one micro for factor (linear) index f in
+  // kfac_linears() order: a_l after forward(micro), e_l after
+  // backward(micro).
+  const Matrix& kfac_input(int micro, std::size_t f) const;
+  const Matrix& kfac_output_grad(int micro, std::size_t f) const;
+
+  // Releases all per-micro stashes (end of step).
+  void clear_stash();
+
+  std::vector<Param*> params() const;
+  std::vector<Linear*> kfac_linears() const { return kfac_linears_; }
+
+  int index() const { return index_; }
+  bool is_first() const { return emb_ != nullptr; }
+  bool is_last() const { return mlm_head_ != nullptr; }
+  std::size_t n_blocks() const { return blocks_.size(); }
+
+ private:
+  friend class BertStagePartition;
+
+  struct StageCache {
+    Embedding::Cache emb;                       // stage 0 only
+    std::vector<TransformerBlock::Cache> blocks;
+    Linear::Cache mlm_head, nsp_head;           // last stage only
+    Matrix mlm_dlogits, nsp_dlogits;            // loss grads (last stage)
+  };
+
+  StageCache save_caches();
+  void restore_caches(const StageCache& c);
+  const Linear::Cache& kfac_cache_of(const StageCache& c,
+                                     std::size_t f) const;
+
+  int index_ = 0;
+  Embedding* emb_ = nullptr;       // stage 0
+  std::vector<TransformerBlock*> blocks_;
+  Linear* mlm_head_ = nullptr;     // last stage
+  Linear* nsp_head_ = nullptr;
+  std::vector<Linear*> kfac_linears_;
+  std::map<int, StageCache> fwd_stash_;
+  // Backward keeps only what curvature-B reads: each K-FAC linear's e_l
+  // (in kfac_linears() order). Stashing the full cache set again would
+  // hold every forward activation twice until end of step.
+  std::map<int, std::vector<Matrix>> dy_stash_;
+  // Losses live outside the cache stash: they survive a dropped stash
+  // (keep_kfac_stash = false) until the step's loss fold reads them.
+  std::map<int, BertLossBreakdown> loss_stash_;
+};
+
+class BertStagePartition {
+ public:
+  // Cuts `model` into n_stages contiguous stages (n_stages >= 1). The
+  // partition keeps pointers into the model; the model must outlive it.
+  BertStagePartition(BertModel& model, int n_stages);
+
+  int n_stages() const { return static_cast<int>(stages_.size()); }
+  BertStage& stage(int s);
+  const BertStage& stage(int s) const;
+
+  // Every stage's params / kfac linears concatenated in stage order equals
+  // the model's own ordering (pinned in tests).
+  std::vector<Param*> params() const;
+
+ private:
+  std::vector<BertStage> stages_;
+};
+
+}  // namespace pf

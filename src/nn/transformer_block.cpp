@@ -36,6 +36,26 @@ Matrix TransformerBlock::backward(const Matrix& dy, const ExecContext& ctx) {
   return dx;
 }
 
+TransformerBlock::Cache TransformerBlock::save_cache() {
+  Cache c;
+  c.attn = attn_.save_cache();
+  c.ln1 = ln1_.save_cache();
+  c.w1 = w1_.save_cache();
+  c.gelu = gelu_.save_cache();
+  c.w2 = w2_.save_cache();
+  c.ln2 = ln2_.save_cache();
+  return c;
+}
+
+void TransformerBlock::restore_cache(const Cache& c) {
+  attn_.restore_cache(c.attn);
+  ln1_.restore_cache(c.ln1);
+  w1_.restore_cache(c.w1);
+  gelu_.restore_cache(c.gelu);
+  w2_.restore_cache(c.w2);
+  ln2_.restore_cache(c.ln2);
+}
+
 std::vector<Param*> TransformerBlock::params() {
   std::vector<Param*> out = attn_.params();
   for (Param* p : ln1_.params()) out.push_back(p);

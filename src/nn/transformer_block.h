@@ -25,6 +25,17 @@ class TransformerBlock {
   std::vector<Param*> params();
   std::vector<Linear*> kfac_linears();
 
+  // Cache externalization for pipeline stages (see linear.h): the block's
+  // full backward state for one micro-batch.
+  struct Cache {
+    MultiHeadSelfAttention::Cache attn;
+    LayerNorm::Cache ln1, ln2;
+    Linear::Cache w1, w2;
+    Gelu::Cache gelu;
+  };
+  Cache save_cache();
+  void restore_cache(const Cache& c);
+
  private:
   MultiHeadSelfAttention attn_;
   LayerNorm ln1_;

@@ -20,6 +20,16 @@ struct KfacOptimizerOptions {
   KfacOptions kfac;
   std::size_t curvature_interval = 1;  // steps between curvature updates
   std::size_t inverse_interval = 1;    // steps between inversions
+  // Estimate curvature from EVERY micro-batch of an accumulation step
+  // (folded per micro in ascending order via the Trainer's on_micro_batch
+  // hook) instead of only the last micro's caches. This is the paper's
+  // semantics — PipeFisher's curvature work is per micro-batch — and the
+  // serial reference the pipeline runtime is bit-compared against. With
+  // accumulation_steps = 1 the two modes agree bit for bit when a micro's
+  // token count is <= the GEMM k-panel depth (256 rows) or a power of two;
+  // other shapes differ in the last bits (see curvature.cpp). Default off:
+  // the legacy last-micro estimate stays the behaviour of existing runs.
+  bool per_micro_curvature = false;
 };
 
 class KfacOptimizer : public Optimizer {
@@ -31,6 +41,10 @@ class KfacOptimizer : public Optimizer {
   // Precondition (every step, stale inverses allowed) then base step.
   // Curvature/inversion refresh when due.
   void step(const std::vector<Param*>& params, double lr) override;
+
+  // per_micro_curvature: accumulate the current layer caches into the
+  // pending factor sums when the upcoming step is a curvature refresh.
+  void on_micro_batch() override;
 
   const KfacEngine& engine() const { return engine_; }
   std::size_t steps_taken() const { return t_; }

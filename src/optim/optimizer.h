@@ -13,6 +13,14 @@ class Optimizer {
  public:
   virtual ~Optimizer() = default;
   virtual void step(const std::vector<Param*>& params, double lr) = 0;
+
+  // Called by the Trainer after EACH micro-batch backward of a gradient-
+  // accumulation step (including the last, before step()). Lets curvature-
+  // hungry optimizers observe every micro-batch's layer caches instead of
+  // only the final one — K-FAC's per-micro curvature accumulation
+  // (KfacOptimizerOptions::per_micro_curvature) hangs off this. Default:
+  // no-op.
+  virtual void on_micro_batch() {}
 };
 
 // Per-parameter state buffer keyed by Param identity.

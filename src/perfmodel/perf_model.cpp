@@ -11,6 +11,9 @@ namespace pf {
 PerfModelResult run_perf_model(const PerfModelInput& in) {
   PF_CHECK(in.depth >= 2 && in.n_micro >= 1 && in.b_micro >= 1);
   const ScheduleTraits& traits = traits_of(in.schedule);
+  PF_CHECK(traits.flush)
+      << in.schedule << " is flushless: the per-step bubble model does not "
+      << "apply (use simulate_async_1f1b for the streaming behaviour)";
   ScheduleParams sp;
   sp.n_stages = static_cast<int>(in.depth);
   sp.n_micro = static_cast<int>(in.n_micro);

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
-#include "src/pipeline/one_f_one_b.h"
+#include "src/pipeline/schedule_registry.h"
 
 namespace pf {
 
@@ -11,13 +11,18 @@ AsyncPipelineReport simulate_async_1f1b(int n_stages, int n_micro,
                                         int iterations,
                                         const StepCosts& costs) {
   PF_CHECK(n_stages >= 2 && n_micro >= 1 && iterations >= 2);
-  // The flushless stream of `iterations` mini-batches is exactly 1F1B over
-  // iterations·n_micro micro-batches (backward of batch i overlaps forward
-  // of batch i+1), with device-local updates inline.
+  // The flushless stream of `iterations` mini-batches is exactly the
+  // registry's "1f1b-flushless" program over iterations·n_micro
+  // micro-batches (backward of batch i overlaps forward of batch i+1),
+  // with device-local updates inline.
   const int total_micros = n_micro * iterations;
   StepCosts c = costs;
   c.inline_update_every = n_micro;
-  const auto spec = make_1f1b(n_stages, total_micros);
+  ScheduleParams p;
+  p.n_stages = n_stages;
+  p.n_micro = total_micros;
+  const auto spec = build_schedule("1f1b-flushless", p);
+  PF_ASSERT(!traits_of("1f1b-flushless").flush);
   auto res = simulate_step(spec, c);
 
   AsyncPipelineReport rep;

@@ -80,6 +80,15 @@ ScheduleSpec interleaved_1f1b_factory(const ScheduleParams& p) {
   return make_interleaved_1f1b(p.n_stages, p.virtual_chunks, p.n_micro);
 }
 
+ScheduleSpec one_f_one_b_flushless_factory(const ScheduleParams& p) {
+  // The per-step program IS 1F1B's; only the step-boundary semantics
+  // differ (no flush — consumers stream steps back to back with inline
+  // device-local updates, see async_pipeline.h).
+  ScheduleSpec spec = make_1f1b(p.n_stages, p.n_micro);
+  spec.name = "1f1b-flushless";
+  return spec;
+}
+
 ScheduleTraits gpipe_traits() {
   ScheduleTraits t;
   t.name = "gpipe";
@@ -120,6 +129,24 @@ ScheduleTraits chimera_traits() {
   return t;
 }
 
+ScheduleTraits one_f_one_b_flushless_traits() {
+  ScheduleTraits t;
+  t.name = "1f1b-flushless";
+  t.description =
+      "PipeDream-style 1F1B stream, no flush: stale-gradient updates "
+      "instead of bubbles (Appendix C.1; simulate via simulate_async_1f1b)";
+  t.flush = false;
+  // Closed form of one ISOLATED step of its program (identical to 1f1b's
+  // flush path). The steady-state stream hides this ramp entirely — the
+  // async simulator, not the flush-step closed form, is the perf model for
+  // this schedule; flush-only consumers (run_pipefisher, run_perf_model)
+  // reject it instead of misreporting.
+  t.c_f = {1.0, 1.0, -1.0};
+  t.c_b = {1.0, 1.0, -1.0};
+  t.min_stages = 2;  // simulate_async_1f1b's own floor
+  return t;
+}
+
 ScheduleTraits interleaved_1f1b_traits() {
   ScheduleTraits t;
   t.name = "interleaved-1f1b";
@@ -150,6 +177,9 @@ std::map<std::string, ScheduleEntry>& registry() {
     m.emplace("interleaved-1f1b",
               ScheduleEntry{interleaved_1f1b_traits(),
                             &interleaved_1f1b_factory});
+    m.emplace("1f1b-flushless",
+              ScheduleEntry{one_f_one_b_flushless_traits(),
+                            &one_f_one_b_flushless_factory});
     return m;
   }();
   return reg;

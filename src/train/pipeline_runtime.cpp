@@ -1,0 +1,580 @@
+#include "src/train/pipeline_runtime.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+#include "src/optim/lamb.h"
+#include "src/pipeline/simulator.h"
+
+namespace pf {
+
+namespace {
+
+ScheduleParams runtime_params(const PipelineRuntimeConfig& cfg) {
+  ScheduleParams p;
+  p.n_stages = cfg.n_stages;
+  p.n_micro = cfg.n_micro;
+  p.virtual_chunks = cfg.virtual_chunks;
+  return p;
+}
+
+// Pipeline ops get their event-order position as priority; step-tail tasks
+// follow; K-FAC work sits above everything so it is only dispatched into
+// lane idle time (realized bubbles).
+constexpr long kTailPriorityBase = 1L << 18;
+constexpr long kKfacPriorityBase = 1L << 20;
+
+// Rewrites each device's op order so that, within every (pipeline, stage)
+// group, the backwards visit micros in ascending order — the gradient-
+// accumulation order the bitwise contract requires (see the header). 1F1B
+// and the greedy orders are already ascending per stage; GPipe's LIFO
+// backward drain becomes FIFO (same critical path under uniform costs; the
+// activation stash is keyed by micro, so LIFO buys nothing here).
+void normalize_backward_order(std::vector<std::vector<PipeOp>>& programs) {
+  for (auto& prog : programs) {
+    std::map<std::pair<int, int>, std::vector<std::size_t>> group_slots;
+    for (std::size_t i = 0; i < prog.size(); ++i)
+      if (prog[i].type == OpType::kBackward)
+        group_slots[{prog[i].pipeline, prog[i].stage}].push_back(i);
+    for (auto& [key, slots] : group_slots) {
+      std::vector<int> micros;
+      micros.reserve(slots.size());
+      for (const std::size_t p : slots) micros.push_back(prog[p].micro);
+      std::sort(micros.begin(), micros.end());
+      for (std::size_t k = 0; k < slots.size(); ++k)
+        prog[slots[k]].micro = micros[k];
+    }
+  }
+}
+
+}  // namespace
+
+PipelineRuntime::PipelineRuntime(BertModel& model, const MlmBatcher& batcher,
+                                 const PipelineRuntimeConfig& cfg)
+    : batcher_(batcher),
+      cfg_(cfg),
+      data_rng_(cfg.data_seed),
+      spec_(build_schedule(cfg.schedule, runtime_params(cfg))),
+      partition_(model, spec_.n_stages) {
+  const ScheduleTraits& traits = traits_of(cfg_.schedule);
+  PF_CHECK(traits.flush)
+      << cfg_.schedule
+      << " is flushless: the runtime trains synchronously (flushless "
+         "streams are simulated by simulate_async_1f1b)";
+  PF_CHECK(cfg_.n_micro >= 1 && cfg_.micro_batch_size >= 1);
+  PF_CHECK(cfg_.stage_threads >= 1);
+  PF_CHECK(cfg_.workers >= 0);
+  if (!cfg_.base_optimizer)
+    cfg_.base_optimizer = [] { return std::make_unique<Lamb>(); };
+
+  // Event order: static programs, or the greedy simulator's realized order
+  // for dynamic schedules (unit §3.3 costs T_b = 2·T_f). Static orders are
+  // honored exactly (head-of-line chaining below); dynamic schedules run
+  // greedily with the order as dispatch priority — which is what
+  // `dynamic_order` means in the simulator too.
+  if (spec_.dynamic_order) {
+    device_order_ = simulate_step(spec_, StepCosts{}).realized_programs;
+  } else {
+    device_order_ = spec_.programs;
+  }
+  normalize_backward_order(device_order_);
+
+  pipeline_of_micro_.assign(static_cast<std::size_t>(spec_.n_micro), 0);
+  for (int pl = 0; pl < spec_.n_pipelines; ++pl)
+    for (const int m : spec_.micros_of_pipeline[static_cast<std::size_t>(pl)])
+      pipeline_of_micro_[static_cast<std::size_t>(m)] = pl;
+
+  const std::size_t workers = cfg_.workers > 0
+                                  ? static_cast<std::size_t>(cfg_.workers)
+                                  : static_cast<std::size_t>(spec_.n_devices);
+  pool_ = std::make_unique<ThreadPool>(workers);
+
+  const int S = spec_.n_stages;
+  for (int s = 0; s + 1 < S; ++s) {
+    fwd_ch_.push_back(std::make_unique<StageChannel>(
+        format("fwd[%d->%d]", s, s + 1)));
+    bwd_ch_.push_back(std::make_unique<StageChannel>(
+        format("bwd[%d->%d]", s + 1, s)));
+  }
+  for (int s = 0; s < S; ++s) {
+    BertStage& st = partition_.stage(s);
+    stage_params_.push_back(st.params());
+    stage_ctx_.emplace_back(cfg_.stage_threads, cfg_.stage_threads,
+                            RngPartition::kSequential, pool_.get());
+    stage_opt_.push_back(cfg_.base_optimizer());
+    const auto kl = st.kfac_linears();
+    engines_.push_back(cfg_.use_kfac && !kl.empty()
+                           ? std::make_unique<KfacEngine>(kl, cfg_.kfac.kfac)
+                           : nullptr);
+  }
+}
+
+BertLossBreakdown PipelineRuntime::step() {
+  const int S = spec_.n_stages;
+  const int N = spec_.n_micro;
+  const int D = spec_.n_devices;
+
+  // --- Step preamble: exactly the serial Trainer's ---------------------
+  // Draw the micro-batches in the serial order (same RNG progression).
+  std::vector<BertBatch> batches;
+  batches.reserve(static_cast<std::size_t>(N));
+  for (int m = 0; m < N; ++m)
+    batches.push_back(batcher_.next_batch(cfg_.micro_batch_size, data_rng_));
+  for (auto& sp : stage_params_) zero_grads(sp);
+  const double lr = cfg_.lr.lr(t_);
+  const bool curv_step =
+      cfg_.use_kfac && t_ % cfg_.kfac.curvature_interval == 0;
+  const bool inv_step = cfg_.use_kfac && t_ % cfg_.kfac.inverse_interval == 0;
+  // Entry reset (not just exit): a step that threw mid-flight leaves
+  // stashes and channel boxes populated — clearing here keeps a retried
+  // step() reporting its own errors instead of phantom duplicates.
+  for (int s = 0; s < S; ++s) partition_.stage(s).clear_stash();
+  for (auto& ch : fwd_ch_) ch->clear();
+  for (auto& ch : bwd_ch_) ch->clear();
+
+  // --- Build the step's task graph -------------------------------------
+  TaskExecutor ex(*pool_, static_cast<std::size_t>(D));
+  std::vector<TaskMeta> meta;
+  auto add_task = [&](std::function<void()> fn, std::size_t lane,
+                      long priority, std::vector<std::size_t> deps,
+                      int resource, TaskMeta m) -> std::size_t {
+    const std::size_t id =
+        ex.add(std::move(fn), lane, priority, std::move(deps), resource);
+    PF_ASSERT(id == meta.size());
+    m.device = lane;
+    meta.push_back(m);
+    return id;
+  };
+
+  // Event-order position of every op on its device = its dispatch priority.
+  std::map<long, long> op_priority;
+  std::size_t planned_ops = 0;
+  for (const auto& prog : device_order_) {
+    for (std::size_t i = 0; i < prog.size(); ++i)
+      op_priority[op_key(prog[i])] = static_cast<long>(i);
+    planned_ops += prog.size();
+  }
+  PF_CHECK(planned_ops == spec_.all_ops().size())
+      << "event order does not cover the schedule's ops";
+
+  std::map<long, std::size_t> op_task;  // op_key -> executor task id
+  auto pl_of = [&](int m) { return pipeline_of_micro_[static_cast<std::size_t>(m)]; };
+
+  // Pipeline-op dependencies, expressed over PipeOps:
+  //   forward(pl, s, m):  forward(pl, s-1, m)            [activation]
+  //   backward(pl, s, m): forward(pl, s, m)              [stashed caches]
+  //                       backward(pl, s+1, m)           [grad-activation]
+  //                       backward(*, s, prev micro)     [grad fold order]
+  //   static schedules:   the device's previous program op [event order]
+  auto op_deps = [&](const PipeOp& op) {
+    std::vector<PipeOp> deps;
+    if (op.type == OpType::kForward) {
+      if (op.stage > 0)
+        deps.push_back({OpType::kForward, op.pipeline, op.stage - 1, op.micro});
+    } else {
+      deps.push_back({OpType::kForward, op.pipeline, op.stage, op.micro});
+      if (op.stage + 1 < S)
+        deps.push_back(
+            {OpType::kBackward, op.pipeline, op.stage + 1, op.micro});
+      if (op.micro > 0)
+        deps.push_back(
+            {OpType::kBackward, pl_of(op.micro - 1), op.stage, op.micro - 1});
+    }
+    return deps;
+  };
+
+  auto make_op_task = [&](const PipeOp& op, std::vector<std::size_t> deps) {
+    const int s = op.stage;
+    const int m = op.micro;
+    BertStage* stage = &partition_.stage(s);
+    const ExecContext* ctx = &stage_ctx_[static_cast<std::size_t>(s)];
+    const auto lane =
+        static_cast<std::size_t>(spec_.device_of(op.pipeline, s));
+    std::function<void()> body;
+    if (op.type == OpType::kForward) {
+      body = [this, stage, ctx, s, m, S, &batches] {
+        Matrix in;
+        if (s > 0) in = fwd_ch_[static_cast<std::size_t>(s - 1)]->take(m);
+        Matrix out = stage->forward(m, batches[static_cast<std::size_t>(m)],
+                                    std::move(in), *ctx);
+        if (s + 1 < S)
+          fwd_ch_[static_cast<std::size_t>(s)]->send(m, std::move(out));
+      };
+    } else {
+      // Curvature tasks read the stashes only on refresh steps of K-FAC
+      // stages; otherwise backward releases this micro's activations.
+      const bool keep_stash =
+          curv_step && engines_[static_cast<std::size_t>(s)] != nullptr;
+      body = [this, stage, ctx, s, m, S, keep_stash, &batches] {
+        Matrix gin;
+        if (s + 1 < S) gin = bwd_ch_[static_cast<std::size_t>(s)]->take(m);
+        Matrix gout = stage->backward(m, batches[static_cast<std::size_t>(m)],
+                                      std::move(gin), *ctx, keep_stash);
+        if (s > 0)
+          bwd_ch_[static_cast<std::size_t>(s - 1)]->send(m, std::move(gout));
+      };
+    }
+    TaskMeta tm;
+    tm.kind = op.type == OpType::kForward ? WorkKind::kForward
+                                          : WorkKind::kBackward;
+    tm.stage = s;
+    tm.micro = m;
+    tm.op = op;
+    tm.is_op = true;
+    op_task[op_key(op)] = add_task(std::move(body), lane,
+                                   op_priority.at(op_key(op)),
+                                   std::move(deps), /*resource=*/s, tm);
+  };
+
+  // Create op tasks in a topological order (the executor requires
+  // dependencies to exist before their dependents).
+  if (spec_.dynamic_order) {
+    // Greedy schedules execute by priority, not program chains, so any
+    // topological order works for creation: forwards by (micro, stage),
+    // then backwards by (micro asc, stage desc) — every dependency above
+    // (upstream forward, own forward, downstream backward, previous-micro
+    // backward) precedes its dependent in this order.
+    for (int m = 0; m < N; ++m)
+      for (int s = 0; s < S; ++s) {
+        const PipeOp op{OpType::kForward, pl_of(m), s, m};
+        std::vector<std::size_t> dep_ids;
+        for (const PipeOp& dep : op_deps(op))
+          dep_ids.push_back(op_task.at(op_key(dep)));
+        make_op_task(op, std::move(dep_ids));
+      }
+    for (int m = 0; m < N; ++m)
+      for (int s = S - 1; s >= 0; --s) {
+        const PipeOp op{OpType::kBackward, pl_of(m), s, m};
+        std::vector<std::size_t> dep_ids;
+        for (const PipeOp& dep : op_deps(op))
+          dep_ids.push_back(op_task.at(op_key(dep)));
+        make_op_task(op, std::move(dep_ids));
+      }
+  } else {
+    // Static schedules honor their programs exactly: each op additionally
+    // depends on the previous op of its device program (head-of-line), so
+    // the realized order IS the planned order. Creation sweeps the
+    // programs; a schedule whose program fights the gradient-fold order
+    // (normalize_backward_order prevents this for the built-ins) fails
+    // loudly instead of deadlocking.
+    std::vector<std::size_t> next_in_prog(device_order_.size(), 0);
+    std::size_t remaining = planned_ops;
+    while (remaining > 0) {
+      bool progress = false;
+      for (std::size_t d = 0; d < device_order_.size(); ++d) {
+        while (next_in_prog[d] < device_order_[d].size()) {
+          const PipeOp& op = device_order_[d][next_in_prog[d]];
+          std::vector<PipeOp> deps = op_deps(op);
+          if (next_in_prog[d] > 0)
+            deps.push_back(device_order_[d][next_in_prog[d] - 1]);
+          std::vector<std::size_t> dep_ids;
+          bool ready = true;
+          for (const PipeOp& dep : deps) {
+            const auto it = op_task.find(op_key(dep));
+            if (it == op_task.end()) {
+              ready = false;
+              break;
+            }
+            dep_ids.push_back(it->second);
+          }
+          if (!ready) break;
+          make_op_task(op, std::move(dep_ids));
+          ++next_in_prog[d];
+          --remaining;
+          progress = true;
+        }
+      }
+      PF_CHECK(progress)
+          << cfg_.schedule
+          << ": event order and gradient-fold order form a cycle";
+    }
+  }
+
+  std::vector<std::size_t> last_bwd(static_cast<std::size_t>(S), 0);
+  for (int s = 0; s < S; ++s) {
+    const int m = N - 1;
+    last_bwd[static_cast<std::size_t>(s)] =
+        op_task.at(op_key({OpType::kBackward, pl_of(m), s, m}));
+  }
+
+  // Step tail per stage: owner-computes gradient finalization (the serial
+  // trainer's g *= 1/n_micro), then K-FAC preconditions, then the stage's
+  // base optimizer step.
+  const double inv = 1.0 / static_cast<double>(N);
+  std::vector<std::size_t> grad_final(static_cast<std::size_t>(S), 0);
+  for (int s = 0; s < S; ++s) {
+    const auto owner = static_cast<std::size_t>(spec_.device_of(0, s));
+    auto body = [this, s, inv, N] {
+      if (N > 1)
+        for (Param* p : stage_params_[static_cast<std::size_t>(s)])
+          p->g *= inv;
+    };
+    TaskMeta tm;
+    tm.kind = WorkKind::kSyncGrad;
+    tm.stage = s;
+    grad_final[static_cast<std::size_t>(s)] =
+        add_task(std::move(body), owner, kTailPriorityBase + s,
+                 {last_bwd[static_cast<std::size_t>(s)]}, /*resource=*/-1, tm);
+  }
+
+  // K-FAC work items, BubbleTask-shaped (the executable analog of
+  // core/kfac_work.cpp's generation rules + core/bubble_assigner's
+  // readiness dispatch). kfac_plan_ mirrors every task for introspection;
+  // realized durations are filled in after the run.
+  kfac_plan_.clear();
+  std::vector<std::size_t> kfac_exec_id;
+  std::vector<std::vector<std::size_t>> stage_precond(
+      static_cast<std::size_t>(S));
+  long kfac_seq = 0;
+  auto add_kfac = [&](BubbleTask shape, std::function<void()> body,
+                      std::vector<std::size_t> extra_deps, int resource) {
+    shape.id = kfac_plan_.size();
+    std::vector<std::size_t> deps = std::move(extra_deps);
+    for (const std::size_t d : shape.deps) deps.push_back(kfac_exec_id[d]);
+    TaskMeta tm;
+    tm.kind = shape.kind;
+    tm.stage = shape.stage;
+    tm.micro = shape.micro;
+    tm.layer = shape.layer;
+    tm.factor = shape.factor;
+    const std::size_t id =
+        add_task(std::move(body), shape.device,
+                 kKfacPriorityBase + kfac_seq++, std::move(deps), resource, tm);
+    kfac_exec_id.push_back(id);
+    kfac_plan_.push_back(std::move(shape));
+    return kfac_plan_.size() - 1;
+  };
+
+  for (int s = 0; s < S; ++s) {
+    KfacEngine* engine = engines_[static_cast<std::size_t>(s)].get();
+    if (engine == nullptr) continue;
+    BertStage* stage = &partition_.stage(s);
+    const auto owner = static_cast<std::size_t>(spec_.device_of(0, s));
+    for (std::size_t f = 0; f < engine->n_layers(); ++f) {
+      std::size_t commit_id = 0;
+      bool has_commit = false;
+      if (curv_step) {
+        // Curvature per (factor, micro): A after the forward, B after the
+        // backward, each chained per factor in ascending micro order so the
+        // pending sums fold in the serial order.
+        std::size_t prev_a = 0, prev_b = 0;
+        bool chain_a = false, chain_b = false;
+        for (int m = 0; m < N; ++m) {
+          const int pl = pl_of(m);
+          const auto dev = static_cast<std::size_t>(spec_.device_of(pl, s));
+          BubbleTask ca;
+          ca.device = dev;
+          ca.kind = WorkKind::kCurvatureA;
+          ca.stage = s;
+          ca.micro = m;
+          // Trace labels only (block, linear-within-block); the 6-per-
+          // block layout is asserted loudly by BertStagePartition.
+          ca.layer = static_cast<int>(f / 6);
+          ca.factor = static_cast<int>(f % 6);
+          if (chain_a) ca.deps.push_back(prev_a);
+          prev_a = add_kfac(
+              ca,
+              [engine, stage, f, m] {
+                engine->accumulate_curvature_a(f, stage->kfac_input(m, f));
+              },
+              {op_task.at(op_key({OpType::kForward, pl, s, m}))},
+              /*resource=*/s);
+          chain_a = true;
+
+          BubbleTask cb = ca;
+          cb.deps.clear();
+          cb.kind = WorkKind::kCurvatureB;
+          if (chain_b) cb.deps.push_back(prev_b);
+          prev_b = add_kfac(
+              cb,
+              [engine, stage, f, m] {
+                engine->accumulate_curvature_b(f,
+                                               stage->kfac_output_grad(m, f));
+              },
+              {op_task.at(op_key({OpType::kBackward, pl, s, m}))},
+              /*resource=*/s);
+          chain_b = true;
+        }
+        BubbleTask cm;
+        cm.device = owner;
+        // The EMA fold merges the factor's per-micro contributions before
+        // inversion — the single-process analog of sync-curvature, and
+        // distinct from the curvature GEMMs in the executed trace.
+        cm.kind = WorkKind::kSyncCurvature;
+        cm.stage = s;
+        cm.layer = static_cast<int>(f / 6);
+        cm.factor = static_cast<int>(f % 6);
+        cm.deps = {prev_a, prev_b};
+        cm.splittable = false;
+        commit_id = add_kfac(
+            cm, [engine, f] { engine->commit_curvature_layer(f); }, {},
+            /*resource=*/-1);
+        has_commit = true;
+      }
+      std::size_t precond_gate = 0;
+      bool has_gate = false;
+      if (inv_step) {
+        BubbleTask ia;
+        ia.device = owner;
+        ia.kind = WorkKind::kInversionA;
+        ia.stage = s;
+        ia.layer = static_cast<int>(f / 6);
+        ia.factor = static_cast<int>(f % 6);
+        ia.splittable = false;
+        if (has_commit) ia.deps.push_back(commit_id);
+        const std::size_t inv_a = add_kfac(
+            ia, [engine, f] { engine->update_inverse_factor(f, false); }, {},
+            /*resource=*/-1);
+        BubbleTask ib = ia;
+        ib.kind = WorkKind::kInversionB;
+        ib.deps = {inv_a};
+        precond_gate = add_kfac(
+            ib, [engine, f] { engine->update_inverse_factor(f, true); }, {},
+            /*resource=*/-1);
+        has_gate = true;
+      } else if (has_commit) {
+        precond_gate = commit_id;
+        has_gate = true;
+      }
+      // Precondition every step (stale inverses allowed), after the stage's
+      // gradients are final.
+      BubbleTask pc;
+      pc.device = owner;
+      pc.kind = WorkKind::kPrecondition;
+      pc.stage = s;
+      pc.layer = static_cast<int>(f / 6);
+      pc.factor = static_cast<int>(f % 6);
+      pc.splittable = false;
+      if (has_gate) pc.deps.push_back(precond_gate);
+      const std::size_t pcid = add_kfac(
+          pc, [engine, f] { engine->precondition_layer(f); },
+          {grad_final[static_cast<std::size_t>(s)]}, /*resource=*/-1);
+      stage_precond[static_cast<std::size_t>(s)].push_back(
+          kfac_exec_id[pcid]);
+    }
+  }
+
+  // Per-stage optimizer update closes the step.
+  for (int s = 0; s < S; ++s) {
+    const auto owner = static_cast<std::size_t>(spec_.device_of(0, s));
+    std::vector<std::size_t> deps = {grad_final[static_cast<std::size_t>(s)]};
+    for (const std::size_t p : stage_precond[static_cast<std::size_t>(s)])
+      deps.push_back(p);
+    auto body = [this, s, lr] {
+      stage_opt_[static_cast<std::size_t>(s)]->step(
+          stage_params_[static_cast<std::size_t>(s)], lr);
+    };
+    TaskMeta tm;
+    tm.kind = WorkKind::kOptimizerUpdate;
+    tm.stage = s;
+    add_task(std::move(body), owner, kTailPriorityBase + S + s,
+             std::move(deps), /*resource=*/s, tm);
+  }
+
+  // --- Execute ----------------------------------------------------------
+  ex.run();
+  last_records_ = ex.records();
+  last_meta_ = std::move(meta);
+
+  // Realized timeline: per-device intervals sorted by wall-clock start.
+  last_timeline_ = Timeline(static_cast<std::size_t>(D));
+  {
+    std::vector<std::vector<std::size_t>> by_dev(static_cast<std::size_t>(D));
+    for (std::size_t i = 0; i < last_records_.size(); ++i)
+      if (last_records_[i].executed)
+        by_dev[last_meta_[i].device].push_back(i);
+    double makespan = 0.0;
+    for (auto& ids : by_dev) {
+      std::sort(ids.begin(), ids.end(), [&](std::size_t a, std::size_t b) {
+        return last_records_[a].start < last_records_[b].start;
+      });
+      for (const std::size_t i : ids) {
+        const TaskMeta& tm = last_meta_[i];
+        last_timeline_.add(Interval{.device = tm.device,
+                                    .start = last_records_[i].start,
+                                    .end = last_records_[i].end,
+                                    .kind = tm.kind,
+                                    .stage = tm.stage,
+                                    .micro = tm.micro,
+                                    .layer = tm.layer,
+                                    .factor = tm.factor});
+        makespan = std::max(makespan, last_records_[i].end);
+      }
+    }
+    last_wall_seconds_ = makespan;
+  }
+  // Realized durations back into the BubbleTask plan.
+  for (std::size_t i = 0; i < kfac_plan_.size(); ++i) {
+    const auto& rec = last_records_[kfac_exec_id[i]];
+    kfac_plan_[i].earliest_start = rec.start;
+    kfac_plan_[i].duration = rec.end - rec.start;
+  }
+
+  // --- Step epilogue: losses in micro order, stash cleanup --------------
+  BertLossBreakdown total{};
+  BertStage& last_stage = partition_.stage(S - 1);
+  for (int m = 0; m < N; ++m) {
+    const auto l = last_stage.losses(m);
+    total.total += l.total;
+    total.mlm += l.mlm;
+    total.nsp += l.nsp;
+  }
+  total.total *= inv;
+  total.mlm *= inv;
+  total.nsp *= inv;
+  for (int s = 0; s < S; ++s) partition_.stage(s).clear_stash();
+  for (const auto& ch : fwd_ch_)
+    PF_CHECK(ch->pending() == 0) << ch->name() << ": undelivered activations";
+  for (const auto& ch : bwd_ch_)
+    PF_CHECK(ch->pending() == 0) << ch->name() << ": undelivered gradients";
+  ++t_;
+  return total;
+}
+
+TrainTrace PipelineRuntime::run() {
+  TrainTrace trace;
+  trace.loss.reserve(cfg_.total_steps);
+  for (std::size_t i = 0; i < cfg_.total_steps; ++i) {
+    trace.lr.push_back(cfg_.lr.lr(t_));
+    const auto l = step();
+    trace.loss.push_back(l.total);
+    trace.mlm_loss.push_back(l.mlm);
+    trace.nsp_loss.push_back(l.nsp);
+  }
+  return trace;
+}
+
+std::vector<std::vector<PipeOp>> PipelineRuntime::last_realized_order() const {
+  std::vector<std::vector<PipeOp>> out(
+      static_cast<std::size_t>(spec_.n_devices));
+  std::vector<std::vector<std::size_t>> by_dev(
+      static_cast<std::size_t>(spec_.n_devices));
+  for (std::size_t i = 0; i < last_records_.size(); ++i)
+    if (last_records_[i].executed && last_meta_[i].is_op)
+      by_dev[last_meta_[i].device].push_back(i);
+  for (std::size_t d = 0; d < by_dev.size(); ++d) {
+    auto& ids = by_dev[d];
+    std::sort(ids.begin(), ids.end(), [&](std::size_t a, std::size_t b) {
+      return last_records_[a].start < last_records_[b].start;
+    });
+    for (const std::size_t i : ids) out[d].push_back(last_meta_[i].op);
+  }
+  return out;
+}
+
+std::vector<int> PipelineRuntime::forward_send_order(int boundary) const {
+  PF_CHECK(boundary >= 0 &&
+           static_cast<std::size_t>(boundary) < fwd_ch_.size());
+  return fwd_ch_[static_cast<std::size_t>(boundary)]->send_order();
+}
+
+std::vector<int> PipelineRuntime::backward_send_order(int boundary) const {
+  PF_CHECK(boundary >= 0 &&
+           static_cast<std::size_t>(boundary) < bwd_ch_.size());
+  return bwd_ch_[static_cast<std::size_t>(boundary)]->send_order();
+}
+
+}  // namespace pf

@@ -1,0 +1,162 @@
+// Executable pipeline-parallel training runtime: PipeFisher run for REAL.
+//
+// Where src/core/ packs simulated K-FAC work into a simulated Timeline,
+// this module partitions an actual BertModel into stages
+// (nn/stage_partition.h), executes every per-micro-batch forward/backward
+// as a real task on a thread pool (common/task_executor.h) in the event
+// order produced by the schedule registry — gpipe, 1f1b,
+// interleaved-1f1b and chimera all drive the same code path — hands
+// boundary activations and grad-activations over comm/stage_channel, and
+// dispatches the K-FAC engine's per-factor/per-micro work items
+// (kfac/kfac_engine.h) into the realized idle gaps: K-FAC tasks carry
+// lower dispatch priority than pipeline ops, so a device only runs
+// curvature/inversion work when none of its pipeline ops is runnable —
+// the executable analog of core/bubble_assigner's greedy gap packing,
+// with the simulator's readiness rules become task dependencies:
+//
+//   curvature-A(f, m)  after Forward(stage_of(f), m)   [+ the (f, m-1)
+//   curvature-B(f, m)  after Backward(stage_of(f), m)    fold-order chain]
+//   commit(f)          after every curvature task of f
+//   inversion-A/B(f)   after commit(f)
+//   precondition(f)    after inversion-B(f) and the stage's final gradient
+//   optimizer(stage)   after every precondition of the stage
+//
+// Determinism contract (the headline property): a PipelineRuntime run is
+// BITWISE identical to the serial `Trainer` with accumulation_steps =
+// n_micro (same data seed, micro batch size, LR schedule, and a
+// KfacOptimizer with per_micro_curvature = true) at every schedule, stage
+// count, worker count and stage thread budget. The mechanisms:
+//   * owner-computes reductions — each stage's parameters accumulate
+//     gradients directly, and the per-model-stage backward chain forces
+//     ascending global micro order: every gradient coordinate sees the
+//     serial trainer's exact addition sequence;
+//   * fixed handover order — activations cross stage boundaries keyed by
+//     micro id; consumers depend on producers, so the values (not the
+//     timing) of every handover are schedule-independent;
+//   * per-factor fold chains — curvature contributions fold in ascending
+//     micro order into the pending factor sums (kfac_engine.h contract);
+//   * per-stage optimizers — LAMB's update is per-tensor, so per-stage
+//     instances stepping their own parameters reproduce the global step.
+//
+// Each stage runs under its own ExecContext whose nn/GEMM budget is
+// `stage_threads` (every value is bitwise-neutral); the runtime owns a
+// dedicated ThreadPool of `workers` threads shared by stage ops, their
+// nn-loop fan-out, and the bubble-filled K-FAC work. Caveat: GEMM row
+// blocks dispatch on the process-global pool (the gemm driver hardcodes
+// ThreadPool::global()), so with stage_threads > 1 the matmul portion of
+// an op escapes the `workers` budget — routing GEMMs through the
+// context's pool is a ROADMAP follow-up.
+//
+// After each step the runtime exposes the realized execution as a
+// trace::Timeline (real wall-clock intervals, one lane per device) for
+// comparison against the simulator's predicted schedule.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "src/comm/stage_channel.h"
+#include "src/common/task_executor.h"
+#include "src/core/kfac_work.h"
+#include "src/data/mlm_batcher.h"
+#include "src/nn/stage_partition.h"
+#include "src/optim/kfac_optimizer.h"
+#include "src/pipeline/schedule_registry.h"
+#include "src/train/trainer.h"
+
+namespace pf {
+
+struct PipelineRuntimeConfig {
+  std::string schedule = "1f1b";   // any flush schedule in the registry
+  int n_stages = 2;                // pipeline depth D (devices)
+  int n_micro = 4;                 // micro-batches per step
+  int virtual_chunks = 2;          // interleaved-1f1b only
+  std::size_t micro_batch_size = 8;
+  std::size_t total_steps = 50;
+  PolyWarmupSchedule lr{1e-3, 30, 300};
+  std::uint64_t data_seed = 99;
+  // Per-stage ExecContext budget: nn-loop chunks and GEMM row blocks of
+  // every op the stage runs (bitwise-neutral; >= 1).
+  int stage_threads = 1;
+  // Runtime pool size. 0 = one worker per device. The pool is shared by
+  // inter-stage parallelism, the stages' nn-loop fan-out and bubble K-FAC
+  // work (GEMM row blocks use the process-global pool — see above).
+  int workers = 0;
+  bool use_kfac = true;
+  // K-FAC knobs; per_micro_curvature is implied (the runtime always
+  // accumulates curvature per micro-batch — the paper's semantics).
+  KfacOptimizerOptions kfac;
+  // Base optimizer, instantiated once per stage (LAMB by default, per-
+  // tensor like the serial reference).
+  std::function<std::unique_ptr<Optimizer>()> base_optimizer;
+};
+
+class PipelineRuntime {
+ public:
+  PipelineRuntime(BertModel& model, const MlmBatcher& batcher,
+                  const PipelineRuntimeConfig& cfg);
+
+  // One synchronous training step (n_micro micros + flush + optimizer);
+  // returns the accumulated losses exactly as Trainer::step does.
+  BertLossBreakdown step();
+
+  // cfg.total_steps steps; trace shape identical to Trainer::run().
+  TrainTrace run();
+
+  const ScheduleSpec& spec() const { return spec_; }
+  int n_model_stages() const { return spec_.n_stages; }
+  std::size_t steps_taken() const { return t_; }
+
+  // --- Introspection (tests, benches, the example's report) -------------
+  // Planned per-device op order (the registry's programs, or the greedy
+  // simulator's realized order for dynamic schedules).
+  const std::vector<std::vector<PipeOp>>& planned_order() const {
+    return device_order_;
+  }
+  // Per-device op order actually executed last step (sorted by realized
+  // start time).
+  std::vector<std::vector<PipeOp>> last_realized_order() const;
+  // Executed wall-clock timeline of the last step (one lane per device).
+  const Timeline& last_executed_timeline() const { return last_timeline_; }
+  double last_step_wall_seconds() const { return last_wall_seconds_; }
+  // The last step's K-FAC work items, BubbleTask-shaped: deps index into
+  // the same vector; durations are the realized seconds.
+  const std::vector<BubbleTask>& last_kfac_plan() const {
+    return kfac_plan_;
+  }
+  // Realized handover order on a boundary (micro ids in send order).
+  std::vector<int> forward_send_order(int boundary) const;
+  std::vector<int> backward_send_order(int boundary) const;
+
+ private:
+  struct TaskMeta {
+    std::size_t device = 0;
+    WorkKind kind = WorkKind::kForward;
+    int stage = -1, micro = -1, layer = -1, factor = -1;
+    PipeOp op{};       // valid for kForward/kBackward metas
+    bool is_op = false;
+  };
+
+  const MlmBatcher& batcher_;
+  PipelineRuntimeConfig cfg_;
+  Rng data_rng_;
+  ScheduleSpec spec_;
+  BertStagePartition partition_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::vector<PipeOp>> device_order_;
+  std::vector<int> pipeline_of_micro_;
+  std::vector<ExecContext> stage_ctx_;
+  std::vector<std::vector<Param*>> stage_params_;
+  std::vector<std::unique_ptr<KfacEngine>> engines_;   // per stage, may be null
+  std::vector<std::unique_ptr<Optimizer>> stage_opt_;
+  std::vector<std::unique_ptr<StageChannel>> fwd_ch_;  // boundary s -> s+1
+  std::vector<std::unique_ptr<StageChannel>> bwd_ch_;  // boundary s+1 -> s
+  std::vector<BubbleTask> kfac_plan_;
+  std::vector<TaskMeta> last_meta_;
+  std::vector<TaskExecutor::Record> last_records_;
+  Timeline last_timeline_;
+  double last_wall_seconds_ = 0.0;
+  std::size_t t_ = 0;
+};
+
+}  // namespace pf

@@ -33,6 +33,9 @@ BertLossBreakdown Trainer::step() {
     total.total += losses.total;
     total.mlm += losses.mlm;
     total.nsp += losses.nsp;
+    // Let curvature-hungry optimizers see every micro-batch's caches (the
+    // K-FAC per-micro curvature mode; a no-op for everything else).
+    opt_->on_micro_batch();
   }
   const double inv = 1.0 / static_cast<double>(cfg_.accumulation_steps);
   total.total *= inv;

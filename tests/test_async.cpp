@@ -6,6 +6,7 @@
 #include "src/pipeline/async_pipeline.h"
 #include "src/pipeline/gpipe.h"
 #include "src/pipeline/one_f_one_b.h"
+#include "src/pipeline/schedule_registry.h"
 
 namespace pf {
 namespace {
@@ -90,6 +91,27 @@ TEST(AsyncPipeline, ThroughputApproachesIdeal) {
 TEST(AsyncPipeline, RejectsDegenerateConfigs) {
   EXPECT_THROW(simulate_async_1f1b(1, 4, 4, unit_costs()), Error);
   EXPECT_THROW(simulate_async_1f1b(4, 4, 1, unit_costs()), Error);
+}
+
+TEST(AsyncPipeline, FlushlessScheduleIsARegistryEntry) {
+  // The former separate simulation path is now a registry schedule:
+  // traits carry flush = false, the factory emits 1F1B's program under the
+  // flushless name, and the streaming simulation rides build_schedule.
+  ASSERT_TRUE(schedule_registered("1f1b-flushless"));
+  const ScheduleTraits& t = traits_of("1f1b-flushless");
+  EXPECT_FALSE(t.flush);
+  EXPECT_EQ(t.n_pipelines, 1);
+  ScheduleParams p;
+  p.n_stages = 4;
+  p.n_micro = 8;
+  const auto spec = build_schedule("1f1b-flushless", p);
+  EXPECT_EQ(spec.name, "1f1b-flushless");
+  const auto ref = make_1f1b(4, 8);
+  ASSERT_EQ(spec.programs.size(), ref.programs.size());
+  EXPECT_EQ(spec.programs, ref.programs);
+  // Same report as the pre-registry path (the spec is the same program).
+  const auto rep = simulate_async_1f1b(4, 4, 6, unit_costs());
+  EXPECT_GT(rep.utilization, 0.9);
 }
 
 }  // namespace

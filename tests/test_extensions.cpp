@@ -97,13 +97,19 @@ TEST(Shampoo, ConvergesOnQuadratic) {
 
 TEST(Shampoo, StaleRootsStillMakeProgress) {
   // root_interval = 10 (K-FAC's stale-inverse analog) still converges.
+  // eps/lr pick the STABLE stale regime: a stale inverse 4th root scales
+  // null-space components by lr/√eps per step (here 1.0), so the
+  // trajectory is robust to rounding-level differences in the degenerate
+  // eigenbasis — the old eps = 1e-6 sat at ~300× per step, where any
+  // legitimate ulp change in sym_eig (e.g. the rounds-ordered parallel
+  // Jacobi) flipped convergence chaotically.
   Rng rng(11);
   Param p(2, 4, "w");
   p.w = Matrix::randn(2, 4, rng);
   const Matrix target = Matrix::randn(2, 4, rng);
-  Shampoo opt(1e-6, 10);
+  Shampoo opt(1e-2, 10);
   double first = 0.0, last = 0.0;
-  for (int i = 0; i < 120; ++i) {
+  for (int i = 0; i < 200; ++i) {
     double loss = 0.0;
     for (std::size_t r = 0; r < 2; ++r)
       for (std::size_t c = 0; c < 4; ++c) {
@@ -113,7 +119,7 @@ TEST(Shampoo, StaleRootsStillMakeProgress) {
       }
     if (i == 0) first = loss;
     last = loss;
-    opt.step({&p}, 0.3);
+    opt.step({&p}, 0.1);
   }
   EXPECT_LT(last, first * 0.05);
 }

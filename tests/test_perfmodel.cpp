@@ -28,6 +28,12 @@ TEST(PerfModel, RunsForEveryRegisteredScheduleAndRejectsUnknown) {
   for (const auto& name : list_schedules()) {
     auto in = base_input();
     in.schedule = name;
+    if (!traits_of(name).flush) {
+      // Flushless schedules have no per-step bubble: the closed form must
+      // refuse rather than misreport.
+      EXPECT_THROW(run_perf_model(in), Error) << name;
+      continue;
+    }
     const auto r = run_perf_model(in);
     EXPECT_GT(r.t_pipe, 0.0) << name;
     EXPECT_GT(r.t_bubble, 0.0) << name;
