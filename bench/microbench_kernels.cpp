@@ -7,9 +7,10 @@
 // GEMM-family benchmarks carry two extra dimensions:
 //   threads  1 = serial, >1 = row-block ThreadPool path (bitwise identical
 //            within one SIMD level).
-//   avx2     1 = the runtime-dispatched AVX2+FMA microkernel, 0 = the
-//            portable scalar microkernel (what PF_FORCE_SCALAR pins). avx2=1
-//            rows are skipped on hosts/builds without AVX2.
+//   simd     0 = the portable scalar microkernel (what PF_SIMD_LEVEL=scalar
+//            or PF_FORCE_SCALAR pins), 1 = the AVX2+FMA microkernel,
+//            2 = the AVX-512F microkernel. Rows above the host's/build's
+//            detected tier are skipped (set_simd_level clamps).
 //
 // CI compares the GFLOP/s of these rows against the committed
 // BENCH_kernels.json via tools/check_bench_regression.py — but only when
@@ -30,10 +31,13 @@ using pf::SimdLevel;
 
 // Applies the benchmark's requested SIMD level; returns false (after marking
 // the benchmark skipped) when the host/build can't run it.
-bool apply_simd_arg(benchmark::State& state, int64_t avx2) {
-  const SimdLevel want = avx2 != 0 ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+bool apply_simd_arg(benchmark::State& state, int64_t simd) {
+  const SimdLevel want = simd >= 2   ? SimdLevel::kAvx512
+                         : simd == 1 ? SimdLevel::kAvx2
+                                     : SimdLevel::kScalar;
   if (pf::set_simd_level(want) != want) {
-    state.SkipWithError("AVX2 not available on this host/build");
+    state.SkipWithError("requested SIMD tier not available on this "
+                        "host/build (set_simd_level clamped)");
     return false;
   }
   return true;
@@ -54,8 +58,8 @@ void BM_GemmForward(benchmark::State& state) {
   pf::set_simd_level(entry_level);
 }
 BENCHMARK(BM_GemmForward)
-    ->ArgsProduct({{32, 64, 128}, {1, 2, 4}, {0, 1}})
-    ->ArgNames({"n", "threads", "avx2"});
+    ->ArgsProduct({{32, 64, 128}, {1, 2, 4}, {0, 1, 2}})
+    ->ArgNames({"n", "threads", "simd"});
 
 void BM_GemmBackwardNt(benchmark::State& state) {
   // dX = dY · Wᵀ — the backward-pass product.
@@ -73,8 +77,8 @@ void BM_GemmBackwardNt(benchmark::State& state) {
   pf::set_simd_level(entry_level);
 }
 BENCHMARK(BM_GemmBackwardNt)
-    ->ArgsProduct({{64, 128}, {1, 2, 4}, {0, 1}})
-    ->ArgNames({"n", "threads", "avx2"});
+    ->ArgsProduct({{64, 128}, {1, 2, 4}, {0, 1, 2}})
+    ->ArgNames({"n", "threads", "simd"});
 
 void BM_CurvatureFactor(benchmark::State& state) {
   // A_l = XᵀX/N for N tokens of dimension d (the SYRK-style tn kernel).
@@ -94,8 +98,8 @@ void BM_CurvatureFactor(benchmark::State& state) {
   pf::set_simd_level(entry_level);
 }
 BENCHMARK(BM_CurvatureFactor)
-    ->ArgsProduct({{32, 64, 128}, {1, 2, 4}, {0, 1}})
-    ->ArgNames({"d", "threads", "avx2"});
+    ->ArgsProduct({{32, 64, 128}, {1, 2, 4}, {0, 1, 2}})
+    ->ArgNames({"d", "threads", "simd"});
 
 void BM_InversionWork(benchmark::State& state) {
   // Cholesky + cholesky_inverse of a damped SPD factor — now the blocked
@@ -133,8 +137,8 @@ void BM_PreconditionWork(benchmark::State& state) {
   pf::set_simd_level(entry_level);
 }
 BENCHMARK(BM_PreconditionWork)
-    ->ArgsProduct({{32, 64}, {1, 2, 4}, {0, 1}})
-    ->ArgNames({"d", "threads", "avx2"});
+    ->ArgsProduct({{32, 64}, {1, 2, 4}, {0, 1, 2}})
+    ->ArgNames({"d", "threads", "simd"});
 
 }  // namespace
 

@@ -18,6 +18,14 @@
 // the cpu_budget_note in the JSON says which world the recording came
 // from; CI's multi-core artifact (BENCH_pipeline_runtime_ci.json) is the
 // one that demonstrates the win.
+//
+// The "stash" block is the memory half of the story: the same shape run
+// once with the legacy copy-restore stashes (copy_stashes = true) and once
+// with the default move/borrow + arena stashes. Peak stash bytes (max over
+// stages, per step) must shrink in borrow mode — asserted here every run —
+// and the arena recycle counts show steady-state steps reuse stash storage
+// instead of re-allocating it.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -50,7 +58,20 @@ struct TimedRun {
   std::vector<double> losses;
   double seconds_per_step = 0.0;
   double utilization = 0.0;  // executed (pipeline runs only)
+  std::vector<PipelineRuntime::StageMemoryStats> mem;
 };
+
+std::size_t max_peak_stash(const TimedRun& r) {
+  std::size_t peak = 0;
+  for (const auto& m : r.mem) peak = std::max(peak, m.peak_stash_bytes);
+  return peak;
+}
+
+std::size_t sum_recycled(const TimedRun& r) {
+  std::size_t n = 0;
+  for (const auto& m : r.mem) n += m.arena_recycled;
+  return n;
+}
 
 double now_seconds() {
   return std::chrono::duration<double>(
@@ -101,7 +122,7 @@ int main(int argc, char** argv) {
     return r;
   };
 
-  auto pipeline_run = [&](int workers) {
+  auto pipeline_run = [&](int workers, bool copy_stashes = false) {
     Rng rng(7);
     BertModel model(cfg, rng);
     PipelineRuntimeConfig pc;
@@ -115,6 +136,7 @@ int main(int argc, char** argv) {
     pc.stage_threads = 1;
     pc.use_kfac = true;
     pc.kfac.inverse_interval = 3;
+    pc.copy_stashes = copy_stashes;
     PipelineRuntime rt(model, batcher, pc);
     TimedRun r;
     const double t0 = now_seconds();
@@ -122,6 +144,7 @@ int main(int argc, char** argv) {
     r.seconds_per_step = (now_seconds() - t0) / static_cast<double>(steps);
     r.losses = trace.loss;
     r.utilization = rt.last_executed_timeline().utilization();
+    r.mem = rt.memory_stats();
     return r;
   };
 
@@ -146,30 +169,60 @@ int main(int argc, char** argv) {
     const double speedup = serial.seconds_per_step / pr.seconds_per_step;
     std::printf(
         "pipeline %s D=%d workers=%d: %.1f ms/step (%.2fx vs sequential), "
-        "executed utilization %s (simulator predicts %s)\n",
+        "executed utilization %s (simulator predicts %s), "
+        "peak stash %zu KiB, %zu arena recycles/step\n",
         schedule, n_stages, workers, pr.seconds_per_step * 1e3, speedup,
-        percent(pr.utilization).c_str(), percent(sim_util).c_str());
+        percent(pr.utilization).c_str(), percent(sim_util).c_str(),
+        max_peak_stash(pr) / 1024, sum_recycled(pr));
     if (!rows.empty()) rows += ",\n";
     rows += format(
         "    \"workers_%d\": {\"seconds_per_step\": %.6g, "
-        "\"speedup_vs_sequential\": %.4g, \"executed_utilization\": %.4g}",
-        workers, pr.seconds_per_step, speedup, pr.utilization);
+        "\"speedup_vs_sequential\": %.4g, \"executed_utilization\": %.4g, "
+        "\"peak_stash_bytes\": %zu, \"arena_recycled_per_step\": %zu}",
+        workers, pr.seconds_per_step, speedup, pr.utilization,
+        max_peak_stash(pr), sum_recycled(pr));
   }
+
+  // Stash-overhead A/B: legacy copy-restore stashes vs the default
+  // move/borrow + arena stashes, same shape and bits (both asserted against
+  // the serial reference above via the workers loop; copy mode re-asserted
+  // here). Borrow mode must hold strictly less at peak.
+  const auto copy_run = pipeline_run(/*workers=*/2, /*copy_stashes=*/true);
+  const auto borrow_run = pipeline_run(/*workers=*/2);
+  PF_CHECK(copy_run.losses == serial.losses)
+      << "copy-stash run diverged from the serial reference";
+  const std::size_t copy_peak = max_peak_stash(copy_run);
+  const std::size_t borrow_peak = max_peak_stash(borrow_run);
+  PF_CHECK(borrow_peak < copy_peak)
+      << "move/borrow stashes did not shrink peak stash bytes: borrow "
+      << borrow_peak << " vs copy " << copy_peak;
+  std::printf(
+      "stash overhead: copy %zu KiB -> borrow %zu KiB peak per stage "
+      "(%.2fx smaller), %zu arena recycles/step in borrow mode\n",
+      copy_peak / 1024, borrow_peak / 1024,
+      static_cast<double>(copy_peak) / static_cast<double>(borrow_peak),
+      sum_recycled(borrow_run));
 
   const std::string json = format(
       "{\n  \"shape\": {\"schedule\": \"%s\", \"n_stages\": %d, "
       "\"n_micro\": %d, \"micro_batch\": %zu, \"steps\": %zu, "
       "\"d_model\": %zu, \"n_layers\": %zu},\n"
       "  \"cpu_budget_note\": \"bitwise-identical losses asserted for every "
-      "row; wall-clock speedup needs real cores — on a cgroup-limited 1-CPU "
-      "recording the workers>1 rows stay ~1x and the CI artifact "
-      "(BENCH_pipeline_runtime_ci.json) carries the multi-core numbers. "
-      "Compare only against runs with the same CPU budget.\",\n"
+      "row; wall-clock speedup needs real cores — under a 1-CPU cgroup "
+      "budget the workers>1 rows stay ~1x, and the CI artifact "
+      "(BENCH_pipeline_runtime_ci.json) carries the full multi-core "
+      "numbers. Compare only against runs with the same CPU budget.\",\n"
       "  \"sequential_seconds_per_step\": %.6g,\n"
       "  \"simulator_predicted_utilization\": %.4g,\n"
+      "  \"stash\": {\"copy_peak_stash_bytes\": %zu, "
+      "\"borrow_peak_stash_bytes\": %zu, \"shrink_factor\": %.4g, "
+      "\"borrow_arena_recycled_per_step\": %zu},\n"
       "  \"pipeline\": {\n%s\n  }\n}\n",
       schedule, n_stages, n_micro, micro_batch, steps, cfg.d_model,
-      cfg.n_layers, serial.seconds_per_step, sim_util, rows.c_str());
+      cfg.n_layers, serial.seconds_per_step, sim_util, copy_peak,
+      borrow_peak,
+      static_cast<double>(copy_peak) / static_cast<double>(borrow_peak),
+      sum_recycled(borrow_run), rows.c_str());
   FILE* f = std::fopen(path.c_str(), "w");
   PF_CHECK(f != nullptr) << "cannot open " << path;
   std::fputs(json.c_str(), f);

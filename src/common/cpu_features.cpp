@@ -1,6 +1,8 @@
 #include "src/common/cpu_features.h"
 
 #include <atomic>
+#include <cstring>
+#include <string>
 
 #include "src/common/strings.h"
 
@@ -9,12 +11,17 @@ namespace pf {
 namespace {
 
 SimdLevel detect() {
-#if defined(PF_HAVE_AVX2) && (defined(__x86_64__) || defined(__i386__)) && \
+#if (defined(__x86_64__) || defined(__i386__)) && \
     (defined(__GNUC__) || defined(__clang__))
   // __builtin_cpu_supports folds the cpuid dance (including the xgetbv
-  // OS-support check for the ymm state) into one call on GCC and Clang.
+  // OS-support check for the ymm/zmm state) into one call on GCC and Clang.
+#if defined(PF_HAVE_AVX512)
+  if (__builtin_cpu_supports("avx512f")) return SimdLevel::kAvx512;
+#endif
+#if defined(PF_HAVE_AVX2)
   if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
     return SimdLevel::kAvx2;
+#endif
 #endif
   return SimdLevel::kScalar;
 }
@@ -25,11 +32,23 @@ SimdLevel clamp_to_detected(SimdLevel level) {
              : level;
 }
 
+SimdLevel env_override(SimdLevel detected) {
+  // PF_SIMD_LEVEL pins a tier by name; the legacy PF_FORCE_SCALAR=1 knob
+  // stays working as an alias for PF_SIMD_LEVEL=scalar. An unrecognized
+  // value is ignored (detected level wins) rather than aborting: the knob
+  // exists for CI matrix legs and perf triage, not program logic.
+  const std::string name = env_str("PF_SIMD_LEVEL", "");
+  SimdLevel parsed;
+  if (!name.empty() && parse_simd_level(name.c_str(), &parsed))
+    return clamp_to_detected(parsed);
+  if (env_int("PF_FORCE_SCALAR", 0) != 0) return SimdLevel::kScalar;
+  return detected;
+}
+
 std::atomic<int>& active_storage() {
-  // First use resolves the PF_FORCE_SCALAR environment override; after that
-  // the level only changes through set_simd_level.
-  static std::atomic<int> level{static_cast<int>(
-      env_int("PF_FORCE_SCALAR", 0) != 0 ? SimdLevel::kScalar : detect())};
+  // First use resolves the environment override; after that the level only
+  // changes through set_simd_level.
+  static std::atomic<int> level{static_cast<int>(env_override(detect()))};
   return level;
 }
 
@@ -41,8 +60,27 @@ const char* simd_level_name(SimdLevel level) {
       return "scalar";
     case SimdLevel::kAvx2:
       return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
   }
   return "unknown";
+}
+
+bool parse_simd_level(const char* name, SimdLevel* out) {
+  if (name == nullptr || out == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = SimdLevel::kScalar;
+    return true;
+  }
+  if (std::strcmp(name, "avx2") == 0) {
+    *out = SimdLevel::kAvx2;
+    return true;
+  }
+  if (std::strcmp(name, "avx512") == 0) {
+    *out = SimdLevel::kAvx512;
+    return true;
+  }
+  return false;
 }
 
 SimdLevel detected_simd_level() {

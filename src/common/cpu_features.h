@@ -1,24 +1,29 @@
 // Runtime CPU feature detection and SIMD dispatch level for linalg kernels.
 //
-// The packed GEMM driver has two ISA paths: a portable scalar microkernel and
-// an AVX2+FMA microkernel living in a dedicated TU
-// (src/linalg/gemm_kernels_avx2.cpp, compiled with -mavx2 -mfma only when the
-// toolchain supports those flags). Which path runs is a process-wide runtime
-// choice:
+// The packed GEMM driver has three ISA paths: a portable scalar microkernel,
+// an AVX2+FMA microkernel, and an AVX-512F microkernel — the ISA-specific
+// kernels live in dedicated TUs (src/linalg/gemm_kernels_avx2.cpp compiled
+// with -mavx2 -mfma, src/linalg/gemm_kernels_avx512.cpp compiled with
+// -mavx512f, each only when the toolchain supports the flags). Which path
+// runs is a process-wide runtime choice:
 //
-//   detected_simd_level()  what this host *and* this build can execute:
-//                          cpuid must report AVX2+FMA and the AVX2 TU must
-//                          have been compiled in (PF_HAVE_AVX2).
+//   detected_simd_level()  the highest level this host *and* this build can
+//                          execute: cpuid must report the ISA and the
+//                          matching TU must have been compiled in
+//                          (PF_HAVE_AVX2 / PF_HAVE_AVX512).
 //   active_simd_level()    what the kernels will actually use. Starts at the
-//                          detected level, demoted to scalar when the
-//                          PF_FORCE_SCALAR=1 environment knob is set, and
-//                          adjustable with set_simd_level so tests and
-//                          benches can compare both paths in one process.
+//                          detected level, demoted by the PF_SIMD_LEVEL
+//                          environment knob (values: scalar, avx2, avx512;
+//                          the legacy PF_FORCE_SCALAR=1 is an alias for
+//                          PF_SIMD_LEVEL=scalar), and adjustable with
+//                          set_simd_level so tests and benches can compare
+//                          paths in one process.
 //
 // Determinism contract (see gemm.h): within one SIMD level results are
-// bitwise reproducible across thread counts; across levels the AVX2 path may
-// differ from scalar in the last ulps because FMA rounds the multiply-add as
-// one operation.
+// bitwise reproducible across thread counts; across levels results may
+// differ in the last ulps because FMA rounds the multiply-add as one
+// operation and wider tiles change the (fixed, documented) order in which
+// each kernel walks k.
 #pragma once
 
 namespace pf {
@@ -26,10 +31,15 @@ namespace pf {
 enum class SimdLevel {
   kScalar = 0,  // portable C++ kernels, no ISA assumptions
   kAvx2 = 1,    // AVX2 + FMA packed microkernel
+  kAvx512 = 2,  // AVX-512F packed microkernel (wider register tile)
 };
 
-// "scalar" / "avx2" — stable strings for logs and bench labels.
+// "scalar" / "avx2" / "avx512" — stable strings for logs and bench labels.
 const char* simd_level_name(SimdLevel level);
+
+// Parses a PF_SIMD_LEVEL-style name ("scalar", "avx2", "avx512"; case
+// sensitive). Returns true and writes *out on a match, false otherwise.
+bool parse_simd_level(const char* name, SimdLevel* out);
 
 // Highest level this host + build supports. Computed once (cpuid), cached.
 SimdLevel detected_simd_level();

@@ -28,6 +28,8 @@
 
 namespace pf {
 
+class ArenaAllocator;  // common/arena.h
+
 // How layers that consume randomness (Dropout) map their RNG stream onto a
 // parallel loop.
 enum class RngPartition {
@@ -70,6 +72,17 @@ class ExecContext {
   // Pool the nn loops fan out on (the shared global pool unless overridden).
   ThreadPool& pool() const { return pool_ ? *pool_ : ThreadPool::global(); }
 
+  // Buffer recycler for activation caches/stashes; nullptr (the default)
+  // means plain allocation. Set by the pipeline runtime on each stage's
+  // context; layers route cache storage through arena_matrix/arena_copy
+  // (common/arena.h), which fall back cleanly on null. Arena-backed values
+  // equal plain-allocated values bit for bit — only the storage is reused.
+  ArenaAllocator* arena() const { return arena_; }
+  ExecContext& set_arena(ArenaAllocator* arena) {
+    arena_ = arena;
+    return *this;
+  }
+
   // SIMD level the linalg kernels beneath this context dispatch on. SIMD
   // selection stays a process-wide property (cpu_features.h); the context
   // surfaces it so consumers log/record the level their results depend on.
@@ -106,6 +119,7 @@ class ExecContext {
   int gemm_threads_ = 0;
   RngPartition rng_partition_ = RngPartition::kSequential;
   ThreadPool* pool_ = nullptr;
+  ArenaAllocator* arena_ = nullptr;
 };
 
 }  // namespace pf

@@ -7,8 +7,12 @@
 
 namespace pf {
 
-KfacEngine::KfacEngine(std::vector<Linear*> layers, const KfacOptions& opts)
-    : layers_(std::move(layers)), opts_(opts) {
+KfacEngine::KfacEngine(std::vector<Linear*> layers, const KfacOptions& opts,
+                       ThreadPool* pool)
+    : layers_(std::move(layers)),
+      opts_(opts),
+      exec_(/*nn_threads=*/1, opts.gemm_threads, RngPartition::kSequential,
+            pool) {
   PF_CHECK(!layers_.empty());
   PF_CHECK(opts_.ema_decay > 0.0 && opts_.ema_decay < 1.0);
   PF_CHECK(opts_.damping > 0.0);
@@ -39,7 +43,7 @@ void KfacEngine::for_each_layer(
   // context is built.
   const ExecContext ctx(
       static_cast<int>(resolve_gemm_threads(opts_.layer_threads)),
-      opts_.gemm_threads);
+      opts_.gemm_threads, RngPartition::kSequential, &exec_.pool());
   ctx.parallel_for(layers_.size(), [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) fn(i);
   });
@@ -55,7 +59,7 @@ void KfacEngine::accumulate_curvature_a(std::size_t i, const Matrix& x) {
   // contribution lands element-wise after micros 0..m-1's (the caller
   // orders the calls), so the pending factor is bit-identical however the
   // micros were executed.
-  matmul_tn_acc(x, x, st.pending_a, 1.0, opts_.gemm_threads);
+  matmul_tn_acc(x, x, st.pending_a, 1.0, exec_);
   st.pending_rows += static_cast<double>(x.rows());
 }
 
@@ -67,8 +71,8 @@ void KfacEngine::accumulate_curvature_b(std::size_t i, const Matrix& dy) {
   if (st.pending_b.empty())
     st.pending_b = Matrix(l->d_out(), l->d_out(), 0.0);
   // dy holds the mean-loss gradient; ×N undoes one 1/N (see kfac_engine.h).
-  matmul_tn_acc(dy, dy, st.pending_b,
-                static_cast<double>(dy.rows()), opts_.gemm_threads);
+  matmul_tn_acc(dy, dy, st.pending_b, static_cast<double>(dy.rows()),
+                exec_);
   ++st.pending_micros;
 }
 
@@ -113,9 +117,9 @@ void KfacEngine::update_curvature() {
 
     // A = XᵀX / N ; B = N·dYᵀdY (see kfac_engine.h for the scaling).
     Matrix a(l->d_in(), l->d_in(), 0.0);
-    matmul_tn_acc(x, x, a, 1.0 / n, opts_.gemm_threads);
+    matmul_tn_acc(x, x, a, 1.0 / n, exec_);
     Matrix b(l->d_out(), l->d_out(), 0.0);
-    matmul_tn_acc(dy, dy, b, n, opts_.gemm_threads);
+    matmul_tn_acc(dy, dy, b, n, exec_);
 
     auto& st = states_[i];
     st.a_ema.axpby(opts_.ema_decay, a, 1.0 - opts_.ema_decay);

@@ -1,6 +1,7 @@
 // Inversion work: damped Cholesky inverses of the Kronecker factors.
 #include <cmath>
 
+#include "src/common/exec_context.h"
 #include "src/kfac/kfac_engine.h"
 #include "src/linalg/cholesky.h"
 
@@ -10,9 +11,9 @@ namespace {
 
 // (block-diag_k(m) + damping·I)⁻¹: inverts the k diagonal blocks
 // independently and zeroes all cross-block entries (Appendix A.2).
-// `threads` reaches the blocked Cholesky + column solves (cholesky.h).
+// `ctx` reaches the blocked Cholesky + column solves (cholesky.h).
 Matrix block_diag_inverse(const Matrix& m, double damping, std::size_t k,
-                          int threads) {
+                          const ExecContext& ctx) {
   const std::size_t n = m.rows();
   if (k <= 1 || k >= n) {
     if (k >= n && n > 0) {
@@ -22,7 +23,7 @@ Matrix block_diag_inverse(const Matrix& m, double damping, std::size_t k,
         inv(i, i) = 1.0 / (m(i, i) + damping);
       return inv;
     }
-    return spd_inverse(m, damping, threads);
+    return spd_inverse(m, damping, ctx);
   }
   Matrix inv(n, n, 0.0);
   const std::size_t base = n / k;
@@ -35,7 +36,7 @@ Matrix block_diag_inverse(const Matrix& m, double damping, std::size_t k,
     for (std::size_t i = 0; i < size; ++i)
       for (std::size_t j = 0; j < size; ++j)
         block(i, j) = m(start + i, start + j);
-    const Matrix binv = spd_inverse(block, damping, threads);
+    const Matrix binv = spd_inverse(block, damping, ctx);
     for (std::size_t i = 0; i < size; ++i)
       for (std::size_t j = 0; j < size; ++j)
         inv(start + i, start + j) = binv(i, j);
@@ -87,10 +88,10 @@ void KfacEngine::update_inverse_factor(std::size_t i, bool b_side) {
   }
   if (!b_side) {
     st.a_inv = block_diag_inverse(st.corrected_a(opts_.ema_decay), damp_a,
-                                  opts_.block_diag_k, opts_.gemm_threads);
+                                  opts_.block_diag_k, exec_);
   } else {
     st.b_inv = block_diag_inverse(st.corrected_b(opts_.ema_decay), damp_b,
-                                  opts_.block_diag_k, opts_.gemm_threads);
+                                  opts_.block_diag_k, exec_);
     // The B side completes the pair: only now may precondition() treat the
     // inverses as fresh.
     ++st.inverse_updates;

@@ -20,6 +20,10 @@
 #include "src/nn/linear.h"
 
 namespace pf {
+class ThreadPool;
+}  // namespace pf
+
+namespace pf {
 
 struct KfacOptions {
   double ema_decay = 0.95;
@@ -48,7 +52,14 @@ struct KfacOptions {
 
 class KfacEngine {
  public:
-  KfacEngine(std::vector<Linear*> layers, const KfacOptions& opts);
+  // `pool`: the ThreadPool every GEMM row block, Cholesky panel and layer
+  // fan-out of this engine dispatches on; nullptr = the process-global
+  // pool (the serial KfacOptimizer's behaviour). The pipeline runtime
+  // passes its own pool so bubble-filled K-FAC work never escapes the
+  // `workers` budget. Bitwise neutral — pools change where blocks run,
+  // never how results fold (see exec_context.h).
+  KfacEngine(std::vector<Linear*> layers, const KfacOptions& opts,
+             ThreadPool* pool = nullptr);
 
   // Curvature work: folds each layer's cached (a_l, e_l) into the factor
   // EMAs. Layers without caches (never ran backward) are skipped.
@@ -95,13 +106,16 @@ class KfacEngine {
   const KfacOptions& options() const { return opts_; }
 
  private:
-  // Runs fn(i) for every layer index, serially or chunked across the global
-  // ThreadPool according to opts_.layer_threads (see curvature.cpp).
+  // Runs fn(i) for every layer index, serially or chunked across the
+  // engine's pool according to opts_.layer_threads (see curvature.cpp).
   void for_each_layer(const std::function<void(std::size_t)>& fn);
 
   std::vector<Linear*> layers_;
   std::vector<KfacFactorState> states_;
   KfacOptions opts_;
+  // Threads the engine's GEMMs/Choleskys: gemm_threads row blocks on the
+  // injected pool (gemm.h ctx overloads).
+  ExecContext exec_;
 };
 
 }  // namespace pf

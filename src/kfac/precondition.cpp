@@ -9,8 +9,8 @@ void KfacEngine::precondition_layer(std::size_t i) {
   auto& st = states_[i];
   if (!st.has_inverse()) return;  // stale-inverse rule: identity
   Linear* l = layers_[i];
-  l->weight().g = matmul(matmul(st.a_inv, l->weight().g, opts_.gemm_threads),
-                         st.b_inv, opts_.gemm_threads);
+  l->weight().g =
+      matmul(matmul(st.a_inv, l->weight().g, exec_), st.b_inv, exec_);
 }
 
 void KfacEngine::precondition() {

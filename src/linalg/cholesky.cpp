@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/exec_context.h"
 #include "src/common/thread_pool.h"
 #include "src/linalg/gemm.h"
 
@@ -35,12 +36,14 @@ bool factor_diag_block(Matrix& w, std::size_t j0, std::size_t jb) {
   return true;
 }
 
-}  // namespace
-
-std::optional<Matrix> try_cholesky(const Matrix& m, int threads) {
+// Pool-parametric core: row blocks run in `n_threads` chunks on `pool`
+// (nullptr = the process-global pool). The ExecContext overloads below route
+// a pipeline stage's factorizations onto the runtime's own worker pool.
+std::optional<Matrix> try_cholesky_on(const Matrix& m, std::size_t n_threads,
+                                      ThreadPool* pool) {
   PF_CHECK(m.rows() == m.cols()) << "cholesky needs a square matrix";
   const std::size_t n = m.rows();
-  const std::size_t n_threads = resolve_gemm_threads(threads);
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
   Matrix w = m;
   // Right-looking blocked algorithm: factor a kNB-wide diagonal block, solve
   // the panel below it, then rank-kNB-downdate the trailing matrix. The two
@@ -54,7 +57,7 @@ std::optional<Matrix> try_cholesky(const Matrix& m, int threads) {
     if (rest == 0) break;
     // Panel solve: L21 = A21·L11⁻ᵀ, one forward substitution per row. Every
     // row costs the same, so even row chunks balance.
-    ThreadPool::global().parallel_for(
+    tp.parallel_for(
         rest, n_threads, [&](std::size_t b, std::size_t e) {
           for (std::size_t i = row0 + b; i < row0 + e; ++i) {
             double* wrow_i = w.row(i);
@@ -94,7 +97,7 @@ std::optional<Matrix> try_cholesky(const Matrix& m, int threads) {
                          std::sqrt(static_cast<double>(c) /
                                    static_cast<double>(n_chunks)));
       };
-      ThreadPool::global().parallel_for(
+      tp.parallel_for(
           n_chunks, n_chunks, [&](std::size_t c0, std::size_t c1) {
             for (std::size_t c = c0; c < c1; ++c)
               update_rows(bound(c), bound(c + 1));
@@ -109,8 +112,53 @@ std::optional<Matrix> try_cholesky(const Matrix& m, int threads) {
   return w;
 }
 
+Matrix cholesky_inverse_on(const Matrix& l, std::size_t n_threads,
+                           ThreadPool* pool) {
+  const std::size_t n = l.rows();
+  PF_CHECK(l.cols() == n);
+  // Solve (LLᵀ) X = I column by column. O(n³), matching the cost model's
+  // treatment of inversion work as a cubic kernel. Columns are independent,
+  // so they fan out across the pool without changing any result bit.
+  Matrix inv(n, n, 0.0);
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
+  tp.parallel_for(n, n_threads, [&](std::size_t b, std::size_t e) {
+    std::vector<double> unit(n, 0.0);
+    for (std::size_t j = b; j < e; ++j) {
+      unit[j] = 1.0;
+      const std::vector<double> col = cholesky_solve(l, unit);
+      unit[j] = 0.0;
+      for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+    }
+  });
+  // Symmetrize to wash out round-off asymmetry.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = 0.5 * (inv(i, j) + inv(j, i));
+      inv(i, j) = v;
+      inv(j, i) = v;
+    }
+  return inv;
+}
+
+}  // namespace
+
+std::optional<Matrix> try_cholesky(const Matrix& m, int threads) {
+  return try_cholesky_on(m, resolve_gemm_threads(threads), nullptr);
+}
+
+std::optional<Matrix> try_cholesky(const Matrix& m, const ExecContext& ctx) {
+  return try_cholesky_on(m, resolve_gemm_threads(ctx.gemm_threads()),
+                         &ctx.pool());
+}
+
 Matrix cholesky(const Matrix& m, int threads) {
   auto l = try_cholesky(m, threads);
+  PF_CHECK(l.has_value()) << "matrix is not positive definite";
+  return std::move(*l);
+}
+
+Matrix cholesky(const Matrix& m, const ExecContext& ctx) {
+  auto l = try_cholesky(m, ctx);
   PF_CHECK(l.has_value()) << "matrix is not positive definite";
   return std::move(*l);
 }
@@ -148,30 +196,12 @@ std::vector<double> cholesky_solve(const Matrix& l,
 }
 
 Matrix cholesky_inverse(const Matrix& l, int threads) {
-  const std::size_t n = l.rows();
-  PF_CHECK(l.cols() == n);
-  // Solve (LLᵀ) X = I column by column. O(n³), matching the cost model's
-  // treatment of inversion work as a cubic kernel. Columns are independent,
-  // so they fan out across the pool without changing any result bit.
-  Matrix inv(n, n, 0.0);
-  ThreadPool::global().parallel_for(
-      n, resolve_gemm_threads(threads), [&](std::size_t b, std::size_t e) {
-    std::vector<double> unit(n, 0.0);
-    for (std::size_t j = b; j < e; ++j) {
-      unit[j] = 1.0;
-      const std::vector<double> col = cholesky_solve(l, unit);
-      unit[j] = 0.0;
-      for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
-    }
-  });
-  // Symmetrize to wash out round-off asymmetry.
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double v = 0.5 * (inv(i, j) + inv(j, i));
-      inv(i, j) = v;
-      inv(j, i) = v;
-    }
-  return inv;
+  return cholesky_inverse_on(l, resolve_gemm_threads(threads), nullptr);
+}
+
+Matrix cholesky_inverse(const Matrix& l, const ExecContext& ctx) {
+  return cholesky_inverse_on(l, resolve_gemm_threads(ctx.gemm_threads()),
+                             &ctx.pool());
 }
 
 Matrix spd_inverse(const Matrix& m, double damping, int threads) {
@@ -179,6 +209,13 @@ Matrix spd_inverse(const Matrix& m, double damping, int threads) {
   Matrix damped = m;
   if (damping > 0.0) add_diagonal(damped, damping);
   return cholesky_inverse(cholesky(damped, threads), threads);
+}
+
+Matrix spd_inverse(const Matrix& m, double damping, const ExecContext& ctx) {
+  PF_CHECK(damping >= 0.0);
+  Matrix damped = m;
+  if (damping > 0.0) add_diagonal(damped, damping);
+  return cholesky_inverse(cholesky(damped, ctx), ctx);
 }
 
 void add_diagonal(Matrix& m, double eps) {

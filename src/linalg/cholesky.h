@@ -5,11 +5,13 @@
 // torch.linalg.cholesky() followed by torch.linalg.cholesky_inverse().
 //
 // The factorization is right-looking and blocked (64-wide panels): the panel
-// solve and trailing rank-k update parallelize over rows on the shared
-// ThreadPool, and cholesky_inverse fans its independent column solves across
-// the same pool. `threads` follows the GEMM convention (gemm.h): 1 = serial,
-// 0 = the process-wide set_gemm_threads default, and results are bitwise
-// identical for every thread count.
+// solve and trailing rank-k update parallelize over rows, and
+// cholesky_inverse fans its independent column solves the same way. Two call
+// styles, as in gemm.h: a trailing `int threads` (1 = serial, 0 = the
+// process-wide set_gemm_threads default; dispatches on the process-global
+// pool) and a trailing ExecContext (row blocks = ctx.gemm_threads() on
+// ctx.pool() — the per-stage worker budget inside the pipeline runtime).
+// Results are bitwise identical for every thread count, pool and call style.
 #pragma once
 
 #include <optional>
@@ -17,6 +19,8 @@
 #include "src/linalg/matrix.h"
 
 namespace pf {
+
+class ExecContext;
 
 // Lower-triangular L with L·Lᵀ = m. Throws pf::Error if m is not
 // (numerically) positive definite or not square.
@@ -42,6 +46,13 @@ Matrix cholesky_inverse(const Matrix& l, int threads = 0);
 
 // Convenience: (m + damping·I)⁻¹ for symmetric PSD m via Cholesky.
 Matrix spd_inverse(const Matrix& m, double damping = 0.0, int threads = 0);
+
+// ExecContext overloads: identical math on ctx.gemm_threads() row blocks /
+// column chunks dispatched on ctx.pool().
+Matrix cholesky(const Matrix& m, const ExecContext& ctx);
+std::optional<Matrix> try_cholesky(const Matrix& m, const ExecContext& ctx);
+Matrix cholesky_inverse(const Matrix& l, const ExecContext& ctx);
+Matrix spd_inverse(const Matrix& m, double damping, const ExecContext& ctx);
 
 // m += eps·I in place.
 void add_diagonal(Matrix& m, double eps);

@@ -8,13 +8,22 @@
 #include "src/common/thread_pool.h"
 #include "src/linalg/gemm_kernel.h"
 
+// Read-prefetch with high temporal locality; a no-op where unsupported.
+// Prefetching never touches architectural state, so it cannot perturb the
+// bitwise determinism contract.
+#if defined(__GNUC__) || defined(__clang__)
+#define PF_PREFETCH_R(addr) __builtin_prefetch((addr), 0, 3)
+#else
+#define PF_PREFETCH_R(addr) ((void)0)
+#endif
+
 namespace pf {
 
 namespace detail {
 
 void micro_kernel_scalar(std::size_t kc, double alpha, const double* ap,
-                         const double* bp, double* c, std::size_t ldc,
-                         std::size_t mr, std::size_t nr) {
+                         std::size_t a_stride, const double* bp, double* c,
+                         std::size_t ldc, std::size_t mr, std::size_t nr) {
   // Two output rows per pass: their 2×kNR accumulators fit the baseline
   // SSE2 register file (a full 6×8 tile would spill) while giving the
   // floating-point adders enough independent chains to hide their latency.
@@ -27,8 +36,8 @@ void micro_kernel_scalar(std::size_t kc, double alpha, const double* ap,
   for (; i + 1 < mr; i += 2) {
     double acc0[kNR] = {}, acc1[kNR] = {};
     for (std::size_t k = 0; k < kc; ++k) {
-      const double a0 = ap[k * mr + i];
-      const double a1 = ap[k * mr + i + 1];
+      const double a0 = ap[k * a_stride + i];
+      const double a1 = ap[k * a_stride + i + 1];
       const double* brow = bp + k * kNR;
       for (std::size_t j = 0; j < kNR; ++j) {
         acc0[j] += a0 * brow[j];
@@ -43,7 +52,7 @@ void micro_kernel_scalar(std::size_t kc, double alpha, const double* ap,
   for (; i < mr; ++i) {
     double acc[kNR] = {};
     for (std::size_t k = 0; k < kc; ++k) {
-      const double a = ap[k * mr + i];
+      const double a = ap[k * a_stride + i];
       const double* brow = bp + k * kNR;
       for (std::size_t j = 0; j < kNR; ++j) acc[j] += a * brow[j];
     }
@@ -51,11 +60,17 @@ void micro_kernel_scalar(std::size_t kc, double alpha, const double* ap,
   }
 }
 
-MicroKernelFn active_micro_kernel() {
-#if defined(PF_HAVE_AVX2)
-  if (active_simd_level() == SimdLevel::kAvx2) return micro_kernel_avx2;
+KernelSpec active_kernel_spec() {
+  const SimdLevel level = active_simd_level();
+#if defined(PF_HAVE_AVX512)
+  if (level == SimdLevel::kAvx512)
+    return KernelSpec{micro_kernel_avx512, kMR512, kNR512};
 #endif
-  return micro_kernel_scalar;
+#if defined(PF_HAVE_AVX2)
+  if (level == SimdLevel::kAvx2) return KernelSpec{micro_kernel_avx2, kMR, kNR};
+#endif
+  (void)level;
+  return KernelSpec{micro_kernel_scalar, kMR, kNR};
 }
 
 }  // namespace detail
@@ -64,30 +79,41 @@ namespace {
 
 using detail::kKC;
 using detail::kMC;
-using detail::kMR;
-using detail::kNR;
+
+// When set, Op(A) is already laid out k-major in memory — ap for the tile at
+// output rows [ti, ·) and k block k0 is base + k0*stride + ti, fed to the
+// microkernel with a_stride = stride instead of a packed copy. matmul_tn is
+// the case: Op(A)(i, k) = a(k, i) sits at a.data()[k*lda + i], so its
+// "column-wise walk" needs no A pack at all. Addressing never enters the
+// arithmetic, so this is bitwise identical to the packed path.
+struct DirectA {
+  const double* base = nullptr;
+  std::size_t stride = 0;
+};
 
 // Packs all of B (reduction dim K × output cols N, element getter b(k, j))
-// into kNR-wide, zero-padded column slivers grouped by kKC block:
-//   packed[block t][panel p][k*kNR + j]
-// Block t occupies kb_t * n_panels * kNR doubles starting at
-// t * kKC * n_panels * kNR (every block before the last is full, so the
+// into NR-wide, zero-padded column slivers grouped by kKC block:
+//   packed[block t][panel p][k*NR + j]
+// NR is the active kernel's full tile width (8 for scalar/AVX2, 16 for
+// AVX-512). Block t occupies kb_t * n_panels * NR doubles starting at
+// t * kKC * n_panels * NR (every block before the last is full, so the
 // prefix is exact). Packing happens once, before the row-parallel phase; the
 // workers only read it.
 template <typename BGet>
-std::vector<double> pack_b(std::size_t K, std::size_t N, const BGet& b) {
-  const std::size_t n_panels = (N + kNR - 1) / kNR;
-  std::vector<double> packed(K * n_panels * kNR);
+std::vector<double> pack_b(std::size_t K, std::size_t N, const BGet& b,
+                           std::size_t NR) {
+  const std::size_t n_panels = (N + NR - 1) / NR;
+  std::vector<double> packed(K * n_panels * NR);
   for (std::size_t k0 = 0; k0 < K; k0 += kKC) {
     const std::size_t kb = std::min(kKC, K - k0);
-    double* block = packed.data() + k0 * n_panels * kNR;
+    double* block = packed.data() + k0 * n_panels * NR;
     for (std::size_t p = 0; p < n_panels; ++p) {
-      const std::size_t j0 = p * kNR;
-      const std::size_t jw = std::min(kNR, N - j0);
-      double* dst = block + p * kb * kNR;
+      const std::size_t j0 = p * NR;
+      const std::size_t jw = std::min(NR, N - j0);
+      double* dst = block + p * kb * NR;
       for (std::size_t k = 0; k < kb; ++k)
-        for (std::size_t jj = 0; jj < kNR; ++jj)
-          dst[k * kNR + jj] = jj < jw ? b(k0 + k, j0 + jj) : 0.0;
+        for (std::size_t jj = 0; jj < NR; ++jj)
+          dst[k * NR + jj] = jj < jw ? b(k0 + k, j0 + jj) : 0.0;
     }
   }
   return packed;
@@ -100,36 +126,51 @@ std::vector<double> pack_b(std::size_t K, std::size_t N, const BGet& b) {
 template <typename AGet>
 void gemm_rows_packed(std::size_t r0, std::size_t r1, std::size_t N,
                       std::size_t K, double alpha, const AGet& a,
-                      const double* packed_b, Matrix& cmat,
-                      detail::MicroKernelFn micro) {
-  const std::size_t n_panels = (N + kNR - 1) / kNR;
+                      const DirectA& da, const double* packed_b, Matrix& cmat,
+                      const detail::KernelSpec& spec) {
+  const std::size_t MR = spec.mr, NR = spec.nr;
+  const std::size_t n_panels = (N + NR - 1) / NR;
   const std::size_t ldc = cmat.cols();
   // Per-thread scratch for packed A tiles; reused across calls. Safe with
   // nested parallel_for help-draining: executions on one thread are
   // sequential and repack before every use.
   thread_local std::vector<double> apack;
-  apack.resize(kMC * kKC);
+  if (da.base == nullptr) apack.resize(kMC * kKC);
   for (std::size_t i0 = r0; i0 < r1; i0 += kMC) {
     const std::size_t i1 = std::min(r1, i0 + kMC);
     for (std::size_t k0 = 0; k0 < K; k0 += kKC) {
       const std::size_t kb = std::min(kKC, K - k0);
-      // Pack A rows [i0, i1) × k block into kMR tiles, k-major, stride mr.
-      for (std::size_t ti = i0; ti < i1; ti += kMR) {
-        const std::size_t mr = std::min(kMR, i1 - ti);
-        double* dst = apack.data() + (ti - i0) * kb;
-        for (std::size_t k = 0; k < kb; ++k)
-          for (std::size_t ii = 0; ii < mr; ++ii)
-            dst[k * mr + ii] = a(ti + ii, k0 + k);
+      if (da.base == nullptr) {
+        // Pack A rows [i0, i1) × k block into MR tiles, k-major, stride mr.
+        for (std::size_t ti = i0; ti < i1; ti += MR) {
+          const std::size_t mr = std::min(MR, i1 - ti);
+          double* dst = apack.data() + (ti - i0) * kb;
+          for (std::size_t k = 0; k < kb; ++k)
+            for (std::size_t ii = 0; ii < mr; ++ii)
+              dst[k * mr + ii] = a(ti + ii, k0 + k);
+        }
       }
-      const double* bblock = packed_b + k0 * n_panels * kNR;
+      const double* bblock = packed_b + k0 * n_panels * NR;
       for (std::size_t p = 0; p < n_panels; ++p) {
-        const std::size_t j0 = p * kNR;
-        const std::size_t jw = std::min(kNR, N - j0);
-        const double* bp = bblock + p * kb * kNR;
-        for (std::size_t ti = i0; ti < i1; ti += kMR) {
-          const std::size_t mr = std::min(kMR, i1 - ti);
-          micro(kb, alpha, apack.data() + (ti - i0) * kb, bp,
-                cmat.row(ti) + j0, ldc, mr, jw);
+        const std::size_t j0 = p * NR;
+        const std::size_t jw = std::min(NR, N - j0);
+        const double* bp = bblock + p * kb * NR;
+        if (p + 1 < n_panels) {
+          // Touch the head of the next B sliver while this one computes so
+          // the hardware streamer is already running when we get there.
+          const double* nb = bblock + (p + 1) * kb * NR;
+          PF_PREFETCH_R(nb);
+          PF_PREFETCH_R(nb + 8);
+        }
+        for (std::size_t ti = i0; ti < i1; ti += MR) {
+          const std::size_t mr = std::min(MR, i1 - ti);
+          if (ti + MR < i1) PF_PREFETCH_R(cmat.row(ti + MR) + j0);
+          const double* ap = da.base != nullptr
+                                 ? da.base + k0 * da.stride + ti
+                                 : apack.data() + (ti - i0) * kb;
+          const std::size_t a_stride = da.base != nullptr ? da.stride : mr;
+          spec.fn(kb, alpha, ap, a_stride, bp, cmat.row(ti) + j0, ldc, mr,
+                  jw);
         }
       }
     }
@@ -137,25 +178,69 @@ void gemm_rows_packed(std::size_t r0, std::size_t r1, std::size_t N,
 }
 
 // Shared driver: C(M×N) += alpha * Op(A)·Op(B) with element getters a(i, k),
-// b(k, j) absorbing the nn/tn/nt transposes. B is packed once up front;
-// output rows are then split into contiguous blocks across the pool.
+// b(k, j) absorbing the nn/tn/nt transposes (da short-circuits the A pack
+// when Op(A) is k-major in memory). B is packed once up front; output rows
+// are then split into contiguous blocks of `n_threads` chunks on `pool`
+// (nullptr = the process-global pool).
 template <typename AGet, typename BGet>
 void gemm_driver(std::size_t M, std::size_t N, std::size_t K, double alpha,
-                 const AGet& a, const BGet& b, Matrix& c, int threads) {
+                 const AGet& a, const DirectA& da, const BGet& b, Matrix& c,
+                 std::size_t n_threads, ThreadPool* pool) {
   if (M == 0 || N == 0 || K == 0) return;  // += alpha·0: nothing to do
-  const std::vector<double> packed_b = pack_b(K, N, b);
-  const detail::MicroKernelFn micro = detail::active_micro_kernel();
-  const std::size_t n_threads = resolve_gemm_threads(threads);
+  const detail::KernelSpec spec = detail::active_kernel_spec();
+  const std::vector<double> packed_b = pack_b(K, N, b, spec.nr);
   if (n_threads <= 1 || M <= 1) {
     // Serial fast path: skip the std::function wrap — small products in the
     // nn forward/backward loops call in here at high frequency.
-    gemm_rows_packed(0, M, N, K, alpha, a, packed_b.data(), c, micro);
+    gemm_rows_packed(0, M, N, K, alpha, a, da, packed_b.data(), c, spec);
     return;
   }
-  ThreadPool::global().parallel_for(
-      M, n_threads, [&](std::size_t r0, std::size_t r1) {
-        gemm_rows_packed(r0, r1, N, K, alpha, a, packed_b.data(), c, micro);
-      });
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
+  tp.parallel_for(M, n_threads, [&](std::size_t r0, std::size_t r1) {
+    gemm_rows_packed(r0, r1, N, K, alpha, a, da, packed_b.data(), c, spec);
+  });
+}
+
+void matmul_acc_on(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
+                   std::size_t n_threads, ThreadPool* pool) {
+  const std::size_t M = a.rows(), K = a.cols(), N = b.cols();
+  PF_CHECK(b.rows() == K) << "matmul shape: " << M << "x" << K << " * "
+                          << b.rows() << "x" << N;
+  PF_CHECK(c.rows() == M && c.cols() == N);
+  gemm_driver(
+      M, N, K, alpha,
+      [&](std::size_t i, std::size_t k) { return a.row(i)[k]; }, DirectA{},
+      [&](std::size_t k, std::size_t j) { return b.row(k)[j]; }, c, n_threads,
+      pool);
+}
+
+void matmul_tn_acc_on(const Matrix& a, const Matrix& b, Matrix& c,
+                      double alpha, std::size_t n_threads, ThreadPool* pool) {
+  // a: (M×K), b: (M×N), c: (K×N) += alpha * aᵀ b. Reduction dim is M.
+  const std::size_t M = a.rows(), K = a.cols(), N = b.cols();
+  PF_CHECK(b.rows() == M) << "matmul_tn shape mismatch";
+  PF_CHECK(c.rows() == K && c.cols() == N);
+  // aᵀ is k-major in a's row-major storage: Op(A)(i, k) = a.data()[k*K + i]
+  // — the copy-free DirectA case.
+  gemm_driver(
+      K, N, M, alpha,
+      [&](std::size_t i, std::size_t k) { return a.row(k)[i]; },
+      DirectA{a.data(), a.cols()},
+      [&](std::size_t k, std::size_t j) { return b.row(k)[j]; }, c, n_threads,
+      pool);
+}
+
+void matmul_nt_acc_on(const Matrix& a, const Matrix& b, Matrix& c,
+                      double alpha, std::size_t n_threads, ThreadPool* pool) {
+  // a: (M×K), b: (N×K), c: (M×N) += alpha * a bᵀ. Reduction dim is K.
+  const std::size_t M = a.rows(), K = a.cols(), N = b.rows();
+  PF_CHECK(b.cols() == K) << "matmul_nt shape mismatch";
+  PF_CHECK(c.rows() == M && c.cols() == N);
+  gemm_driver(
+      M, N, K, alpha,
+      [&](std::size_t i, std::size_t k) { return a.row(i)[k]; }, DirectA{},
+      [&](std::size_t k, std::size_t j) { return b.row(j)[k]; }, c, n_threads,
+      pool);
 }
 
 }  // namespace
@@ -169,16 +254,15 @@ std::size_t resolve_gemm_threads(int threads) {
   return static_cast<std::size_t>(std::max(1, n));
 }
 
+// --- Legacy int-threads entry points (process-global pool) -----------------
+// Kept deliberately on ThreadPool::global(): they serve tests, benches and
+// serial-trainer call sites that have no per-stage budget to respect. Hot
+// paths inside pipeline stages use the ExecContext overloads below, which
+// dispatch on the context's pool.
+
 void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
                 int threads) {
-  const std::size_t M = a.rows(), K = a.cols(), N = b.cols();
-  PF_CHECK(b.rows() == K) << "matmul shape: " << M << "x" << K << " * "
-                          << b.rows() << "x" << N;
-  PF_CHECK(c.rows() == M && c.cols() == N);
-  gemm_driver(
-      M, N, K, alpha,
-      [&](std::size_t i, std::size_t k) { return a.row(i)[k]; },
-      [&](std::size_t k, std::size_t j) { return b.row(k)[j]; }, c, threads);
+  matmul_acc_on(a, b, c, alpha, resolve_gemm_threads(threads), nullptr);
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b, int threads) {
@@ -189,14 +273,7 @@ Matrix matmul(const Matrix& a, const Matrix& b, int threads) {
 
 void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
                    int threads) {
-  // a: (M×K), b: (M×N), c: (K×N) += alpha * aᵀ b. Reduction dim is M.
-  const std::size_t M = a.rows(), K = a.cols(), N = b.cols();
-  PF_CHECK(b.rows() == M) << "matmul_tn shape mismatch";
-  PF_CHECK(c.rows() == K && c.cols() == N);
-  gemm_driver(
-      K, N, M, alpha,
-      [&](std::size_t i, std::size_t k) { return a.row(k)[i]; },
-      [&](std::size_t k, std::size_t j) { return b.row(k)[j]; }, c, threads);
+  matmul_tn_acc_on(a, b, c, alpha, resolve_gemm_threads(threads), nullptr);
 }
 
 Matrix matmul_tn(const Matrix& a, const Matrix& b, int threads) {
@@ -207,19 +284,50 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b, int threads) {
 
 void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
                    int threads) {
-  // a: (M×K), b: (N×K), c: (M×N) += alpha * a bᵀ. Reduction dim is K.
-  const std::size_t M = a.rows(), K = a.cols(), N = b.rows();
-  PF_CHECK(b.cols() == K) << "matmul_nt shape mismatch";
-  PF_CHECK(c.rows() == M && c.cols() == N);
-  gemm_driver(
-      M, N, K, alpha,
-      [&](std::size_t i, std::size_t k) { return a.row(i)[k]; },
-      [&](std::size_t k, std::size_t j) { return b.row(j)[k]; }, c, threads);
+  matmul_nt_acc_on(a, b, c, alpha, resolve_gemm_threads(threads), nullptr);
 }
 
 Matrix matmul_nt(const Matrix& a, const Matrix& b, int threads) {
   Matrix c(a.rows(), b.rows(), 0.0);
   matmul_nt_acc(a, b, c, 1.0, threads);
+  return c;
+}
+
+// --- ExecContext entry points (the context's pool and budget) --------------
+
+void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
+                const ExecContext& ctx) {
+  matmul_acc_on(a, b, c, alpha, resolve_gemm_threads(ctx.gemm_threads()),
+                &ctx.pool());
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b, const ExecContext& ctx) {
+  Matrix c(a.rows(), b.cols(), 0.0);
+  matmul_acc(a, b, c, 1.0, ctx);
+  return c;
+}
+
+void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
+                   const ExecContext& ctx) {
+  matmul_tn_acc_on(a, b, c, alpha, resolve_gemm_threads(ctx.gemm_threads()),
+                   &ctx.pool());
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b, const ExecContext& ctx) {
+  Matrix c(a.cols(), b.cols(), 0.0);
+  matmul_tn_acc(a, b, c, 1.0, ctx);
+  return c;
+}
+
+void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
+                   const ExecContext& ctx) {
+  matmul_nt_acc_on(a, b, c, alpha, resolve_gemm_threads(ctx.gemm_threads()),
+                   &ctx.pool());
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b, const ExecContext& ctx) {
+  Matrix c(a.rows(), b.rows(), 0.0);
+  matmul_nt_acc(a, b, c, 1.0, ctx);
   return c;
 }
 

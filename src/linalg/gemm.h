@@ -5,32 +5,43 @@
 // matmul_nt  : C = A · Bᵀ   (used for backward passes dX = dY · Wᵀ ... )
 //
 // All three products (and their _acc variants) run through one packed
-// driver: B is packed once into 8-wide column slivers, A into 6-row tiles,
-// and a 6×8 register microkernel does the flops. The microkernel is chosen
-// at runtime via src/common/cpu_features.h — an AVX2+FMA kernel on hosts
-// (and builds) that support it, a scalar twin with identical blocking
-// everywhere else. PF_FORCE_SCALAR=1 in the environment pins the scalar
-// path; set_simd_level() switches it programmatically.
+// driver: B is packed once into NR-wide column slivers, A into MR-row tiles
+// (matmul_tn skips the A pack entirely — aᵀ's column walk is already k-major
+// in a's row-major storage, so the microkernel reads the source matrix
+// directly), and an MR×NR register microkernel does the flops. The kernel
+// and its tile geometry are chosen at runtime via src/common/cpu_features.h:
+//   scalar   6×8 portable tile, no ISA assumptions
+//   avx2     6×8 AVX2+FMA tile
+//   avx512   8×16 AVX-512F tile
+// PF_SIMD_LEVEL={scalar,avx2,avx512} in the environment pins a tier
+// (PF_FORCE_SCALAR=1 remains an alias for scalar); set_simd_level() switches
+// it programmatically.
 //
-// Threading: every kernel takes a trailing `threads` argument.
-//   threads == 1  — single-threaded (the seed behaviour).
-//   threads  > 1  — output rows are split into `threads` contiguous blocks
-//                   executed on the shared ThreadPool.
-//   threads == 0  — use the process-wide default (set_gemm_threads), which
-//                   starts at 1.
+// Threading — two call styles per kernel:
+//   trailing int threads (legacy, the seed API):
+//     threads == 1  — single-threaded (the seed behaviour).
+//     threads  > 1  — output rows split into `threads` contiguous blocks
+//                     executed on the process-global ThreadPool.
+//     threads == 0  — use the process-wide default (set_gemm_threads).
+//   trailing ExecContext (the hot-path API): row blocks = ctx.gemm_threads()
+//     (0 = process default) dispatched on ctx.pool() — inside a pipeline
+//     stage that is the runtime's own worker pool, so GEMMs respect the
+//     per-stage budget instead of escaping to the global pool.
 //
 // Determinism: within one SIMD level, results are bitwise identical for
-// every thread count — each output element accumulates its k terms in
-// ascending order no matter how the rows are partitioned. Across SIMD
-// levels results may differ in the last ulps (the AVX2 path fuses each
-// multiply-add into one rounding; the scalar path rounds twice), so
-// cross-ISA comparisons need an epsilon, not equality — see the GemmSimd
-// tests.
+// every thread count, pool, and call style — each output element
+// accumulates its k terms in ascending order no matter how the rows are
+// partitioned or how A is addressed. Across SIMD levels results may differ
+// in the last ulps (the FMA paths fuse each multiply-add into one rounding;
+// the scalar path rounds twice), so cross-ISA comparisons need an epsilon,
+// not equality — see the GemmSimd tests.
 #pragma once
 
 #include "src/linalg/matrix.h"
 
 namespace pf {
+
+class ExecContext;
 
 // Process-wide default used when a kernel is called with threads == 0.
 // n <= 1 selects the serial path. Since the ExecContext refactor the storage
@@ -63,6 +74,20 @@ void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c,
                    double alpha = 1.0, int threads = 0);
 void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c,
                    double alpha = 1.0, int threads = 0);
+
+// ExecContext overloads: identical math, but row blocks follow
+// ctx.gemm_threads() and dispatch on ctx.pool() — the per-stage worker
+// budget inside the pipeline runtime. Bitwise identical to the int-threads
+// forms at every setting.
+Matrix matmul(const Matrix& a, const Matrix& b, const ExecContext& ctx);
+Matrix matmul_tn(const Matrix& a, const Matrix& b, const ExecContext& ctx);
+Matrix matmul_nt(const Matrix& a, const Matrix& b, const ExecContext& ctx);
+void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
+                const ExecContext& ctx);
+void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
+                   const ExecContext& ctx);
+void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
+                   const ExecContext& ctx);
 
 // y = A·x for a vector x (len = cols). Result length = rows.
 std::vector<double> matvec(const Matrix& a, const std::vector<double>& x);

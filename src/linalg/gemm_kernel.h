@@ -1,52 +1,87 @@
 // Internal microkernel ABI shared by the packed GEMM driver (gemm.cpp) and
 // the per-ISA kernel TUs. Not part of the public linalg API.
 //
-// Register tile: 6×8 doubles (MR×NR). With AVX2 that is 12 ymm accumulators
-// + 2 B loads + 1 A broadcast = 15 of 16 registers — the double-precision
-// analogue of the canonical 6×16 single-precision AVX2 tile (same
-// 12-register accumulator footprint, half the lane width).
+// Register tiles (MR×NR doubles), one per ISA level:
+//   scalar / AVX2   6×8   — with AVX2 that is 12 ymm accumulators + 2 B
+//                           loads + 1 A broadcast = 15 of 16 registers, the
+//                           double-precision analogue of the canonical 6×16
+//                           single-precision AVX2 tile.
+//   AVX-512         8×16  — 16 zmm accumulators + 2 B loads + 1 A broadcast
+//                           = 19 of 32 registers; twice the arithmetic per B
+//                           load of the AVX2 tile.
+// The driver reads the tile geometry from KernelSpec at runtime and blocks
+// packing accordingly; kKC/kMC cache blocking is shared by every level.
 //
 // Panel layouts the driver guarantees:
-//   ap  packed A tile, k-major with row stride mr:   ap[k*mr + i]
-//   bp  packed B sliver, always kNR wide, zero-padded past nr:
-//       bp[k*kNR + j]
+//   ap  A tile, k-major with row stride a_stride:  ap[k*a_stride + i].
+//       Packed tiles use a_stride == mr; the copy-free matmul_tn path passes
+//       a pointer straight into the source matrix with a_stride == its
+//       leading dimension (aᵀ's column walk is already k-major in memory).
+//   bp  packed B sliver, always spec.nr wide, zero-padded past nr:
+//       bp[k*NR + j] (NR is the kernel's own full tile width).
 //
 // The microkernel computes, for i<mr, j<nr:
-//   C[i*ldc + j] += alpha * sum_k ap[k*mr+i] * bp[k*kNR+j]
+//   C[i*ldc + j] += alpha * sum_k ap[k*a_stride+i] * bp[k*NR+j]
 // with k strictly ascending per element and the alpha scaling applied once
 // after the k loop. Both requirements are load-bearing: ascending-k per
 // element is what makes row-partitioned threading bitwise reproducible, and
 // a single alpha application keeps edge tiles identical to interior tiles.
+// A-element addressing (packed copy vs direct stride) never enters the
+// arithmetic, so the copy-free path is bitwise identical to the packed one.
 #pragma once
 
 #include <cstddef>
 
 namespace pf::detail {
 
-inline constexpr std::size_t kMR = 6;    // register-tile rows
-inline constexpr std::size_t kNR = 8;    // register-tile columns (doubles)
-inline constexpr std::size_t kKC = 256;  // k-panel depth (B sliver ~16 KB L1)
-inline constexpr std::size_t kMC = 96;   // packed A block rows (~192 KB L2)
+inline constexpr std::size_t kMR = 6;    // scalar/AVX2 register-tile rows
+inline constexpr std::size_t kNR = 8;    // scalar/AVX2 register-tile columns
+inline constexpr std::size_t kKC = 256;  // k-panel depth (B sliver in L1)
+inline constexpr std::size_t kMC = 96;   // packed A block rows (~192 KB L2;
+                                         // divisible by 6 and 8)
+
+#if defined(PF_HAVE_AVX512)
+inline constexpr std::size_t kMR512 = 8;   // AVX-512 register-tile rows
+inline constexpr std::size_t kNR512 = 16;  // AVX-512 register-tile columns
+#endif
 
 using MicroKernelFn = void (*)(std::size_t kc, double alpha, const double* ap,
-                               const double* bp, double* c, std::size_t ldc,
-                               std::size_t mr, std::size_t nr);
+                               std::size_t a_stride, const double* bp,
+                               double* c, std::size_t ldc, std::size_t mr,
+                               std::size_t nr);
+
+// A kernel plus the tile geometry the driver must pack for it. mr/nr are the
+// FULL tile sizes (the kernel's own constants); the per-call mr/nr arguments
+// may be smaller at block edges.
+struct KernelSpec {
+  MicroKernelFn fn = nullptr;
+  std::size_t mr = kMR;
+  std::size_t nr = kNR;
+};
 
 // Portable fallback; mirrors the AVX2 blocking exactly (same panels, same
 // per-element accumulation order), plain mul+add arithmetic.
 void micro_kernel_scalar(std::size_t kc, double alpha, const double* ap,
-                         const double* bp, double* c, std::size_t ldc,
-                         std::size_t mr, std::size_t nr);
+                         std::size_t a_stride, const double* bp, double* c,
+                         std::size_t ldc, std::size_t mr, std::size_t nr);
 
 #if defined(PF_HAVE_AVX2)
 // FMA kernel, compiled with -mavx2 -mfma in gemm_kernels_avx2.cpp. Must only
-// be called when cpu_features reports SimdLevel::kAvx2.
+// be called when cpu_features reports SimdLevel::kAvx2 or higher.
 void micro_kernel_avx2(std::size_t kc, double alpha, const double* ap,
-                       const double* bp, double* c, std::size_t ldc,
-                       std::size_t mr, std::size_t nr);
+                       std::size_t a_stride, const double* bp, double* c,
+                       std::size_t ldc, std::size_t mr, std::size_t nr);
 #endif
 
-// The kernel matching cpu_features::active_simd_level() right now.
-MicroKernelFn active_micro_kernel();
+#if defined(PF_HAVE_AVX512)
+// AVX-512F kernel, compiled with -mavx512f in gemm_kernels_avx512.cpp. Must
+// only be called when cpu_features reports SimdLevel::kAvx512.
+void micro_kernel_avx512(std::size_t kc, double alpha, const double* ap,
+                         std::size_t a_stride, const double* bp, double* c,
+                         std::size_t ldc, std::size_t mr, std::size_t nr);
+#endif
+
+// The kernel + tile geometry matching cpu_features::active_simd_level().
+KernelSpec active_kernel_spec();
 
 }  // namespace pf::detail

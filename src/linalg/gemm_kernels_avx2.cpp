@@ -27,13 +27,13 @@ namespace {
 // element sees the identical ascending-k FMA sequence as the interior
 // kernel, so tile membership never changes a value.
 void edge_kernel_avx2(std::size_t kc, double alpha, const double* ap,
-                      const double* bp, double* c, std::size_t ldc,
-                      std::size_t mr, std::size_t nr) {
+                      std::size_t a_stride, const double* bp, double* c,
+                      std::size_t ldc, std::size_t mr, std::size_t nr) {
   if (nr == kNR) {
     for (std::size_t i = 0; i < mr; ++i) {
       __m256d lo = _mm256_setzero_pd(), hi = _mm256_setzero_pd();
       for (std::size_t k = 0; k < kc; ++k) {
-        const __m256d a = _mm256_broadcast_sd(ap + k * mr + i);
+        const __m256d a = _mm256_broadcast_sd(ap + k * a_stride + i);
         lo = _mm256_fmadd_pd(a, _mm256_loadu_pd(bp + k * kNR), lo);
         hi = _mm256_fmadd_pd(a, _mm256_loadu_pd(bp + k * kNR + 4), hi);
       }
@@ -50,7 +50,7 @@ void edge_kernel_avx2(std::size_t kc, double alpha, const double* ap,
     for (std::size_t j = 0; j < nr; ++j) {
       double acc = 0.0;
       for (std::size_t k = 0; k < kc; ++k)
-        acc = std::fma(ap[k * mr + i], bp[k * kNR + j], acc);
+        acc = std::fma(ap[k * a_stride + i], bp[k * kNR + j], acc);
       c[i * ldc + j] = std::fma(alpha, acc, c[i * ldc + j]);
     }
   }
@@ -59,10 +59,10 @@ void edge_kernel_avx2(std::size_t kc, double alpha, const double* ap,
 }  // namespace
 
 void micro_kernel_avx2(std::size_t kc, double alpha, const double* ap,
-                       const double* bp, double* c, std::size_t ldc,
-                       std::size_t mr, std::size_t nr) {
+                       std::size_t a_stride, const double* bp, double* c,
+                       std::size_t ldc, std::size_t mr, std::size_t nr) {
   if (mr != kMR || nr != kNR) {
-    edge_kernel_avx2(kc, alpha, ap, bp, c, ldc, mr, nr);
+    edge_kernel_avx2(kc, alpha, ap, a_stride, bp, c, ldc, mr, nr);
     return;
   }
   // 6×8 interior tile: 12 accumulators (2 ymm per row), 2 B loads, 1 A
@@ -74,7 +74,7 @@ void micro_kernel_avx2(std::size_t kc, double alpha, const double* ap,
   __m256d a40 = _mm256_setzero_pd(), a41 = _mm256_setzero_pd();
   __m256d a50 = _mm256_setzero_pd(), a51 = _mm256_setzero_pd();
   for (std::size_t k = 0; k < kc; ++k) {
-    const double* arow = ap + k * kMR;
+    const double* arow = ap + k * a_stride;
     const __m256d b0 = _mm256_loadu_pd(bp + k * kNR);
     const __m256d b1 = _mm256_loadu_pd(bp + k * kNR + 4);
     __m256d a;

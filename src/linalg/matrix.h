@@ -20,6 +20,25 @@ class Matrix {
   Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
       : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
 
+  // Adopts `buf` as the backing storage, resized to rows*cols — existing
+  // capacity is reused, which is how ArenaAllocator (common/arena.h) hands
+  // recycled buffers back without reallocating. Element values are
+  // whatever the resize left in place; callers overwrite them.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double>&& buf)
+      : rows_(rows), cols_(cols), data_(std::move(buf)) {
+    data_.resize(rows_ * cols_);
+  }
+
+  // Steals the backing storage (capacity intact), leaving the matrix empty
+  // (0×0) — the other half of the arena hand-off.
+  std::vector<double> take_data() {
+    std::vector<double> out = std::move(data_);
+    data_ = std::vector<double>();
+    rows_ = 0;
+    cols_ = 0;
+    return out;
+  }
+
   static Matrix zeros(std::size_t rows, std::size_t cols) {
     return Matrix(rows, cols, 0.0);
   }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/common/arena.h"
 #include "src/common/check.h"
 
 namespace pf {
@@ -85,7 +86,7 @@ Matrix softmax_rows_backward(const Matrix& p, const Matrix& dy,
 }
 
 Matrix Gelu::forward(const Matrix& x, bool training, const ExecContext& ctx) {
-  if (training) x_cache_ = x;
+  if (training) arena_assign(ctx.arena(), x_cache_, x);
   return gelu(x, ctx);
 }
 

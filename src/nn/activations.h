@@ -43,6 +43,7 @@ class Gelu {
     return c;
   }
   void restore_cache(const Cache& c) { x_cache_ = c.x; }
+  void restore_cache(Cache&& c) { x_cache_ = std::move(c.x); }
 
  private:
   Matrix x_cache_;

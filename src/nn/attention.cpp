@@ -1,6 +1,7 @@
 #include "src/nn/attention.h"
 
 #include <cmath>
+#include <utility>
 
 #include "src/linalg/gemm.h"
 #include "src/nn/activations.h"
@@ -69,7 +70,6 @@ Matrix MultiHeadSelfAttention::forward(const Matrix& x, std::size_t batch,
   // neutral.
   const bool fan_out = ctx.resolved_nn_threads() > 1;
   const ExecContext inner = fan_out ? ExecContext::serial() : ctx;
-  const int inner_gemm = fan_out ? 1 : ctx.gemm_threads();
   ctx.parallel_for(batch * n_heads_, [&](std::size_t bh0, std::size_t bh1) {
     for (std::size_t bh = bh0; bh < bh1; ++bh) {
       const std::size_t b = bh / n_heads_;
@@ -77,11 +77,11 @@ Matrix MultiHeadSelfAttention::forward(const Matrix& x, std::size_t batch,
       const Matrix qb = slice_bh(q_, b, h, seq, d_head_);
       const Matrix kb = slice_bh(k_, b, h, seq, d_head_);
       const Matrix vb = slice_bh(v_, b, h, seq, d_head_);
-      Matrix scores = matmul_nt(qb, kb, inner_gemm);
+      Matrix scores = matmul_nt(qb, kb, inner);
       scores *= scale;
       const Matrix p = softmax_rows(scores, inner);
       if (training) probs_[bh] = p;
-      const Matrix head_ctx = matmul(p, vb, inner_gemm);
+      const Matrix head_ctx = matmul(p, vb, inner);
       add_slice_bh(context, head_ctx, b, h, seq, d_head_);
     }
   });
@@ -101,7 +101,6 @@ Matrix MultiHeadSelfAttention::backward(const Matrix& dy,
   // of dq/dk/dv, with the same inner-threading rule.
   const bool fan_out = ctx.resolved_nn_threads() > 1;
   const ExecContext inner = fan_out ? ExecContext::serial() : ctx;
-  const int inner_gemm = fan_out ? 1 : ctx.gemm_threads();
   ctx.parallel_for(batch_ * n_heads_, [&](std::size_t bh0, std::size_t bh1) {
     for (std::size_t bh = bh0; bh < bh1; ++bh) {
       const std::size_t b = bh / n_heads_;
@@ -112,13 +111,13 @@ Matrix MultiHeadSelfAttention::backward(const Matrix& dy,
       const Matrix vb = slice_bh(v_, b, h, seq_, d_head_);
       const Matrix dctx = slice_bh(dcontext, b, h, seq_, d_head_);
       // head_ctx = p · v.
-      const Matrix dp = matmul_nt(dctx, vb, inner_gemm);
-      const Matrix dvb = matmul_tn(p, dctx, inner_gemm);
+      const Matrix dp = matmul_nt(dctx, vb, inner);
+      const Matrix dvb = matmul_tn(p, dctx, inner);
       // scores backward through softmax, then through q·kᵀ·scale.
       Matrix dscores = softmax_rows_backward(p, dp, inner);
       dscores *= scale;
-      const Matrix dqb = matmul(dscores, kb, inner_gemm);
-      const Matrix dkb = matmul_tn(dscores, qb, inner_gemm);
+      const Matrix dqb = matmul(dscores, kb, inner);
+      const Matrix dkb = matmul_tn(dscores, qb, inner);
       add_slice_bh(dq, dqb, b, h, seq_, d_head_);
       add_slice_bh(dk, dkb, b, h, seq_, d_head_);
       add_slice_bh(dv, dvb, b, h, seq_, d_head_);
@@ -160,6 +159,19 @@ void MultiHeadSelfAttention::restore_cache(const Cache& c) {
   wk_.restore_cache(c.wk);
   wv_.restore_cache(c.wv);
   wo_.restore_cache(c.wo);
+}
+
+void MultiHeadSelfAttention::restore_cache(Cache&& c) {
+  q_ = std::move(c.q);
+  k_ = std::move(c.k);
+  v_ = std::move(c.v);
+  probs_ = std::move(c.probs);
+  batch_ = c.batch;
+  seq_ = c.seq;
+  wq_.restore_cache(std::move(c.wq));
+  wk_.restore_cache(std::move(c.wk));
+  wv_.restore_cache(std::move(c.wv));
+  wo_.restore_cache(std::move(c.wo));
 }
 
 std::vector<Param*> MultiHeadSelfAttention::params() {

@@ -34,6 +34,7 @@ class MultiHeadSelfAttention {
   };
   Cache save_cache();
   void restore_cache(const Cache& c);
+  void restore_cache(Cache&& c);
 
  private:
   std::size_t d_model_, n_heads_, d_head_;

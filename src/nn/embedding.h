@@ -53,6 +53,12 @@ class Embedding {
     batch_cache_ = c.batch;
     seq_cache_ = c.seq;
   }
+  void restore_cache(Cache&& c) {
+    ids_cache_ = std::move(c.ids);
+    seg_cache_ = std::move(c.segments);
+    batch_cache_ = c.batch;
+    seq_cache_ = c.seq;
+  }
 
  private:
   std::size_t vocab_, max_seq_, d_model_;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/common/arena.h"
+
 namespace pf {
 
 LayerNorm::LayerNorm(std::size_t dim, const std::string& name, double eps)
@@ -18,7 +20,10 @@ Matrix LayerNorm::forward(const Matrix& x, bool training,
   const std::size_t n = x.rows();
   Matrix y(n, dim_);
   if (training) {
-    xhat_ = Matrix(n, dim_);
+    // Fresh every forward (the stash machinery moved last micro's out);
+    // arena-backed when the context carries a recycler. xhat is fully
+    // overwritten below, so the fill value never shows.
+    xhat_ = arena_matrix(ctx.arena(), n, dim_);
     inv_std_.assign(n, 0.0);
   }
   ctx.parallel_for(n, [&](std::size_t r0, std::size_t r1) {

@@ -37,6 +37,10 @@ class LayerNorm {
     xhat_ = c.xhat;
     inv_std_ = c.inv_std;
   }
+  void restore_cache(Cache&& c) {
+    xhat_ = std::move(c.xhat);
+    inv_std_ = std::move(c.inv_std);
+  }
 
  private:
   std::size_t dim_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/common/arena.h"
 #include "src/linalg/gemm.h"
 
 namespace pf {
@@ -29,14 +30,14 @@ Matrix Linear::forward(const Matrix& x, bool training,
                        const ExecContext& ctx) {
   PF_CHECK(x.cols() == d_in_)
       << name_ << ": input cols " << x.cols() << " != d_in " << d_in_;
-  Matrix y = matmul(x, w_.w, ctx.gemm_threads());
+  Matrix y = matmul(x, w_.w, ctx);
   ctx.parallel_for(y.rows(), [&](std::size_t r0, std::size_t r1) {
     for (std::size_t r = r0; r < r1; ++r) {
       double* row = y.row(r);
       for (std::size_t c = 0; c < d_out_; ++c) row[c] += b_.w(0, c);
     }
   });
-  if (training) x_cache_ = x;
+  if (training) arena_assign(ctx.arena(), x_cache_, x);
   return y;
 }
 
@@ -44,9 +45,9 @@ Matrix Linear::backward(const Matrix& dy, const ExecContext& ctx) {
   PF_CHECK(dy.cols() == d_out_);
   PF_CHECK(!x_cache_.empty()) << name_ << ": backward before forward";
   PF_CHECK(dy.rows() == x_cache_.rows());
-  dy_cache_ = dy;
+  arena_assign(ctx.arena(), dy_cache_, dy);
   // dW += xᵀ·dy; db += column sums; dx = dy·Wᵀ.
-  matmul_tn_acc(x_cache_, dy, w_.g, 1.0, ctx.gemm_threads());
+  matmul_tn_acc(x_cache_, dy, w_.g, 1.0, ctx);
   // db column-sharded: every bias coordinate accumulates its rows in
   // ascending order regardless of the partition — bitwise equal to serial.
   ctx.parallel_for(d_out_, [&](std::size_t c0, std::size_t c1) {
@@ -55,7 +56,7 @@ Matrix Linear::backward(const Matrix& dy, const ExecContext& ctx) {
       for (std::size_t c = c0; c < c1; ++c) b_.g(0, c) += row[c];
     }
   });
-  return matmul_nt(dy, w_.w, ctx.gemm_threads());
+  return matmul_nt(dy, w_.w, ctx);
 }
 
 }  // namespace pf

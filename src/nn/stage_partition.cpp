@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/common/arena.h"
 #include "src/common/check.h"
 
 namespace pf {
@@ -40,6 +41,7 @@ Matrix BertStage::forward(int micro, const BertBatch& batch, Matrix in,
   StageCache sc = save_caches();
   sc.mlm_dlogits = std::move(mlm_dlogits);
   sc.nsp_dlogits = std::move(nsp_dlogits);
+  stash_add(bytes_of(sc));
   fwd_stash_.emplace(micro, std::move(sc));
   return h;
 }
@@ -50,15 +52,36 @@ Matrix BertStage::backward(int micro, const BertBatch& batch, Matrix grad_in,
   PF_CHECK(it != fwd_stash_.end())
       << "stage " << index_ << ": backward(" << micro
       << ") without a stashed forward";
-  PF_CHECK(!dy_stash_.contains(micro))
+  PF_CHECK(!kfac_stash_.contains(micro))
       << "stage " << index_ << ": duplicate backward for micro " << micro;
-  restore_caches(it->second);
+
+  // Loss gradients live outside the layer caches; in borrow mode they are
+  // the only thing left of the stash entry once the layers take their
+  // caches back, and they die (into the arena) at the end of this call.
+  Matrix mlm_dlogits, nsp_dlogits;
+  if (copy_stashes_) {
+    // Legacy path: deep-copy the stash into the layers; the entry keeps
+    // serving a_l to curvature-A tasks until clear_stash().
+    restore_caches(it->second);
+    mlm_dlogits = it->second.mlm_dlogits;
+    nsp_dlogits = it->second.nsp_dlogits;
+  } else {
+    // Borrow path: MOVE the whole cache set back into the layers and drop
+    // the entry. Backward reads but never mutates a_l, so the buffers
+    // survive the round trip bit for bit and are re-harvested below for
+    // the curvature tasks.
+    StageCache sc = std::move(it->second);
+    stash_sub(bytes_of(sc));
+    fwd_stash_.erase(it);
+    mlm_dlogits = std::move(sc.mlm_dlogits);
+    nsp_dlogits = std::move(sc.nsp_dlogits);
+    restore_caches(std::move(sc));
+  }
 
   Matrix dh;
   if (is_last()) {
-    const StageCache& sc = it->second;
-    dh = mlm_head_->backward(sc.mlm_dlogits, ctx);
-    const Matrix dcls = nsp_head_->backward(sc.nsp_dlogits, ctx);
+    dh = mlm_head_->backward(mlm_dlogits, ctx);
+    const Matrix dcls = nsp_head_->backward(nsp_dlogits, ctx);
     for (std::size_t b = 0; b < batch.batch; ++b) {
       double* row = dh.row(b * batch.seq);
       for (std::size_t c = 0; c < dh.cols(); ++c) row[c] += dcls(b, c);
@@ -75,18 +98,32 @@ Matrix BertStage::backward(int micro, const BertBatch& batch, Matrix grad_in,
     dh = Matrix();
   }
 
+  if (!copy_stashes_) {
+    arena_release(ctx.arena(), std::move(mlm_dlogits));
+    arena_release(ctx.arena(), std::move(nsp_dlogits));
+  }
+
   if (keep_kfac_stash) {
-    // Keep e_l of each K-FAC linear for the curvature-B tasks (the
-    // forward stash keeps serving a_l to curvature-A tasks); everything
-    // else the backward produced is dead weight and stays in the layers
-    // until the next forward overwrites it.
-    std::vector<Matrix> dys;
-    dys.reserve(kfac_linears_.size());
-    for (Linear* l : kfac_linears_) dys.push_back(l->save_cache().dy);
-    dy_stash_.emplace(micro, std::move(dys));
-  } else {
+    // Harvest exactly what the curvature tasks read, in kfac_linears()
+    // order. Borrow mode moves each tracked linear's full {a_l, e_l} out
+    // (a curvature-A task scheduled before this backward may only run
+    // after it — a_l must stay addressable); copy mode keeps a_l in the
+    // forward stash and takes only e_l, as the historical code did.
+    std::vector<Linear::Cache> kcs;
+    kcs.reserve(kfac_linears_.size());
+    for (Linear* l : kfac_linears_) {
+      Linear::Cache c = l->save_cache();
+      if (copy_stashes_) c.x = Matrix();
+      kcs.push_back(std::move(c));
+    }
+    stash_add(bytes_of(kcs));
+    kfac_stash_.emplace(micro, std::move(kcs));
+  } else if (copy_stashes_) {
     // No curvature task will read this micro: release its activations now
-    // instead of holding every micro until end of step.
+    // instead of holding every micro until end of step. (Borrow mode
+    // already erased the entry above; the caches sit in the layers, where
+    // the next forward reuses their storage.)
+    stash_sub(bytes_of(it->second));
     fwd_stash_.erase(it);
   }
   return dh;
@@ -101,28 +138,47 @@ BertLossBreakdown BertStage::losses(int micro) const {
 }
 
 const Matrix& BertStage::kfac_input(int micro, std::size_t f) const {
+  // Before the micro's backward a_l lives in the forward stash; after it
+  // (borrow mode) in the harvested K-FAC stash. Both serve the same bytes.
   const auto it = fwd_stash_.find(micro);
-  PF_CHECK(it != fwd_stash_.end())
+  if (it != fwd_stash_.end()) {
+    const Matrix& x = kfac_cache_of(it->second, f).x;
+    PF_CHECK(!x.empty());
+    return x;
+  }
+  const auto kt = kfac_stash_.find(micro);
+  PF_CHECK(kt != kfac_stash_.end())
       << "kfac_input(" << micro << ") before its forward";
-  const Matrix& x = kfac_cache_of(it->second, f).x;
+  PF_CHECK(f < kt->second.size());
+  const Matrix& x = kt->second[f].x;
   PF_CHECK(!x.empty());
   return x;
 }
 
 const Matrix& BertStage::kfac_output_grad(int micro, std::size_t f) const {
-  const auto it = dy_stash_.find(micro);
-  PF_CHECK(it != dy_stash_.end())
+  const auto it = kfac_stash_.find(micro);
+  PF_CHECK(it != kfac_stash_.end())
       << "kfac_output_grad(" << micro << ") before its backward";
   PF_CHECK(f < it->second.size());
-  const Matrix& dy = it->second[f];
+  const Matrix& dy = it->second[f].dy;
   PF_CHECK(!dy.empty());
   return dy;
 }
 
-void BertStage::clear_stash() {
+void BertStage::clear_stash(ArenaAllocator* arena) {
+  if (arena != nullptr) {
+    for (auto& [m, sc] : fwd_stash_)
+      release_to_arena(arena, std::move(sc));
+    for (auto& [m, kcs] : kfac_stash_)
+      for (Linear::Cache& kc : kcs) {
+        arena->release(std::move(kc.x));
+        arena->release(std::move(kc.dy));
+      }
+  }
   fwd_stash_.clear();
-  dy_stash_.clear();
+  kfac_stash_.clear();
   loss_stash_.clear();
+  stash_bytes_ = 0;
 }
 
 std::vector<Param*> BertStage::params() const {
@@ -155,6 +211,81 @@ void BertStage::restore_caches(const StageCache& c) {
     blocks_[i]->restore_cache(c.blocks[i]);
   if (mlm_head_ != nullptr) mlm_head_->restore_cache(c.mlm_head);
   if (nsp_head_ != nullptr) nsp_head_->restore_cache(c.nsp_head);
+}
+
+void BertStage::restore_caches(StageCache&& c) {
+  if (emb_ != nullptr) emb_->restore_cache(std::move(c.emb));
+  PF_CHECK(c.blocks.size() == blocks_.size());
+  for (std::size_t i = 0; i < blocks_.size(); ++i)
+    blocks_[i]->restore_cache(std::move(c.blocks[i]));
+  if (mlm_head_ != nullptr) mlm_head_->restore_cache(std::move(c.mlm_head));
+  if (nsp_head_ != nullptr) nsp_head_->restore_cache(std::move(c.nsp_head));
+}
+
+namespace {
+std::size_t mat_bytes(const Matrix& m) { return m.size() * sizeof(double); }
+std::size_t lin_bytes(const Linear::Cache& c) {
+  return mat_bytes(c.x) + mat_bytes(c.dy);
+}
+}  // namespace
+
+std::size_t BertStage::bytes_of(const StageCache& c) {
+  std::size_t n = (c.emb.ids.size() + c.emb.segments.size()) * sizeof(int);
+  for (const TransformerBlock::Cache& bc : c.blocks) {
+    n += mat_bytes(bc.attn.q) + mat_bytes(bc.attn.k) + mat_bytes(bc.attn.v);
+    for (const Matrix& p : bc.attn.probs) n += mat_bytes(p);
+    n += lin_bytes(bc.attn.wq) + lin_bytes(bc.attn.wk) +
+         lin_bytes(bc.attn.wv) + lin_bytes(bc.attn.wo);
+    n += mat_bytes(bc.ln1.xhat) + bc.ln1.inv_std.size() * sizeof(double);
+    n += mat_bytes(bc.ln2.xhat) + bc.ln2.inv_std.size() * sizeof(double);
+    n += lin_bytes(bc.w1) + lin_bytes(bc.w2) + mat_bytes(bc.gelu.x);
+  }
+  n += lin_bytes(c.mlm_head) + lin_bytes(c.nsp_head);
+  n += mat_bytes(c.mlm_dlogits) + mat_bytes(c.nsp_dlogits);
+  return n;
+}
+
+std::size_t BertStage::bytes_of(const std::vector<Linear::Cache>& kcs) {
+  std::size_t n = 0;
+  for (const Linear::Cache& kc : kcs) n += lin_bytes(kc);
+  return n;
+}
+
+void BertStage::release_to_arena(ArenaAllocator* arena, StageCache&& c) {
+  // Doubles only: int id/segment vectors cannot feed the double arena and
+  // just free normally.
+  for (TransformerBlock::Cache& bc : c.blocks) {
+    arena->release(std::move(bc.attn.q));
+    arena->release(std::move(bc.attn.k));
+    arena->release(std::move(bc.attn.v));
+    for (Matrix& p : bc.attn.probs) arena->release(std::move(p));
+    for (Linear::Cache* lc : {&bc.attn.wq, &bc.attn.wk, &bc.attn.wv,
+                              &bc.attn.wo, &bc.w1, &bc.w2}) {
+      arena->release(std::move(lc->x));
+      arena->release(std::move(lc->dy));
+    }
+    arena->release(std::move(bc.ln1.xhat));
+    arena->release(std::move(bc.ln1.inv_std));
+    arena->release(std::move(bc.ln2.xhat));
+    arena->release(std::move(bc.ln2.inv_std));
+    arena->release(std::move(bc.gelu.x));
+  }
+  for (Linear::Cache* lc : {&c.mlm_head, &c.nsp_head}) {
+    arena->release(std::move(lc->x));
+    arena->release(std::move(lc->dy));
+  }
+  arena->release(std::move(c.mlm_dlogits));
+  arena->release(std::move(c.nsp_dlogits));
+}
+
+void BertStage::stash_add(std::size_t bytes) {
+  stash_bytes_ += bytes;
+  if (stash_bytes_ > peak_stash_bytes_) peak_stash_bytes_ = stash_bytes_;
+}
+
+void BertStage::stash_sub(std::size_t bytes) {
+  PF_CHECK(bytes <= stash_bytes_);
+  stash_bytes_ -= bytes;
 }
 
 const Linear::Cache& BertStage::kfac_cache_of(const StageCache& c,

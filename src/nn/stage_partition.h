@@ -12,15 +12,28 @@
 // Multi-micro-batch execution: a pipeline keeps several micro-batches in
 // flight per stage, but every nn layer holds exactly one backward cache.
 // Each stage therefore stashes its layers' caches per micro-batch
-// (Layer::save_cache / restore_cache, see linear.h):
+// (Layer::save_cache / restore_cache, see linear.h). Stash traffic is
+// move/borrow, never copy:
 //
 //   forward(m):  run layer forwards, then MOVE the fresh caches into
-//                fwd_stash[m]. The stash is immutable afterwards — K-FAC
-//                curvature-A tasks read a_l from it as soon as the forward
-//                is done (the paper's readiness rule 1).
-//   backward(m): COPY fwd_stash[m] back into the layers, run backwards,
-//                then move the caches (now including e_l) into
-//                bwd_stash[m] for the curvature-B tasks.
+//                fwd_stash[m]. The stash is immutable while it exists —
+//                K-FAC curvature-A tasks read a_l from it as soon as the
+//                forward is done (the paper's readiness rule 1).
+//   backward(m): MOVE fwd_stash[m] back into the layers (the entry is
+//                erased), run backwards, then harvest exactly what K-FAC
+//                reads — each tracked linear's {a_l, e_l} pair — into
+//                kfac_stash[m]. The borrow round trip preserves the exact
+//                buffers (backward reads but never mutates a_l), so a
+//                curvature-A task that runs after the backward sees a_l
+//                bit for bit. Everything else the forward stashed returns
+//                to the layers, where the next forward reuses (or arena-
+//                recycles) the storage — peak stash bytes stay
+//                O(in-flight micros) + O(n_micro) · |{a_l, e_l}| instead
+//                of O(n_micro) full activation sets.
+//
+// set_copy_stashes(true) restores the historical copy-restore behaviour
+// (stash copied into the layers at backward, entries held to end of step)
+// — kept only so the stash-overhead benches can measure before/after.
 //
 // Gradients accumulate directly into the shared Param.g, so the caller
 // (the pipeline runtime) must order each stage's backwards by ascending
@@ -39,6 +52,8 @@
 #include "src/nn/bert.h"
 
 namespace pf {
+
+class ArenaAllocator;
 
 class BertStage {
  public:
@@ -65,13 +80,28 @@ class BertStage {
   BertLossBreakdown losses(int micro) const;
 
   // Stashed K-FAC tensors of one micro for factor (linear) index f in
-  // kfac_linears() order: a_l after forward(micro), e_l after
+  // kfac_linears() order: a_l after forward(micro) (served from fwd_stash
+  // before the micro's backward, from kfac_stash after it), e_l after
   // backward(micro).
   const Matrix& kfac_input(int micro, std::size_t f) const;
   const Matrix& kfac_output_grad(int micro, std::size_t f) const;
 
-  // Releases all per-micro stashes (end of step).
-  void clear_stash();
+  // Releases all per-micro stashes (end of step). With an arena, every
+  // stashed buffer is parked there for the next step's forwards to recycle
+  // instead of being freed.
+  void clear_stash(ArenaAllocator* arena = nullptr);
+
+  // Legacy copy-restore stash semantics (see file comment). Flip only
+  // between steps.
+  void set_copy_stashes(bool v) { copy_stashes_ = v; }
+
+  // --- Stash telemetry ---------------------------------------------------
+  // Bytes currently held by this stage's per-micro stashes (fwd + kfac) and
+  // the high-water mark since reset_stash_stats(). Counts matrix/vector
+  // payloads, not map overhead. Read between steps.
+  std::size_t stash_bytes() const { return stash_bytes_; }
+  std::size_t peak_stash_bytes() const { return peak_stash_bytes_; }
+  void reset_stash_stats() { peak_stash_bytes_ = stash_bytes_; }
 
   std::vector<Param*> params() const;
   std::vector<Linear*> kfac_linears() const { return kfac_linears_; }
@@ -93,8 +123,15 @@ class BertStage {
 
   StageCache save_caches();
   void restore_caches(const StageCache& c);
+  void restore_caches(StageCache&& c);
   const Linear::Cache& kfac_cache_of(const StageCache& c,
                                      std::size_t f) const;
+
+  static std::size_t bytes_of(const StageCache& c);
+  static std::size_t bytes_of(const std::vector<Linear::Cache>& kcs);
+  static void release_to_arena(ArenaAllocator* arena, StageCache&& c);
+  void stash_add(std::size_t bytes);
+  void stash_sub(std::size_t bytes);
 
   int index_ = 0;
   Embedding* emb_ = nullptr;       // stage 0
@@ -103,13 +140,17 @@ class BertStage {
   Linear* nsp_head_ = nullptr;
   std::vector<Linear*> kfac_linears_;
   std::map<int, StageCache> fwd_stash_;
-  // Backward keeps only what curvature-B reads: each K-FAC linear's e_l
-  // (in kfac_linears() order). Stashing the full cache set again would
-  // hold every forward activation twice until end of step.
-  std::map<int, std::vector<Matrix>> dy_stash_;
+  // What K-FAC reads, harvested at backward in kfac_linears() order: a_l
+  // (empty in copy_stashes mode, where fwd_stash keeps serving it) and e_l
+  // of each tracked linear. Stashing the full cache set again would hold
+  // every forward activation twice until end of step.
+  std::map<int, std::vector<Linear::Cache>> kfac_stash_;
   // Losses live outside the cache stash: they survive a dropped stash
   // (keep_kfac_stash = false) until the step's loss fold reads them.
   std::map<int, BertLossBreakdown> loss_stash_;
+  bool copy_stashes_ = false;
+  std::size_t stash_bytes_ = 0;
+  std::size_t peak_stash_bytes_ = 0;
 };
 
 class BertStagePartition {

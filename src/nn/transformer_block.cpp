@@ -56,6 +56,15 @@ void TransformerBlock::restore_cache(const Cache& c) {
   ln2_.restore_cache(c.ln2);
 }
 
+void TransformerBlock::restore_cache(Cache&& c) {
+  attn_.restore_cache(std::move(c.attn));
+  ln1_.restore_cache(std::move(c.ln1));
+  w1_.restore_cache(std::move(c.w1));
+  gelu_.restore_cache(std::move(c.gelu));
+  w2_.restore_cache(std::move(c.w2));
+  ln2_.restore_cache(std::move(c.ln2));
+}
+
 std::vector<Param*> TransformerBlock::params() {
   std::vector<Param*> out = attn_.params();
   for (Param* p : ln1_.params()) out.push_back(p);

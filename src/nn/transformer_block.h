@@ -35,6 +35,7 @@ class TransformerBlock {
   };
   Cache save_cache();
   void restore_cache(const Cache& c);
+  void restore_cache(Cache&& c);
 
  private:
   MultiHeadSelfAttention attn_;

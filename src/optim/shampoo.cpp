@@ -24,8 +24,8 @@ void Shampoo::step(const std::vector<Param*>& params, double lr) {
     }
     State& st = it->second;
     // Statistics update (the analog of K-FAC curvature work).
-    matmul_nt_acc(p->g, p->g, st.l, 1.0, exec_.gemm_threads());
-    matmul_tn_acc(p->g, p->g, st.r, 1.0, exec_.gemm_threads());
+    matmul_nt_acc(p->g, p->g, st.l, 1.0, exec_);
+    matmul_tn_acc(p->g, p->g, st.r, 1.0, exec_);
     // Root refresh (the analog of inversion work — eigendecompositions).
     if (refresh_roots || !st.has_roots) {
       st.l_root = sym_inverse_pth_root(st.l, 4.0, eps_, exec_);
@@ -34,8 +34,7 @@ void Shampoo::step(const std::vector<Param*>& params, double lr) {
     }
     // Precondition + update.
     const Matrix update =
-        matmul(matmul(st.l_root, p->g, exec_.gemm_threads()), st.r_root,
-               exec_.gemm_threads());
+        matmul(matmul(st.l_root, p->g, exec_), st.r_root, exec_);
     for (std::size_t i = 0; i < p->w.rows(); ++i)
       for (std::size_t j = 0; j < p->w.cols(); ++j)
         p->w(i, j) -= lr * update(i, j);

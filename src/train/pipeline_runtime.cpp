@@ -101,15 +101,22 @@ PipelineRuntime::PipelineRuntime(BertModel& model, const MlmBatcher& batcher,
   }
   for (int s = 0; s < S; ++s) {
     BertStage& st = partition_.stage(s);
+    st.set_copy_stashes(cfg_.copy_stashes);
     stage_params_.push_back(st.params());
+    arenas_.push_back(std::make_unique<ArenaAllocator>());
     stage_ctx_.emplace_back(cfg_.stage_threads, cfg_.stage_threads,
                             RngPartition::kSequential, pool_.get());
+    stage_ctx_.back().set_arena(arenas_.back().get());
     stage_opt_.push_back(cfg_.base_optimizer());
     const auto kl = st.kfac_linears();
-    engines_.push_back(cfg_.use_kfac && !kl.empty()
-                           ? std::make_unique<KfacEngine>(kl, cfg_.kfac.kfac)
-                           : nullptr);
+    // The engines' GEMM/Cholesky row blocks dispatch on the runtime pool —
+    // bubble K-FAC work stays inside the `workers` budget.
+    engines_.push_back(
+        cfg_.use_kfac && !kl.empty()
+            ? std::make_unique<KfacEngine>(kl, cfg_.kfac.kfac, pool_.get())
+            : nullptr);
   }
+  last_memory_stats_.resize(static_cast<std::size_t>(S));
 }
 
 BertLossBreakdown PipelineRuntime::step() {
@@ -131,7 +138,14 @@ BertLossBreakdown PipelineRuntime::step() {
   // Entry reset (not just exit): a step that threw mid-flight leaves
   // stashes and channel boxes populated — clearing here keeps a retried
   // step() reporting its own errors instead of phantom duplicates.
-  for (int s = 0; s < S; ++s) partition_.stage(s).clear_stash();
+  std::vector<ArenaAllocator::Stats> arena_before(
+      static_cast<std::size_t>(S));
+  for (int s = 0; s < S; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    partition_.stage(s).clear_stash(arenas_[si].get());
+    partition_.stage(s).reset_stash_stats();
+    arena_before[si] = arenas_[si]->stats();
+  }
   for (auto& ch : fwd_ch_) ch->clear();
   for (auto& ch : bwd_ch_) ch->clear();
 
@@ -525,7 +539,20 @@ BertLossBreakdown PipelineRuntime::step() {
   total.total *= inv;
   total.mlm *= inv;
   total.nsp *= inv;
-  for (int s = 0; s < S; ++s) partition_.stage(s).clear_stash();
+  for (int s = 0; s < S; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    // Stash high-water mark first (clear_stash zeroes the running count,
+    // not the peak), then park the surviving K-FAC stashes in the arena so
+    // the next step's forwards recycle them.
+    last_memory_stats_[si].peak_stash_bytes =
+        partition_.stage(s).peak_stash_bytes();
+    partition_.stage(s).clear_stash(arenas_[si].get());
+    const auto now = arenas_[si]->stats();
+    last_memory_stats_[si].arena_recycled =
+        now.recycled - arena_before[si].recycled;
+    last_memory_stats_[si].arena_fresh = now.fresh - arena_before[si].fresh;
+    last_memory_stats_[si].arena_free_bytes = now.free_bytes;
+  }
   for (const auto& ch : fwd_ch_)
     PF_CHECK(ch->pending() == 0) << ch->name() << ": undelivered activations";
   for (const auto& ch : bwd_ch_)

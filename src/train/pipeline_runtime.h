@@ -41,11 +41,15 @@
 // Each stage runs under its own ExecContext whose nn/GEMM budget is
 // `stage_threads` (every value is bitwise-neutral); the runtime owns a
 // dedicated ThreadPool of `workers` threads shared by stage ops, their
-// nn-loop fan-out, and the bubble-filled K-FAC work. Caveat: GEMM row
-// blocks dispatch on the process-global pool (the gemm driver hardcodes
-// ThreadPool::global()), so with stage_threads > 1 the matmul portion of
-// an op escapes the `workers` budget — routing GEMMs through the
-// context's pool is a ROADMAP follow-up.
+// nn-loop fan-out, GEMM/Cholesky row blocks (gemm.h / cholesky.h ctx
+// overloads — nothing the stages or the K-FAC engines run dispatches on
+// the process-global pool) and the bubble-filled K-FAC work.
+//
+// Memory: each stage's context carries a private ArenaAllocator
+// (common/arena.h). Activation caches and stash traffic draw their
+// storage from it and park dead buffers back, so steady-state steps
+// recycle instead of malloc'ing; stages report per-step stash high-water
+// marks and arena recycle counts through memory_stats().
 //
 // After each step the runtime exposes the realized execution as a
 // trace::Timeline (real wall-clock intervals, one lane per device) for
@@ -56,6 +60,7 @@
 #include <memory>
 
 #include "src/comm/stage_channel.h"
+#include "src/common/arena.h"
 #include "src/common/task_executor.h"
 #include "src/core/kfac_work.h"
 #include "src/data/mlm_batcher.h"
@@ -83,6 +88,10 @@ struct PipelineRuntimeConfig {
   // work (GEMM row blocks use the process-global pool — see above).
   int workers = 0;
   bool use_kfac = true;
+  // Legacy copy-restore stash semantics (stage_partition.h): restore by
+  // deep copy, hold every forward stash to end of step. Only for measuring
+  // the stash overhead the default move/borrow path removes.
+  bool copy_stashes = false;
   // K-FAC knobs; per_micro_curvature is implied (the runtime always
   // accumulates curvature per micro-batch — the paper's semantics).
   KfacOptimizerOptions kfac;
@@ -127,6 +136,18 @@ class PipelineRuntime {
   // Realized handover order on a boundary (micro ids in send order).
   std::vector<int> forward_send_order(int boundary) const;
   std::vector<int> backward_send_order(int boundary) const;
+  // Per-stage memory telemetry of the last step: stash high-water mark and
+  // the stage arena's recycle/fresh acquisition counts (deltas over the
+  // step) plus the bytes parked in it now.
+  struct StageMemoryStats {
+    std::size_t peak_stash_bytes = 0;
+    std::size_t arena_recycled = 0;
+    std::size_t arena_fresh = 0;
+    std::size_t arena_free_bytes = 0;
+  };
+  const std::vector<StageMemoryStats>& memory_stats() const {
+    return last_memory_stats_;
+  }
 
  private:
   struct TaskMeta {
@@ -143,6 +164,7 @@ class PipelineRuntime {
   ScheduleSpec spec_;
   BertStagePartition partition_;
   std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<ArenaAllocator>> arenas_;  // one per stage
   std::vector<std::vector<PipeOp>> device_order_;
   std::vector<int> pipeline_of_micro_;
   std::vector<ExecContext> stage_ctx_;
@@ -155,6 +177,7 @@ class PipelineRuntime {
   std::vector<TaskMeta> last_meta_;
   std::vector<TaskExecutor::Record> last_records_;
   Timeline last_timeline_;
+  std::vector<StageMemoryStats> last_memory_stats_;
   double last_wall_seconds_ = 0.0;
   std::size_t t_ = 0;
 };

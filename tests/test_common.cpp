@@ -8,6 +8,7 @@
 #include <mutex>
 #include <utility>
 
+#include "src/common/arena.h"
 #include "src/common/check.h"
 #include "src/common/cpu_features.h"
 #include "src/common/rng.h"
@@ -243,6 +244,7 @@ TEST(CpuFeatures, LevelsAreOrderedAndNamed) {
   EXPECT_LE(static_cast<int>(active), static_cast<int>(detected));
   EXPECT_STREQ(simd_level_name(SimdLevel::kScalar), "scalar");
   EXPECT_STREQ(simd_level_name(SimdLevel::kAvx2), "avx2");
+  EXPECT_STREQ(simd_level_name(SimdLevel::kAvx512), "avx512");
 }
 
 TEST(CpuFeatures, SetLevelClampsToDetectedAndRoundTrips) {
@@ -250,10 +252,128 @@ TEST(CpuFeatures, SetLevelClampsToDetectedAndRoundTrips) {
   // Scalar is always available.
   EXPECT_EQ(set_simd_level(SimdLevel::kScalar), SimdLevel::kScalar);
   EXPECT_EQ(active_simd_level(), SimdLevel::kScalar);
-  // Requesting AVX2 yields AVX2 exactly when detected, scalar otherwise.
-  EXPECT_EQ(set_simd_level(SimdLevel::kAvx2), detected_simd_level());
+  // Requests above the detected level clamp down to it; requests at or
+  // below it are honored exactly.
+  const SimdLevel detected = detected_simd_level();
+  for (SimdLevel req : {SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    const SimdLevel want =
+        static_cast<int>(req) <= static_cast<int>(detected) ? req : detected;
+    EXPECT_EQ(set_simd_level(req), want) << simd_level_name(req);
+  }
   set_simd_level(prev);
   EXPECT_EQ(active_simd_level(), prev);
+}
+
+TEST(Arena, RecyclesReleasedBuffersWithinWasteBound) {
+  ArenaAllocator arena;
+  std::vector<double> buf = arena.acquire(100);
+  const double* storage = buf.data();
+  arena.release(std::move(buf));
+  EXPECT_EQ(arena.stats().released, 1u);
+  EXPECT_EQ(arena.stats().free_bytes, 100 * sizeof(double));
+
+  // A smaller request within the 2x bound reuses the same storage.
+  std::vector<double> again = arena.acquire(60);
+  EXPECT_EQ(again.data(), storage);
+  EXPECT_EQ(again.size(), 60u);
+  EXPECT_EQ(arena.stats().recycled, 1u);
+  EXPECT_EQ(arena.stats().free_bytes, 0u);
+  arena.release(std::move(again));
+
+  // A request the parked buffer would waste >2x on allocates fresh and
+  // leaves the parked buffer alone.
+  std::vector<double> tiny = arena.acquire(10);
+  EXPECT_EQ(tiny.size(), 10u);
+  EXPECT_EQ(arena.stats().fresh, 2u);  // the first acquire + this one
+  EXPECT_GT(arena.stats().free_bytes, 0u);
+}
+
+TEST(Arena, ExhaustionGrowsInsteadOfFailing) {
+  // More concurrent acquires than parked buffers: the surplus allocates
+  // fresh ("exhaustion growth"), nothing throws, and all buffers are
+  // usable and distinct.
+  ArenaAllocator arena;
+  arena.release(std::vector<double>(50));
+  std::vector<std::vector<double>> live;
+  for (int i = 0; i < 8; ++i) live.push_back(arena.acquire(50));
+  EXPECT_EQ(arena.stats().recycled, 1u);
+  EXPECT_EQ(arena.stats().fresh, 7u);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(live[i].size(), 50u);
+    for (std::size_t j = i + 1; j < live.size(); ++j)
+      EXPECT_NE(live[i].data(), live[j].data());
+  }
+}
+
+TEST(Arena, MatrixRoundTripPreservesValuesAndAlignment) {
+  ArenaAllocator arena;
+  Matrix m = arena.acquire_matrix(7, 9, 1.5);
+  EXPECT_EQ(m.rows(), 7u);
+  EXPECT_EQ(m.cols(), 9u);
+  for (std::size_t r = 0; r < 7; ++r)
+    for (std::size_t c = 0; c < 9; ++c) EXPECT_EQ(m(r, c), 1.5);
+  // std::vector<double> storage: at least alignof(double) everywhere the
+  // kernels load from (they use unaligned loads, but the base must be a
+  // valid double array).
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.row(0)) % alignof(double),
+            0u);
+
+  Matrix src(4, 4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      src(r, c) = static_cast<double>(r * 4 + c);
+  arena.release(std::move(m));
+  const Matrix copy = arena_copy(&arena, src);
+  EXPECT_EQ(max_abs_diff(copy, src), 0.0);
+
+  // Null-arena helpers fall back to plain allocation with equal values.
+  const Matrix plain = arena_copy(nullptr, src);
+  EXPECT_EQ(max_abs_diff(plain, src), 0.0);
+  arena_release(nullptr, Matrix(2, 2, 0.0));  // no-op, must not crash
+}
+
+TEST(Arena, ArenaAssignRecyclesOnlyIntoEmptyDestinations) {
+  ArenaAllocator arena;
+  arena.release(std::vector<double>(12));
+  Matrix src(3, 4, 2.0);
+  Matrix dst;  // empty: arena serves the storage
+  arena_assign(&arena, dst, src);
+  EXPECT_EQ(max_abs_diff(dst, src), 0.0);
+  EXPECT_EQ(arena.stats().recycled, 1u);
+  // Non-empty destination: plain copy-assign, arena untouched.
+  Matrix dst2(3, 4, 0.0);
+  arena_assign(&arena, dst2, src);
+  EXPECT_EQ(max_abs_diff(dst2, src), 0.0);
+  EXPECT_EQ(arena.stats().recycled, 1u);
+  EXPECT_EQ(arena.stats().fresh, 0u);
+}
+
+TEST(Arena, ConcurrentBorrowAndReturnIsClean) {
+  // The pipeline's pattern: many workers acquire, fill, and release
+  // concurrently (K-FAC bubble tasks release from different threads than
+  // the forwards that acquired). TSan must see clean handoffs, and every
+  // acquire must observe its own writes only.
+  ArenaAllocator arena;
+  ThreadPool pool(4);
+  std::atomic<int> bad{0};
+  pool.parallel_for(64, 16, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const std::size_t n = 64 + (i % 7) * 16;
+      std::vector<double> buf = arena.acquire(n);
+      const double tag = static_cast<double>(i + 1);
+      for (auto& v : buf) v = tag;
+      for (const auto& v : buf)
+        if (v != tag) bad.fetch_add(1);
+      arena.release(std::move(buf));
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+  const auto st = arena.stats();
+  EXPECT_EQ(st.recycled + st.fresh, 64u);
+  EXPECT_EQ(st.released, 64u);
+  arena.clear();
+  EXPECT_EQ(arena.stats().free_bytes, 0u);
+  EXPECT_EQ(arena.stats().recycled + arena.stats().fresh, 0u);
 }
 
 }  // namespace

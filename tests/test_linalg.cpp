@@ -234,32 +234,69 @@ class ScopedSimdLevel {
 };
 
 // The packed microkernel has two ISA paths (gemm.h): cross-ISA results may
-// differ in the last ulps (FMA fuses one rounding), so the AVX2-vs-scalar
-// comparisons use an epsilon; within one ISA thread partitioning must be
-// bitwise neutral. Shapes are deliberately odd — none is a multiple of the
-// 6×8 register tile, several straddle the 256-deep k panel — so the edge
+// differ in the last ulps (FMA fuses one rounding, the AVX-512 tile walks a
+// different fixed k-grouping), so the vector-vs-scalar comparisons use an
+// epsilon; within one ISA thread partitioning must be bitwise neutral.
+// Shapes are deliberately odd — none is a multiple of the 6×8 or 8×16
+// register tiles, several straddle the 256-deep k panel — so the edge
 // kernels and every pack path get exercised.
+
+// The vector tiers this host + build can actually run (kScalar excluded).
+std::vector<SimdLevel> vector_levels() {
+  std::vector<SimdLevel> out;
+  const auto d = static_cast<int>(detected_simd_level());
+  if (d >= static_cast<int>(SimdLevel::kAvx2)) out.push_back(SimdLevel::kAvx2);
+  if (d >= static_cast<int>(SimdLevel::kAvx512))
+    out.push_back(SimdLevel::kAvx512);
+  return out;
+}
+
 TEST(GemmSimd, DetectionAndOverrideAreConsistent) {
   const SimdLevel detected = detected_simd_level();
   EXPECT_STRNE(simd_level_name(detected), "unknown");
   EXPECT_STRNE(simd_level_name(active_simd_level()), "unknown");
-  // set_simd_level clamps to what the host/build supports.
+  // set_simd_level clamps each request to what the host/build supports.
   const SimdLevel prev = active_simd_level();
-  EXPECT_EQ(set_simd_level(SimdLevel::kAvx2), detected);
-  EXPECT_EQ(set_simd_level(SimdLevel::kScalar), SimdLevel::kScalar);
-  EXPECT_EQ(active_simd_level(), SimdLevel::kScalar);
+  for (SimdLevel req : {SimdLevel::kScalar, SimdLevel::kAvx2,
+                        SimdLevel::kAvx512}) {
+    const SimdLevel want =
+        static_cast<int>(req) <= static_cast<int>(detected) ? req : detected;
+    EXPECT_EQ(set_simd_level(req), want) << simd_level_name(req);
+    EXPECT_EQ(active_simd_level(), want) << simd_level_name(req);
+  }
   set_simd_level(prev);
+  EXPECT_EQ(active_simd_level(), prev);
 }
 
-TEST(GemmSimd, Avx2MatchesScalarWithinEpsilonAcrossOddShapes) {
-  if (detected_simd_level() != SimdLevel::kAvx2)
-    GTEST_SKIP() << "no AVX2 on this host/build";
+TEST(GemmSimd, ParseSimdLevelRoundTrips) {
+  // The PF_SIMD_LEVEL parser: every exposed name round-trips, junk and the
+  // empty string are rejected without touching the output.
+  for (SimdLevel l : {SimdLevel::kScalar, SimdLevel::kAvx2,
+                      SimdLevel::kAvx512}) {
+    SimdLevel out = SimdLevel::kScalar;
+    EXPECT_TRUE(parse_simd_level(simd_level_name(l), &out));
+    EXPECT_EQ(out, l);
+  }
+  SimdLevel out = SimdLevel::kAvx2;
+  EXPECT_FALSE(parse_simd_level("sse9", &out));
+  EXPECT_FALSE(parse_simd_level("", &out));
+  EXPECT_FALSE(parse_simd_level("AVX2", &out));  // case sensitive
+  EXPECT_EQ(out, SimdLevel::kAvx2);
+}
+
+TEST(GemmSimd, VectorTiersMatchScalarWithinEpsilonAcrossOddShapes) {
+  const auto levels = vector_levels();
+  if (levels.empty()) GTEST_SKIP() << "no vector ISA on this host/build";
   struct Shape {
     std::size_t m, k, n;
   };
-  const Shape shapes[] = {{1, 1, 1},   {2, 3, 4},    {5, 7, 9},
-                          {6, 8, 16},  {7, 17, 33},  {13, 67, 29},
-                          {97, 43, 71}, {64, 300, 5}, {3, 257, 40}};
+  // Odd shapes plus AVX-512-tile stressors: n straddling one zmm lane (9),
+  // exactly two lanes (16), a full 8×16 tile, and partial m rows against
+  // the 8-row tile.
+  const Shape shapes[] = {{1, 1, 1},    {2, 3, 4},    {5, 7, 9},
+                          {6, 8, 16},   {7, 17, 33},  {13, 67, 29},
+                          {97, 43, 71}, {64, 300, 5}, {3, 257, 40},
+                          {8, 32, 16},  {9, 19, 17},  {15, 260, 31}};
   Rng rng(101);
   for (const auto& s : shapes) {
     const Matrix a = Matrix::randn(s.m, s.k, rng);
@@ -276,20 +313,26 @@ TEST(GemmSimd, Avx2MatchesScalarWithinEpsilonAcrossOddShapes) {
         tn_sc = matmul_tn(at, bn, threads);
         nt_sc = matmul_nt(a, bt, threads);
       }
-      ScopedSimdLevel avx2(SimdLevel::kAvx2);
-      EXPECT_LT(max_abs_diff(matmul(a, b, threads), nn_sc), tol)
-          << "nn " << s.m << "x" << s.k << "x" << s.n << " t=" << threads;
-      EXPECT_LT(max_abs_diff(matmul_tn(at, bn, threads), tn_sc), tol)
-          << "tn " << s.m << "x" << s.k << "x" << s.n << " t=" << threads;
-      EXPECT_LT(max_abs_diff(matmul_nt(a, bt, threads), nt_sc), tol)
-          << "nt " << s.m << "x" << s.k << "x" << s.n << " t=" << threads;
+      for (SimdLevel level : levels) {
+        ScopedSimdLevel guard(level);
+        const char* ln = simd_level_name(level);
+        EXPECT_LT(max_abs_diff(matmul(a, b, threads), nn_sc), tol)
+            << ln << " nn " << s.m << "x" << s.k << "x" << s.n
+            << " t=" << threads;
+        EXPECT_LT(max_abs_diff(matmul_tn(at, bn, threads), tn_sc), tol)
+            << ln << " tn " << s.m << "x" << s.k << "x" << s.n
+            << " t=" << threads;
+        EXPECT_LT(max_abs_diff(matmul_nt(a, bt, threads), nt_sc), tol)
+            << ln << " nt " << s.m << "x" << s.k << "x" << s.n
+            << " t=" << threads;
+      }
     }
   }
 }
 
 TEST(GemmSimd, AccVariantsMatchAcrossIsaWithinEpsilon) {
-  if (detected_simd_level() != SimdLevel::kAvx2)
-    GTEST_SKIP() << "no AVX2 on this host/build";
+  const auto levels = vector_levels();
+  if (levels.empty()) GTEST_SKIP() << "no vector ISA on this host/build";
   Rng rng(103);
   const Matrix a = Matrix::randn(11, 70, rng);
   const Matrix b = Matrix::randn(70, 13, rng);
@@ -304,14 +347,17 @@ TEST(GemmSimd, AccVariantsMatchAcrossIsaWithinEpsilon) {
       matmul_tn_acc(a, dy, tn_sc, alpha, threads);
       matmul_nt_acc(a, c_nt, nt_sc, alpha, threads);
     }
-    Matrix acc_v(11, 13, 0.25), tn_v(70, 13, -2.0), nt_v(11, 13, 0.5);
-    ScopedSimdLevel avx2(SimdLevel::kAvx2);
-    matmul_acc(a, b, acc_v, alpha, threads);
-    matmul_tn_acc(a, dy, tn_v, alpha, threads);
-    matmul_nt_acc(a, c_nt, nt_v, alpha, threads);
-    EXPECT_LT(max_abs_diff(acc_sc, acc_v), 1e-9) << "t=" << threads;
-    EXPECT_LT(max_abs_diff(tn_sc, tn_v), 1e-9) << "t=" << threads;
-    EXPECT_LT(max_abs_diff(nt_sc, nt_v), 1e-9) << "t=" << threads;
+    for (SimdLevel level : levels) {
+      Matrix acc_v(11, 13, 0.25), tn_v(70, 13, -2.0), nt_v(11, 13, 0.5);
+      ScopedSimdLevel guard(level);
+      matmul_acc(a, b, acc_v, alpha, threads);
+      matmul_tn_acc(a, dy, tn_v, alpha, threads);
+      matmul_nt_acc(a, c_nt, nt_v, alpha, threads);
+      const char* ln = simd_level_name(level);
+      EXPECT_LT(max_abs_diff(acc_sc, acc_v), 1e-9) << ln << " t=" << threads;
+      EXPECT_LT(max_abs_diff(tn_sc, tn_v), 1e-9) << ln << " t=" << threads;
+      EXPECT_LT(max_abs_diff(nt_sc, nt_v), 1e-9) << ln << " t=" << threads;
+    }
   }
 }
 
@@ -324,8 +370,7 @@ TEST(GemmSimd, ThreadPartitionIsBitwiseNeutralPerIsa) {
   const Matrix a = Matrix::randn(89, 53, rng);
   const Matrix b = Matrix::randn(53, 37, rng);
   std::vector<SimdLevel> levels = {SimdLevel::kScalar};
-  if (detected_simd_level() == SimdLevel::kAvx2)
-    levels.push_back(SimdLevel::kAvx2);
+  for (SimdLevel v : vector_levels()) levels.push_back(v);
   for (SimdLevel level : levels) {
     ScopedSimdLevel guard(level);
     const Matrix serial = matmul(a, b, 1);

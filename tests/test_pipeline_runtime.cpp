@@ -213,6 +213,60 @@ TEST(PipelineRuntime, RelayStagesKeepTheContractOnShallowModels) {
   expect_bitwise_equal(ref, pr, "interleaved relay stages");
 }
 
+TEST(PipelineRuntime, CopyAndBorrowStashModesAreBitwiseIdentical) {
+  // The move/borrow stash path (default) and the legacy copy-restore path
+  // must produce identical bits — and the borrow path must hold strictly
+  // fewer stash bytes at its peak (the overhead the refactor removes).
+  const auto cfg = small_bert(4);
+  const int n_micro = 4;
+  const std::size_t micro_batch = 4, steps = 3;
+  const auto ref = serial_reference(cfg, n_micro, micro_batch, steps, true);
+  for (const char* schedule : {"1f1b", "gpipe"}) {
+    auto pc = runtime_config(schedule, 2, n_micro, micro_batch, steps, true,
+                             /*workers=*/2, /*stage_threads=*/1);
+    PipelineRuntime* borrow_rt = nullptr;
+    const auto borrow = pipeline_run(cfg, pc, &borrow_rt);
+    pc.copy_stashes = true;
+    PipelineRuntime* copy_rt = nullptr;
+    const auto copy = pipeline_run(cfg, pc, &copy_rt);
+    expect_bitwise_equal(ref, borrow, format("%s borrow", schedule));
+    expect_bitwise_equal(ref, copy, format("%s copy", schedule));
+    const auto& bs = borrow_rt->memory_stats();
+    const auto& cs = copy_rt->memory_stats();
+    ASSERT_EQ(bs.size(), cs.size());
+    for (std::size_t st = 0; st < bs.size(); ++st) {
+      EXPECT_GT(bs[st].peak_stash_bytes, 0u) << schedule << " stage " << st;
+      EXPECT_LT(bs[st].peak_stash_bytes, cs[st].peak_stash_bytes)
+          << schedule << " stage " << st
+          << ": borrow peak not below copy peak";
+    }
+  }
+}
+
+TEST(PipelineRuntime, ArenaRecyclesStashBuffersAcrossSteps) {
+  // By the last step the stage arenas must be serving recycled storage to
+  // the forwards (buffers parked by earlier steps' stash teardown), and
+  // dropping the K-FAC stash early (LAMB mode) must shrink the stash
+  // high-water mark.
+  const auto cfg = small_bert(4);
+  auto pc = runtime_config("1f1b", 2, 4, 4, 3, true, 2, 1);
+  PipelineRuntime* rt = nullptr;
+  pipeline_run(cfg, pc, &rt);
+  for (std::size_t st = 0; st < rt->memory_stats().size(); ++st) {
+    const auto& ms = rt->memory_stats()[st];
+    EXPECT_GT(ms.arena_recycled, 0u) << "stage " << st;
+    EXPECT_GT(ms.peak_stash_bytes, 0u) << "stage " << st;
+  }
+  auto lamb_pc = runtime_config("1f1b", 2, 4, 4, 3, false, 2, 1);
+  PipelineRuntime* lamb_rt = nullptr;
+  pipeline_run(cfg, lamb_pc, &lamb_rt);
+  for (std::size_t st = 0; st < lamb_rt->memory_stats().size(); ++st) {
+    EXPECT_LT(lamb_rt->memory_stats()[st].peak_stash_bytes,
+              rt->memory_stats()[st].peak_stash_bytes)
+        << "stage " << st << ": no-curvature run should stash less";
+  }
+}
+
 // --- Handover order and realized event order ------------------------------
 
 TEST(PipelineRuntime, StageChannelHandoverOrderIsPinned) {
