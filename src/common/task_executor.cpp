@@ -58,22 +58,76 @@ TaskExecutor::TaskExecutor(ThreadPool& pool, std::size_t n_lanes)
 std::size_t TaskExecutor::add(std::function<void()> fn, std::size_t lane,
                               long priority, std::vector<std::size_t> deps,
                               int resource) {
-  PF_CHECK(!ran_) << "add() after run()";
   PF_CHECK(lane < n_lanes_) << "lane " << lane << " out of " << n_lanes_;
   PF_CHECK(fn != nullptr);
+  if (!ran_) {
+    const std::size_t id = nodes_.size();
+    Node n;
+    n.fn = std::move(fn);
+    n.lane = lane;
+    n.priority = priority;
+    n.resource = resource;
+    max_resource_ = std::max(max_resource_, resource);
+    n.pending_deps = deps.size();
+    nodes_.push_back(std::move(n));
+    for (const std::size_t d : deps) {
+      PF_CHECK(d < id) << "dependency " << d << " of task " << id
+                       << " not yet added";
+      nodes_[d].dependents.push_back(id);
+    }
+    return id;
+  }
+
+  // Dynamic path: the graph is executing; we are inside a task body (the
+  // contract in the header), so `live_` is stable for the duration of this
+  // call. Resource tokens were sized when run() started, so a dynamic task
+  // cannot introduce a new one.
+  std::shared_ptr<State> st = live_;
+  PF_CHECK(st != nullptr) << "add() after run() completed";
+  PF_CHECK(resource <= max_resource_)
+      << "dynamic task names resource " << resource
+      << " beyond the run-start maximum " << max_resource_
+      << " (resource tokens are sized when run() starts)";
+
+  std::lock_guard<std::mutex> lock(st->mu);
   const std::size_t id = nodes_.size();
   Node n;
   n.fn = std::move(fn);
   n.lane = lane;
   n.priority = priority;
   n.resource = resource;
-  max_resource_ = std::max(max_resource_, resource);
-  n.pending_deps = deps.size();
-  nodes_.push_back(std::move(n));
+  n.pending_deps = 0;
   for (const std::size_t d : deps) {
     PF_CHECK(d < id) << "dependency " << d << " of task " << id
                      << " not yet added";
-    nodes_[d].dependents.push_back(id);
+    // A completed dependency counts as satisfied; one still pending or
+    // running fires through its dependents list on completion.
+    if (!records_[d].executed) ++n.pending_deps;
+  }
+  const std::size_t pending = n.pending_deps;
+  nodes_.push_back(std::move(n));
+  records_.push_back(Record{});
+  for (const std::size_t d : deps)
+    if (!records_[d].executed) nodes_[d].dependents.push_back(id);
+  // After an error the graph is finishing and every unstarted task is
+  // abandoned — the new one joins them (uniform semantics, no secondary
+  // throw out of the adding task's body).
+  if (!st->finished && pending == 0) {
+    st->lane_ready[lane].emplace(priority, id);
+    // The adding thread is occupied by its own task, so cover every
+    // startable lane: wake the main thread and top up pool pumps
+    // (over-provisioning is harmless — stale pumps exit immediately).
+    if (st->pump && pool_.n_threads() > 0) {
+      std::size_t startable = 0;
+      for (std::size_t l = 0; l < n_lanes_; ++l)
+        if (!st->lane_busy[l] && !st->lane_ready[l].empty()) ++startable;
+      while (startable > st->pumps_in_flight &&
+             st->pumps_in_flight < n_lanes_) {
+        ++st->pumps_in_flight;
+        pool_.submit(st->pump);
+      }
+    }
+    st->cv.notify_all();
   }
   return id;
 }
@@ -88,6 +142,10 @@ void TaskExecutor::run() {
 
   auto st = std::make_shared<State>(n_lanes_, max_resource_);
   st->epoch = Clock::now();
+  // Opens the dynamic add() window. Task bodies start only after the seed
+  // block below acquires/releases the state mutex, so they observe this
+  // write; it is cleared after the drain, when no body can be running.
+  live_ = st;
 
   // Picks the best startable (lane, task): an idle lane whose top-priority
   // ready task has a free resource. When the head of a lane's heap is
@@ -232,6 +290,7 @@ void TaskExecutor::run() {
   // Break the State->pump->State shared_ptr cycle (queued stale pump
   // copies hold their own State refs and self-expire on `finished`).
   st->pump = nullptr;
+  live_ = nullptr;  // dynamic add() window closed
   const std::exception_ptr err = st->error;
   lk.unlock();
   if (err) std::rethrow_exception(err);

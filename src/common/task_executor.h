@@ -23,6 +23,14 @@
 // deps, not by timing. (The pipeline runtime pins every floating-point
 // accumulation order this way; see pipeline_runtime.h.)
 //
+// Dynamic graphs: tasks may also be add()ed *while run() is executing*, but
+// only from inside a task body (the serving engine grows its admission →
+// forward chains this way; see src/serve/serving_engine.h). A dynamic task
+// may depend on any earlier id — already-completed dependencies count as
+// satisfied. run() returns when the graph drains, i.e. when every task is
+// done and the last ones added no more; a dynamic task added after a task
+// error is registered but abandoned like every other unstarted task.
+//
 // run() executes the whole graph, blocks until completion, and rethrows the
 // first task exception (remaining tasks are abandoned, in-flight tasks are
 // drained first). Per-task wall-clock records (seconds since run() started)
@@ -30,7 +38,9 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/common/thread_pool.h"
@@ -44,7 +54,14 @@ class TaskExecutor {
 
   // Registers a task. `deps` are ids returned by earlier add() calls.
   // `resource` >= 0 names a mutual-exclusion token (-1: none). Returns the
-  // task id. All tasks must be added before run().
+  // task id.
+  //
+  // Legal either before run() (static graph) or, while run() executes,
+  // from inside a task body (dynamic graph). A dynamic task's dependencies
+  // that already completed count as satisfied; its resource must not
+  // exceed the maximum named before run() (tokens are sized at run start —
+  // the serving engine uses none). Calling from a thread that is not
+  // currently executing a task of this graph is undefined.
   std::size_t add(std::function<void()> fn, std::size_t lane, long priority,
                   std::vector<std::size_t> deps = {}, int resource = -1);
 
@@ -78,9 +95,14 @@ class TaskExecutor {
   ThreadPool& pool_;
   std::size_t n_lanes_;
   int max_resource_ = -1;
-  std::vector<Node> nodes_;
+  // deque: dynamic add() must not invalidate the `Node&` a runner holds
+  // across its (unlocked) fn() call.
+  std::deque<Node> nodes_;
   std::vector<Record> records_;
   bool ran_ = false;
+  // Non-null exactly while run() is executing; routes add() to the locked
+  // dynamic path.
+  std::shared_ptr<State> live_;
 };
 
 }  // namespace pf

@@ -61,14 +61,21 @@ BertLossBreakdown BertModel::train_step_backward(const BertBatch& batch,
   return {mlm.loss + nsp.loss, mlm.loss, nsp.loss};
 }
 
+BertInferOutput BertModel::forward(const BertBatch& batch, bool training,
+                                   const ExecContext& ctx) {
+  const Matrix h = encode(batch, training, ctx);
+  BertInferOutput out;
+  out.mlm_logits = mlm_head_.forward(h, training, ctx);
+  const Matrix cls = gather_cls_rows(h, batch.batch, batch.seq);
+  out.nsp_logits = nsp_head_.forward(cls, training, ctx);
+  return out;
+}
+
 BertLossBreakdown BertModel::evaluate(const BertBatch& batch,
                                       const ExecContext& ctx) {
-  const Matrix h = encode(batch, /*training=*/false, ctx);
-  const Matrix mlm_logits = mlm_head_.forward(h, false, ctx);
-  const auto mlm = softmax_cross_entropy(mlm_logits, batch.mlm_labels, ctx);
-  const Matrix cls = gather_cls_rows(h, batch.batch, batch.seq);
-  const Matrix nsp_logits = nsp_head_.forward(cls, false, ctx);
-  const auto nsp = softmax_cross_entropy(nsp_logits, batch.nsp_labels, ctx);
+  const BertInferOutput out = forward(batch, /*training=*/false, ctx);
+  const auto mlm = softmax_cross_entropy(out.mlm_logits, batch.mlm_labels, ctx);
+  const auto nsp = softmax_cross_entropy(out.nsp_logits, batch.nsp_labels, ctx);
   return {mlm.loss + nsp.loss, mlm.loss, nsp.loss};
 }
 

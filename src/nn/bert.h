@@ -36,6 +36,13 @@ struct BertLossBreakdown {
   double nsp = 0.0;
 };
 
+// Head logits from an inference forward (BertModel::forward / the serving
+// engine's per-request records).
+struct BertInferOutput {
+  Matrix mlm_logits;  // [batch·seq × vocab]
+  Matrix nsp_logits;  // [batch × 2]
+};
+
 // The [CLS] rows of a [batch·seq × d] hidden-state tensor (row b·seq of
 // each sequence) — the NSP head's input. Shared by the serial model and the
 // last pipeline stage so both run the identical gather.
@@ -52,7 +59,17 @@ class BertModel {
   BertLossBreakdown train_step_backward(
       const BertBatch& batch, const ExecContext& ctx = ExecContext::defaults());
 
-  // Inference-only loss evaluation (no caches, no gradients).
+  // Inference forward returning the head logits. With the default
+  // `training=false` every layer skips its backward cache stash (no
+  // backward is possible afterwards; peak memory stays at the activations
+  // in flight — pinned by ServingInference.InferenceForwardLeavesNoCaches).
+  // `training=true` leaves the caches populated for callers that want
+  // logits and a backward. Labels in `batch` are ignored.
+  BertInferOutput forward(const BertBatch& batch, bool training = false,
+                          const ExecContext& ctx = ExecContext::defaults());
+
+  // Inference-only loss evaluation (no caches, no gradients); forward()
+  // plus the two cross-entropies.
   BertLossBreakdown evaluate(const BertBatch& batch,
                              const ExecContext& ctx = ExecContext::defaults());
 

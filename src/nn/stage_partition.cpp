@@ -46,6 +46,32 @@ Matrix BertStage::forward(int micro, const BertBatch& batch, Matrix in,
   return h;
 }
 
+Matrix BertStage::infer(const BertBatch& batch, Matrix in,
+                        const ExecContext& ctx, BertInferOutput* out) const {
+  Matrix h;
+  if (is_first()) {
+    PF_CHECK(in.empty()) << "stage 0 takes its input from the batch";
+    h = emb_->forward(batch.ids, batch.segments, batch.batch, batch.seq,
+                      /*training=*/false, ctx);
+  } else {
+    PF_CHECK(!in.empty()) << "stage " << index_ << ": missing boundary input";
+    h = std::move(in);
+  }
+  for (TransformerBlock* b : blocks_)
+    h = b->forward(h, batch.batch, batch.seq, /*training=*/false, ctx);
+
+  if (!is_last()) return h;
+
+  // Identical head op sequence to BertModel::forward — the serving
+  // engine's bitwise serial-equivalence contract depends on it.
+  PF_CHECK(out != nullptr)
+      << "stage " << index_ << " is the last stage; infer() needs an output";
+  out->mlm_logits = mlm_head_->forward(h, /*training=*/false, ctx);
+  const Matrix cls = gather_cls_rows(h, batch.batch, batch.seq);
+  out->nsp_logits = nsp_head_->forward(cls, /*training=*/false, ctx);
+  return Matrix();
+}
+
 Matrix BertStage::backward(int micro, const BertBatch& batch, Matrix grad_in,
                            const ExecContext& ctx, bool keep_kfac_stash) {
   const auto it = fwd_stash_.find(micro);

@@ -64,6 +64,16 @@ class BertStage {
   Matrix forward(int micro, const BertBatch& batch, Matrix in,
                  const ExecContext& ctx);
 
+  // Inference-mode forward: the same op sequence as forward() with
+  // training=false everywhere and NO stash writes — an unbounded micro
+  // stream can flow through the stage without clear_stash() and without
+  // growing memory (the serving engine's path). Non-last stages return the
+  // boundary activation for stage s+1; the last stage fills `out` (required
+  // there, ignored elsewhere) and returns an empty Matrix. Labels in
+  // `batch` are never read.
+  Matrix infer(const BertBatch& batch, Matrix in, const ExecContext& ctx,
+               BertInferOutput* out = nullptr) const;
+
   // Per-micro backward. `grad_in` is d(out) from stage s+1 (ignored by the
   // last stage, whose gradient starts at its own losses); returns d(in)
   // for stage s-1 (empty for stage 0, which ends at the embedding

@@ -1,30 +1,47 @@
 #include "src/pipeline/chimera.h"
 
+#include <string>
+
 #include "src/common/check.h"
 
 namespace pf {
 
-ScheduleSpec make_chimera(int n_stages, int n_micro) {
+ScheduleSpec make_chimera(int n_stages, int n_micro, int n_pipelines) {
+  PF_CHECK(n_pipelines >= 2 && n_pipelines % 2 == 0)
+      << "Chimera needs an even pipeline count >= 2, got " << n_pipelines;
+  const int n_pairs = n_pipelines / 2;
   PF_CHECK(n_stages >= 2 && n_stages % 2 == 0)
       << "Chimera needs an even number of stages, got " << n_stages;
-  PF_CHECK(n_micro >= 2 && n_micro % 2 == 0)
-      << "Chimera needs an even micro-batch count, got " << n_micro;
+  PF_CHECK(n_stages % n_pairs == 0)
+      << "Chimera-" << n_pipelines << " needs n_stages divisible by "
+      << n_pairs << " (one device offset per down-up pair), got " << n_stages;
+  PF_CHECK(n_micro >= n_pipelines && n_micro % n_pipelines == 0)
+      << "Chimera-" << n_pipelines
+      << " needs a micro-batch count divisible by " << n_pipelines
+      << ", got " << n_micro;
+
   ScheduleSpec spec;
-  spec.name = "chimera";
+  spec.name =
+      n_pipelines == 2 ? "chimera" : "chimera-" + std::to_string(n_pipelines);
   spec.n_stages = n_stages;
   spec.n_devices = n_stages;
   spec.n_micro = n_micro;
-  spec.n_pipelines = 2;
-  spec.stage_to_device.resize(2);
-  for (int s = 0; s < n_stages; ++s) {
-    spec.stage_to_device[0].push_back(s);                  // down
-    spec.stage_to_device[1].push_back(n_stages - 1 - s);   // up
+  spec.n_pipelines = n_pipelines;
+  spec.stage_to_device.resize(static_cast<std::size_t>(n_pipelines));
+  for (int q = 0; q < n_pairs; ++q) {
+    const int offset = q * (n_stages / n_pairs);
+    auto& down = spec.stage_to_device[static_cast<std::size_t>(2 * q)];
+    auto& up = spec.stage_to_device[static_cast<std::size_t>(2 * q + 1)];
+    for (int s = 0; s < n_stages; ++s) {
+      down.push_back((s + offset) % n_stages);
+      up.push_back((n_stages - 1 - s + offset) % n_stages);
+    }
   }
-  spec.micros_of_pipeline.resize(2);
-  for (int m = 0; m < n_micro / 2; ++m)
-    spec.micros_of_pipeline[0].push_back(m);
-  for (int m = n_micro / 2; m < n_micro; ++m)
-    spec.micros_of_pipeline[1].push_back(m);
+  spec.micros_of_pipeline.resize(static_cast<std::size_t>(n_pipelines));
+  const int chunk = n_micro / n_pipelines;
+  for (int p = 0; p < n_pipelines; ++p)
+    for (int m = p * chunk; m < (p + 1) * chunk; ++m)
+      spec.micros_of_pipeline[static_cast<std::size_t>(p)].push_back(m);
   spec.dynamic_order = true;
   spec.validate();
   return spec;

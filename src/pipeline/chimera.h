@@ -1,7 +1,16 @@
-// Chimera schedule (Li & Hoefler, 2021): two bidirectional pipelines over
-// the same devices. The "down" pipeline maps stage s to device s; the "up"
-// pipeline maps stage s to device D-1-s, so every device owns two stages and
-// the up pipeline's work fills the down pipeline's bubbles (and vice versa).
+// Chimera schedule (Li & Hoefler, 2021): bidirectional pipelines over the
+// same devices. In the published 2-pipeline form the "down" pipeline maps
+// stage s to device s and the "up" pipeline maps stage s to device D-1-s,
+// so every device owns two stages and the up pipeline's work fills the
+// down pipeline's bubbles (and vice versa).
+//
+// The generalized form takes n_pipelines = P (even): P/2 down-up pairs,
+// pair q rotated by an offset of q·D/(P/2) devices —
+//   down_q: stage s -> (s + q·D/(P/2)) mod D
+//   up_q:   stage s -> (D-1-s + q·D/(P/2)) mod D
+// Every device owns P stages (one per pipeline — each map is a bijection),
+// micros split into P contiguous chunks. P=2, offset 0 reproduces the
+// published schedule exactly.
 //
 // Chimera's realized op order depends on the forward/backward duration
 // ratio, so the spec is marked dynamic_order: the simulator picks, per idle
@@ -15,7 +24,9 @@
 
 namespace pf {
 
-// n_stages must be even; n_micro must be even (half per pipeline).
-ScheduleSpec make_chimera(int n_stages, int n_micro);
+// n_stages must be even and divisible by n_pipelines/2; n_micro must be
+// divisible by n_pipelines (one contiguous chunk each); n_pipelines must be
+// an even number >= 2.
+ScheduleSpec make_chimera(int n_stages, int n_micro, int n_pipelines = 2);
 
 }  // namespace pf

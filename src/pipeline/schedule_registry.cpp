@@ -53,6 +53,14 @@ void ScheduleTraits::check_params(const ScheduleParams& p) const {
       << name << " needs an even number of stages, got " << p.n_stages;
   PF_CHECK(!even_micros || p.n_micro % 2 == 0)
       << name << " needs an even micro-batch count, got " << p.n_micro;
+  PF_CHECK(stages_multiple_of >= 1 && micros_multiple_of >= 1)
+      << name << " has invalid divisibility traits";
+  PF_CHECK(p.n_stages % stages_multiple_of == 0)
+      << name << " needs a stage count divisible by " << stages_multiple_of
+      << ", got " << p.n_stages;
+  PF_CHECK(p.n_micro % micros_multiple_of == 0)
+      << name << " needs a micro-batch count divisible by "
+      << micros_multiple_of << ", got " << p.n_micro;
   PF_CHECK(!stages_per_device_is_virtual || p.virtual_chunks >= 1)
       << name << " needs at least 1 virtual chunk, got " << p.virtual_chunks;
 }
@@ -74,6 +82,10 @@ ScheduleSpec one_f_one_b_factory(const ScheduleParams& p) {
 
 ScheduleSpec chimera_factory(const ScheduleParams& p) {
   return make_chimera(p.n_stages, p.n_micro);
+}
+
+ScheduleSpec chimera4_factory(const ScheduleParams& p) {
+  return make_chimera(p.n_stages, p.n_micro, /*n_pipelines=*/4);
 }
 
 ScheduleSpec interleaved_1f1b_factory(const ScheduleParams& p) {
@@ -129,6 +141,33 @@ ScheduleTraits chimera_traits() {
   return t;
 }
 
+ScheduleTraits chimera4_traits() {
+  ScheduleTraits t;
+  t.name = "chimera-4";
+  t.description =
+      "four bidirectional pipelines (two offset down-up pairs) over the "
+      "same devices — generalized Chimera; simulator-side only, the "
+      "executable runtime supports up to 2 pipelines";
+  t.n_pipelines = 4;
+  t.stages_per_device = 4;  // one stage of each pipeline
+  t.grad_sync_world_multiplier = 4;
+  t.dynamic_order = true;
+  // Kept in the 2-pipeline family's closed form (C_f = N, C_b = N + D - 2)
+  // as an upper-bound approximation: with four pipelines each device sees
+  // quarter-chunks, so the true ramp is shorter, but the greedy executor —
+  // not this closed form — is the reference for chimera-4 makespans
+  // (revisit with the trace-calibrated cost model, ROADMAP direction 4).
+  t.c_f = {1.0, 0.0, 0.0};
+  t.c_b = {1.0, 1.0, -2.0};
+  t.min_stages = 2;
+  t.min_micros = 4;
+  t.even_stages = true;
+  t.even_micros = true;
+  t.stages_multiple_of = 2;  // pipeline pairs offset by n_stages/2 devices
+  t.micros_multiple_of = 4;  // one contiguous chunk per pipeline
+  return t;
+}
+
 ScheduleTraits one_f_one_b_flushless_traits() {
   ScheduleTraits t;
   t.name = "1f1b-flushless";
@@ -174,6 +213,8 @@ std::map<std::string, ScheduleEntry>& registry() {
     m.emplace("1f1b", ScheduleEntry{one_f_one_b_traits(),
                                     &one_f_one_b_factory});
     m.emplace("chimera", ScheduleEntry{chimera_traits(), &chimera_factory});
+    m.emplace("chimera-4",
+              ScheduleEntry{chimera4_traits(), &chimera4_factory});
     m.emplace("interleaved-1f1b",
               ScheduleEntry{interleaved_1f1b_traits(),
                             &interleaved_1f1b_factory});

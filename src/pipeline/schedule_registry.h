@@ -78,6 +78,11 @@ struct ScheduleTraits {
   int min_micros = 1;
   bool even_stages = false;
   bool even_micros = false;
+  // Divisibility beyond evenness (chimera-4 splits micros into 4 chunks
+  // and offsets its pipeline pairs by n_stages/2 devices). 1 = no
+  // constraint.
+  int stages_multiple_of = 1;
+  int micros_multiple_of = 1;
 
   // Stages a device owns under `p` (resolves virtual-chunk ownership).
   int stages_per_device_for(const ScheduleParams& p) const;

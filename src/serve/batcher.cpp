@@ -1,0 +1,119 @@
+#include "src/serve/batcher.h"
+
+#include "src/common/check.h"
+
+namespace pf {
+
+const char* batch_policy_name(BatchPolicy p) {
+  switch (p) {
+    case BatchPolicy::kContinuous: return "continuous";
+    case BatchPolicy::kStatic: return "static";
+  }
+  return "?";
+}
+
+BatchPolicy batch_policy_from_string(const std::string& s) {
+  if (s == "continuous") return BatchPolicy::kContinuous;
+  if (s == "static") return BatchPolicy::kStatic;
+  PF_CHECK(false) << "unknown batch policy '" << s
+                  << "' (known: continuous, static)";
+  return BatchPolicy::kContinuous;  // unreachable
+}
+
+BertBatch make_inference_batch(const std::vector<InferRequest>& rs,
+                               std::size_t seq_len, int pad_id) {
+  PF_CHECK(!rs.empty()) << "cannot form an empty inference batch";
+  BertBatch b;
+  b.batch = rs.size();
+  b.seq = seq_len;
+  b.ids.assign(rs.size() * seq_len, pad_id);
+  b.segments.assign(rs.size() * seq_len, 0);
+  b.mlm_labels.assign(rs.size() * seq_len, -1);
+  b.nsp_labels.assign(rs.size(), 0);
+  for (std::size_t r = 0; r < rs.size(); ++r) {
+    const InferRequest& req = rs[r];
+    PF_CHECK(!req.ids.empty())
+        << "request " << req.id << " has no tokens";
+    PF_CHECK(req.ids.size() <= seq_len)
+        << "request " << req.id << " has " << req.ids.size()
+        << " tokens > seq_len " << seq_len
+        << " (requests are rejected, never truncated)";
+    PF_CHECK(req.segments.size() <= req.ids.size())
+        << "request " << req.id << " has more segments ("
+        << req.segments.size() << ") than tokens (" << req.ids.size() << ")";
+    const std::size_t base = r * seq_len;
+    for (std::size_t t = 0; t < req.ids.size(); ++t)
+      b.ids[base + t] = req.ids[t];
+    for (std::size_t t = 0; t < req.segments.size(); ++t)
+      b.segments[base + t] = req.segments[t];
+  }
+  return b;
+}
+
+ContinuousBatcher::ContinuousBatcher(std::size_t max_batch,
+                                     std::size_t seq_len, int pad_id,
+                                     std::size_t n_slots)
+    : max_batch_(max_batch),
+      seq_len_(seq_len),
+      pad_id_(pad_id),
+      in_use_(n_slots, false),
+      used_before_(n_slots, false) {
+  PF_CHECK(max_batch >= 1 && seq_len >= 1);
+  PF_CHECK(n_slots >= max_batch)
+      << "slot pool (" << n_slots << ") smaller than one micro-batch ("
+      << max_batch << ")";
+}
+
+MicroBatch ContinuousBatcher::form(std::vector<InferRequest> rs) {
+  PF_CHECK(!rs.empty() && rs.size() <= max_batch_)
+      << "micro-batch of " << rs.size() << " requests, limit " << max_batch_;
+  MicroBatch mb;
+  mb.batch = make_inference_batch(rs, seq_len_, pad_id_);
+  mb.slots.reserve(rs.size());
+  mb.slot_reused.reserve(rs.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t r = 0; r < rs.size(); ++r) {
+      std::size_t slot = in_use_.size();
+      for (std::size_t s = 0; s < in_use_.size(); ++s)
+        if (!in_use_[s]) { slot = s; break; }
+      // The engine's in-flight gate admits at most n_slots sequences at a
+      // time, so a free slot always exists here.
+      PF_CHECK(slot < in_use_.size())
+          << "no free slot for request " << rs[r].id
+          << " (engine admitted past its in-flight budget?)";
+      in_use_[slot] = true;
+      mb.slots.push_back(static_cast<int>(slot));
+      mb.slot_reused.push_back(used_before_[slot]);
+      if (used_before_[slot]) ++reuses_;
+      used_before_[slot] = true;
+    }
+  }
+  mb.requests = std::move(rs);
+  return mb;
+}
+
+void ContinuousBatcher::release(const MicroBatch& mb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const int s : mb.slots) {
+    const auto su = static_cast<std::size_t>(s);
+    PF_CHECK(su < in_use_.size() && in_use_[su])
+        << "releasing slot " << s << " that is not in use";
+    in_use_[su] = false;
+  }
+}
+
+std::size_t ContinuousBatcher::free_slots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const bool u : in_use_)
+    if (!u) ++n;
+  return n;
+}
+
+std::size_t ContinuousBatcher::slot_reuses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reuses_;
+}
+
+}  // namespace pf

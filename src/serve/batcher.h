@@ -1,0 +1,90 @@
+// Dynamic micro-batch formation for the serving engine — the continuous-
+// batching half of src/serve.
+//
+// The engine owns a fixed set of sequence *slots* (max_batch per micro ×
+// max_inflight micros). ContinuousBatcher assigns admitted requests to the
+// lowest-numbered free slots and returns them when the micro completes;
+// under continuous batching a slot freed by a finished sequence is handed
+// to a waiting request while OTHER micros are still in flight — the
+// refill-mid-flight behaviour the serving tests assert via engine stats.
+//
+// Padding policy (pinned by ServingBatcher tests — change them on purpose
+// or not at all):
+//   - ids shorter than seq_len extend with pad_id; longer ones throw
+//     pf::Error (explicit rejection, never silent truncation).
+//   - segments extend with 0; a missing segments vector is all 0. A
+//     segments vector longer than ids (but <= seq_len) is an error.
+//   - mlm_labels are all -1 (no loss rows) and nsp_labels all 0: inference
+//     forwards never read labels, these are inert placeholders.
+// There is no length bucketing: every formed batch is exactly
+// [n_requests × seq_len]. Bucketing would change GEMM shapes per batch and
+// break the bitwise batch-composition-independence contract the serving
+// tests pin; revisit only together with those tests.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/nn/bert.h"
+#include "src/serve/request_queue.h"
+
+namespace pf {
+
+enum class BatchPolicy {
+  // Admit whatever is waiting (1..max_batch requests) as soon as slots
+  // free up — finished sequences' slots refill mid-flight.
+  kContinuous,
+  // Admit only full batches (the remainder once the queue closes) and keep
+  // a single micro in flight — the pipeline drains between batches. The
+  // classical baseline the serving bench compares against.
+  kStatic,
+};
+
+const char* batch_policy_name(BatchPolicy p);
+// "continuous" | "static"; anything else throws pf::Error naming both.
+BatchPolicy batch_policy_from_string(const std::string& s);
+
+// Builds the padded BertBatch for a group of requests, per the padding
+// policy above. Exposed separately from the slot machinery so tests can
+// pin the policy directly.
+BertBatch make_inference_batch(const std::vector<InferRequest>& rs,
+                               std::size_t seq_len, int pad_id);
+
+// A formed micro-batch: the requests, the slots they occupy, and the
+// padded tensor batch.
+struct MicroBatch {
+  std::vector<InferRequest> requests;
+  std::vector<int> slots;          // slots[i] hosts requests[i]
+  std::vector<bool> slot_reused;   // slots[i] had a previous occupant
+  BertBatch batch;
+};
+
+class ContinuousBatcher {
+ public:
+  // `n_slots`: total sequence slots the engine rotates through.
+  ContinuousBatcher(std::size_t max_batch, std::size_t seq_len, int pad_id,
+                    std::size_t n_slots);
+
+  // Forms a micro-batch from 1..max_batch requests, assigning each the
+  // lowest free slot (deterministic given the admission order). Thread-safe
+  // against release() from completing micros.
+  MicroBatch form(std::vector<InferRequest> rs);
+
+  // Returns the micro's slots to the free pool.
+  void release(const MicroBatch& mb);
+
+  std::size_t free_slots() const;
+  // Total assignments that reused a slot some earlier request occupied.
+  std::size_t slot_reuses() const;
+
+ private:
+  std::size_t max_batch_, seq_len_;
+  int pad_id_;
+  mutable std::mutex mu_;
+  std::vector<bool> in_use_;
+  std::vector<bool> used_before_;
+  std::size_t reuses_ = 0;
+};
+
+}  // namespace pf

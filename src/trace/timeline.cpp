@@ -24,6 +24,7 @@ const char* work_kind_name(WorkKind k) {
     case WorkKind::kEigendecomposition: return "eigendecomposition";
     case WorkKind::kSamForward: return "sam-forward";
     case WorkKind::kSamBackward: return "sam-backward";
+    case WorkKind::kAdmission: return "admission";
   }
   return "?";
 }
@@ -45,6 +46,7 @@ char work_kind_glyph(WorkKind k) {
     case WorkKind::kEigendecomposition: return 'E';
     case WorkKind::kSamForward: return 's';
     case WorkKind::kSamBackward: return 'S';
+    case WorkKind::kAdmission: return 'Q';
   }
   return '?';
 }
@@ -52,7 +54,9 @@ char work_kind_glyph(WorkKind k) {
 bool counts_as_busy(WorkKind k) {
   // The paper colors forward/backward/curvature/inverse/sync/precondition;
   // P2P wait is idle. The optimizer update is a real kernel, so it counts.
-  return k != WorkKind::kP2P;
+  // Admission is queue-wait dominated (it blocks on request arrival), so
+  // utilization treats it as idle time like P2P.
+  return k != WorkKind::kP2P && k != WorkKind::kAdmission;
 }
 
 void Timeline::add(const Interval& iv) {

@@ -29,6 +29,9 @@ enum class WorkKind {
   kEigendecomposition,
   kSamForward,
   kSamBackward,
+  // Serving-mode admission/refill work (src/serve): forming the next
+  // micro-batch from the request queue, dispatched into lane idle gaps.
+  kAdmission,
 };
 
 // Short display name ("fwd", "bwd", "curvA", ...).

@@ -64,6 +64,11 @@ PipelineRuntime::PipelineRuntime(BertModel& model, const MlmBatcher& batcher,
       << cfg_.schedule
       << " is flushless: the runtime trains synchronously (flushless "
          "streams are simulated by simulate_async_1f1b)";
+  PF_CHECK(spec_.n_pipelines <= 2)
+      << cfg_.schedule << " maps " << spec_.n_pipelines
+      << " pipelines onto the devices; the executable runtime supports at "
+         "most 2 (bidirectional Chimera) — registry, perf model, and "
+         "simulator cover more (use simulate_step)";
   PF_CHECK(cfg_.n_micro >= 1 && cfg_.micro_batch_size >= 1);
   PF_CHECK(cfg_.stage_threads >= 1);
   PF_CHECK(cfg_.workers >= 0);

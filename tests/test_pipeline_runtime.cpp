@@ -527,5 +527,22 @@ TEST(PipelineRuntime, RejectsFlushlessSchedules) {
   EXPECT_THROW(PipelineRuntime(model, data.batcher, pc), Error);
 }
 
+TEST(PipelineRuntime, RejectsMoreThanTwoPipelines) {
+  // chimera-4 is registry- and simulator-complete, but the executable
+  // runtime maps at most two pipelines onto its devices — the constructor
+  // must say so rather than mis-execute.
+  const auto cfg = small_bert(2);
+  Rng rng(7);
+  BertModel model(cfg, rng);
+  Corpus data(cfg);
+  auto pc = runtime_config("chimera-4", 2, 4, 4, 1, false, 1, 1);
+  try {
+    PipelineRuntime rt(model, data.batcher, pc);
+    FAIL() << "expected pf::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("at most 2"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace pf

@@ -130,6 +130,87 @@ TEST(ScheduleRegistry, ConstraintsEnforcedBeforeTheFactoryRuns) {
   EXPECT_THROW(build_schedule("interleaved-1f1b", p), Error);
 }
 
+TEST(ScheduleRegistry, Chimera4TraitsAndConstraints) {
+  ASSERT_TRUE(schedule_registered("chimera-4"));
+  const auto& t = traits_of("chimera-4");
+  EXPECT_EQ(t.n_pipelines, 4);
+  EXPECT_EQ(t.stages_per_device_for(params(8, 8)), 4);
+  EXPECT_EQ(t.grad_sync_world_multiplier, 4);
+  EXPECT_TRUE(t.dynamic_order);
+  EXPECT_TRUE(t.flush);
+  // One contiguous micro chunk per pipeline; pipeline pairs offset by D/2.
+  EXPECT_EQ(t.stages_multiple_of, 2);
+  EXPECT_EQ(t.micros_multiple_of, 4);
+  // Four stages over four pipelines: still one op per micro per device.
+  EXPECT_DOUBLE_EQ(t.useful_ops_per_micro(params(8, 8)), 1.0);
+
+  // Divisibility is enforced before the factory runs, with a message that
+  // names the constraint.
+  EXPECT_THROW(build_schedule("chimera-4", params(8, 6)), Error);
+  EXPECT_THROW(build_schedule("chimera-4", params(5, 8)), Error);
+  try {
+    build_schedule("chimera-4", params(8, 6));
+    FAIL() << "expected pf::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("divisible by 4"),
+              std::string::npos);
+  }
+}
+
+TEST(ScheduleRegistry, Chimera4SpecStructureAndP2Equivalence) {
+  const auto spec = build_schedule("chimera-4", params(8, 8));
+  EXPECT_EQ(spec.name, "chimera-4");
+  EXPECT_EQ(spec.n_pipelines, 4);
+  ASSERT_EQ(spec.stage_to_device.size(), 4u);
+  // Pair 0 is the published Chimera (down: s -> s, up: s -> D-1-s); pair 1
+  // is the same pair shifted D/2 devices.
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_EQ(spec.stage_to_device[0][static_cast<std::size_t>(s)], s);
+    EXPECT_EQ(spec.stage_to_device[1][static_cast<std::size_t>(s)], 7 - s);
+    EXPECT_EQ(spec.stage_to_device[2][static_cast<std::size_t>(s)],
+              (s + 4) % 8);
+    EXPECT_EQ(spec.stage_to_device[3][static_cast<std::size_t>(s)],
+              (7 - s + 4) % 8);
+  }
+  // Each pipeline's stage->device map is a bijection, so every device owns
+  // exactly one stage of every pipeline.
+  for (const auto& map : spec.stage_to_device) {
+    std::vector<int> devices(map.begin(), map.end());
+    std::sort(devices.begin(), devices.end());
+    for (int d = 0; d < 8; ++d)
+      EXPECT_EQ(devices[static_cast<std::size_t>(d)], d);
+  }
+  // Micros split into 4 contiguous chunks, pipeline order.
+  ASSERT_EQ(spec.micros_of_pipeline.size(), 4u);
+  for (int p = 0; p < 4; ++p)
+    EXPECT_EQ(spec.micros_of_pipeline[static_cast<std::size_t>(p)],
+              (std::vector<int>{2 * p, 2 * p + 1}));
+
+  // n_pipelines = 2 reproduces the published factory exactly.
+  const auto two = make_chimera(8, 8, /*n_pipelines=*/2);
+  const auto legacy = make_chimera(8, 8);
+  EXPECT_EQ(two.name, legacy.name);
+  EXPECT_EQ(two.stage_to_device, legacy.stage_to_device);
+  EXPECT_EQ(two.micros_of_pipeline, legacy.micros_of_pipeline);
+}
+
+TEST(ScheduleRegistry, Chimera4BeatsChimeraInTheGreedySimulator) {
+  // More pipelines, smaller per-device chunks, shorter ramps: the greedy
+  // executor realizes a strictly smaller makespan at every probed shape.
+  StepCosts costs;
+  costs.t_forward = 1.0;
+  costs.t_backward = 2.0;
+  for (int d : {4, 8}) {
+    for (int n : {8, 16}) {
+      const auto p = params(d, n);
+      const auto r2 = simulate_step(build_schedule("chimera", p), costs);
+      const auto r4 = simulate_step(build_schedule("chimera-4", p), costs);
+      EXPECT_LT(r4.pipe_makespan, r2.pipe_makespan)
+          << "D=" << d << " N=" << n;
+    }
+  }
+}
+
 // Satellite property test: every registered schedule must produce a spec
 // that passes ScheduleSpec::validate() across a (stages × micros) grid.
 TEST(ScheduleRegistry, EveryScheduleValidatesAcrossStageMicroGrid) {
