@@ -32,14 +32,17 @@ int main(int argc, char** argv) {
   std::string json = format(
       "{\n  \"shape\": {\"arch\": \"bert-base\", \"hw\": \"p100\", "
       "\"devices\": %d, \"model_blocks\": %d, \"n_micro\": %d, "
-      "\"b_micro\": %d},\n  \"schedules\": {\n",
+      "\"b_micro\": %d},\n"
+      "  \"cpu_budget_note\": \"closed-form + discrete-event simulator "
+      "output, no wall clock measured — CPU budget does not affect these "
+      "numbers\",\n  \"schedules\": {\n",
       kDevices, kModelBlocks, kMicros, kBMicro);
   std::vector<std::string> rows;
   for (const auto& name : list_schedules()) {
     const ScheduleTraits& traits = traits_of(name);
     if (!traits.flush) {
-      std::printf("%-16s skipped: flushless (streaming perf lives in "
-                  "ext_async_pipeline, not the per-step baseline)\n",
+      std::printf("%-16s skipped: traits.flush = false (streaming perf has "
+                  "no per-step closed form for this baseline)\n",
                   name.c_str());
       continue;
     }

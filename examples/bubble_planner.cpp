@@ -27,8 +27,8 @@ int main(int argc, char** argv) {
 
   for (const auto& name : list_schedules()) {
     if (!traits_of(name).flush) {
-      std::printf("%-16s (flushless — no per-step bubbles to plan; see "
-                  "ext_async_pipeline)\n",
+      std::printf("%-16s (traits.flush = false — a flushless schedule has no "
+                  "per-step bubbles to plan; it streams instead)\n",
                   name.c_str());
       continue;
     }

@@ -54,9 +54,11 @@ int main(int argc, char** argv) {
   cfg.schedule = argc > 1 ? argv[1] : "chimera";
   if (schedule_registered(cfg.schedule) && !traits_of(cfg.schedule).flush) {
     std::printf(
-        "%s is flushless: it has no per-step bubbles for PipeFisher to "
-        "fill.\nIts streaming behaviour (utilization, weight staleness) is "
-        "modeled by\nsimulate_async_1f1b — see bench/ext_async_pipeline.\n",
+        "%s has traits.flush = false: a flushless schedule has no per-step "
+        "bubbles\nfor PipeFisher to fill. Its streaming behaviour "
+        "(utilization, weight\nstaleness) is executed by "
+        "PipelineRuntime::run_flushless and modeled by the\nasync "
+        "simulator.\n",
         cfg.schedule.c_str());
     return 0;
   }

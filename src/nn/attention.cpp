@@ -89,9 +89,11 @@ Matrix MultiHeadSelfAttention::forward(const Matrix& x, std::size_t batch,
 }
 
 Matrix MultiHeadSelfAttention::backward(const Matrix& dy,
-                                        const ExecContext& ctx) {
+                                        const ExecContext& ctx,
+                                        bool dx_only) {
   PF_CHECK(!probs_.empty()) << "backward before forward";
-  const Matrix dcontext = wo_.backward(dy, ctx);
+  const Matrix dcontext =
+      dx_only ? wo_.backward_dx(dy, ctx) : wo_.backward(dy, ctx);
   const double scale = 1.0 / std::sqrt(static_cast<double>(d_head_));
 
   Matrix dq(q_.rows(), d_model_, 0.0);
@@ -123,9 +125,9 @@ Matrix MultiHeadSelfAttention::backward(const Matrix& dy,
       add_slice_bh(dv, dvb, b, h, seq_, d_head_);
     }
   });
-  Matrix dx = wq_.backward(dq, ctx);
-  dx += wk_.backward(dk, ctx);
-  dx += wv_.backward(dv, ctx);
+  Matrix dx = dx_only ? wq_.backward_dx(dq, ctx) : wq_.backward(dq, ctx);
+  dx += dx_only ? wk_.backward_dx(dk, ctx) : wk_.backward(dk, ctx);
+  dx += dx_only ? wv_.backward_dx(dv, ctx) : wv_.backward(dv, ctx);
   return dx;
 }
 

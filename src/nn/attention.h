@@ -18,8 +18,12 @@ class MultiHeadSelfAttention {
   Matrix forward(const Matrix& x, std::size_t batch, std::size_t seq,
                  bool training = true,
                  const ExecContext& ctx = ExecContext::defaults());
+  // `dx_only` routes the four projections through Linear::backward_dx (the
+  // zero-bubble B pass): their dW GEMMs are deferred to a later
+  // backward_dw over the harvested caches (see stage_partition.h).
   Matrix backward(const Matrix& dy,
-                  const ExecContext& ctx = ExecContext::defaults());
+                  const ExecContext& ctx = ExecContext::defaults(),
+                  bool dx_only = false);
 
   std::vector<Param*> params();
   std::vector<Linear*> kfac_linears() { return {&wq_, &wk_, &wv_, &wo_}; }

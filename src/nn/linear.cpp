@@ -59,4 +59,33 @@ Matrix Linear::backward(const Matrix& dy, const ExecContext& ctx) {
   return matmul_nt(dy, w_.w, ctx);
 }
 
+Matrix Linear::backward_dx(const Matrix& dy, const ExecContext& ctx) {
+  PF_CHECK(dy.cols() == d_out_);
+  PF_CHECK(!x_cache_.empty()) << name_ << ": backward before forward";
+  PF_CHECK(dy.rows() == x_cache_.rows());
+  arena_assign(ctx.arena(), dy_cache_, dy);
+  // db += column sums; dx = dy·Wᵀ. The dW GEMM is deferred to backward_dw.
+  ctx.parallel_for(d_out_, [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t r = 0; r < dy.rows(); ++r) {
+      const double* row = dy.row(r);
+      for (std::size_t c = c0; c < c1; ++c) b_.g(0, c) += row[c];
+    }
+  });
+  return matmul_nt(dy, w_.w, ctx);
+}
+
+void Linear::backward_dw(const ExecContext& ctx) {
+  PF_CHECK(!x_cache_.empty() && !dy_cache_.empty())
+      << name_ << ": backward_dw before backward_dx";
+  matmul_tn_acc(x_cache_, dy_cache_, w_.g, 1.0, ctx);
+}
+
+void Linear::backward_dw(const Cache& c, const ExecContext& ctx) {
+  PF_CHECK(!c.x.empty() && !c.dy.empty())
+      << name_ << ": backward_dw on an incomplete cache";
+  PF_CHECK(c.x.rows() == c.dy.rows() && c.x.cols() == d_in_ &&
+           c.dy.cols() == d_out_);
+  matmul_tn_acc(c.x, c.dy, w_.g, 1.0, ctx);
+}
+
 }  // namespace pf

@@ -27,6 +27,19 @@ class Linear {
   Matrix backward(const Matrix& dy,
                   const ExecContext& ctx = ExecContext::defaults());
 
+  // Zero-bubble split of backward() (ZB-H1: Qi et al. 2023). backward_dx is
+  // the B pass: caches dy, accumulates db, returns dx — everything on the
+  // pipeline's critical path — and skips the dW GEMM. backward_dw is the W
+  // pass: dW += xᵀ·dy from the live caches (or an externalized Cache), the
+  // deferrable weight-gradient GEMM. Running backward_dx then backward_dw
+  // is BITWISE identical to the fused backward(): the same matmul_tn_acc on
+  // the same operands, and dW touches coordinates disjoint from db/dx, so
+  // only the per-micro order of dW accumulation matters — the caller (the
+  // pipeline runtime's per-stage W chain) keeps it ascending.
+  Matrix backward_dx(const Matrix& dy,
+                     const ExecContext& ctx = ExecContext::defaults());
+  void backward_dw(const ExecContext& ctx = ExecContext::defaults());
+
   std::size_t d_in() const { return d_in_; }
   std::size_t d_out() const { return d_out_; }
 
@@ -70,6 +83,11 @@ class Linear {
     x_cache_ = std::move(c.x);
     dy_cache_ = std::move(c.dy);
   }
+
+  // W pass over an externalized cache (the pipeline runtime's deferred-dW
+  // stash): dW += c.xᵀ·c.dy without touching the live caches.
+  void backward_dw(const Cache& c,
+                   const ExecContext& ctx = ExecContext::defaults());
 
   std::vector<Param*> params() { return {&w_, &b_}; }
   const std::string& name() const { return name_; }

@@ -73,13 +73,16 @@ Matrix BertStage::infer(const BertBatch& batch, Matrix in,
 }
 
 Matrix BertStage::backward(int micro, const BertBatch& batch, Matrix grad_in,
-                           const ExecContext& ctx, bool keep_kfac_stash) {
+                           const ExecContext& ctx, bool keep_kfac_stash,
+                           bool defer_dw) {
   const auto it = fwd_stash_.find(micro);
   PF_CHECK(it != fwd_stash_.end())
       << "stage " << index_ << ": backward(" << micro
       << ") without a stashed forward";
   PF_CHECK(!kfac_stash_.contains(micro))
       << "stage " << index_ << ": duplicate backward for micro " << micro;
+  PF_CHECK(!(defer_dw && copy_stashes_))
+      << "defer_dw needs borrow-mode stashes (copy mode blanks a_l)";
 
   // Loss gradients live outside the layer caches; in borrow mode they are
   // the only thing left of the stash entry once the layers take their
@@ -106,8 +109,10 @@ Matrix BertStage::backward(int micro, const BertBatch& batch, Matrix grad_in,
 
   Matrix dh;
   if (is_last()) {
-    dh = mlm_head_->backward(mlm_dlogits, ctx);
-    const Matrix dcls = nsp_head_->backward(nsp_dlogits, ctx);
+    dh = defer_dw ? mlm_head_->backward_dx(mlm_dlogits, ctx)
+                  : mlm_head_->backward(mlm_dlogits, ctx);
+    const Matrix dcls = defer_dw ? nsp_head_->backward_dx(nsp_dlogits, ctx)
+                                 : nsp_head_->backward(nsp_dlogits, ctx);
     for (std::size_t b = 0; b < batch.batch; ++b) {
       double* row = dh.row(b * batch.seq);
       for (std::size_t c = 0; c < dh.cols(); ++c) row[c] += dcls(b, c);
@@ -118,7 +123,7 @@ Matrix BertStage::backward(int micro, const BertBatch& batch, Matrix grad_in,
     dh = std::move(grad_in);
   }
   for (std::size_t i = blocks_.size(); i-- > 0;)
-    dh = blocks_[i]->backward(dh, ctx);
+    dh = blocks_[i]->backward(dh, ctx, defer_dw);
   if (is_first()) {
     emb_->backward(dh, ctx);
     dh = Matrix();
@@ -129,18 +134,25 @@ Matrix BertStage::backward(int micro, const BertBatch& batch, Matrix grad_in,
     arena_release(ctx.arena(), std::move(nsp_dlogits));
   }
 
-  if (keep_kfac_stash) {
+  if (keep_kfac_stash || defer_dw) {
     // Harvest exactly what the curvature tasks read, in kfac_linears()
     // order. Borrow mode moves each tracked linear's full {a_l, e_l} out
     // (a curvature-A task scheduled before this backward may only run
     // after it — a_l must stay addressable); copy mode keeps a_l in the
     // forward stash and takes only e_l, as the historical code did.
+    // defer_dw additionally appends the head caches: the deferred W pass
+    // reads the same {a_l, e_l} pairs the curvature tasks do, plus the
+    // heads', without disturbing the tracked indices kfac_input() serves.
     std::vector<Linear::Cache> kcs;
-    kcs.reserve(kfac_linears_.size());
+    kcs.reserve(kfac_linears_.size() + (defer_dw && is_last() ? 2 : 0));
     for (Linear* l : kfac_linears_) {
       Linear::Cache c = l->save_cache();
       if (copy_stashes_) c.x = Matrix();
       kcs.push_back(std::move(c));
+    }
+    if (defer_dw && is_last()) {
+      kcs.push_back(mlm_head_->save_cache());
+      kcs.push_back(nsp_head_->save_cache());
     }
     stash_add(bytes_of(kcs));
     kfac_stash_.emplace(micro, std::move(kcs));
@@ -153,6 +165,38 @@ Matrix BertStage::backward(int micro, const BertBatch& batch, Matrix grad_in,
     fwd_stash_.erase(it);
   }
   return dh;
+}
+
+void BertStage::backward_dw(int micro, const ExecContext& ctx, bool release,
+                            ArenaAllocator* arena) {
+  const auto it = kfac_stash_.find(micro);
+  PF_CHECK(it != kfac_stash_.end())
+      << "stage " << index_ << ": backward_dw(" << micro
+      << ") without a deferred backward";
+  std::vector<Linear::Cache>& kcs = it->second;
+  const std::size_t expect =
+      kfac_linears_.size() + (is_last() ? 2 : 0);
+  PF_CHECK(kcs.size() == expect)
+      << "stage " << index_ << ": stash for micro " << micro
+      << " was not harvested with defer_dw";
+  // Within one micro the per-linear order is irrelevant to the bitwise
+  // contract (each dW touches its own Param), but keep it deterministic:
+  // tracked linears in kfac_linears() order, then the heads.
+  for (std::size_t f = 0; f < kfac_linears_.size(); ++f)
+    kfac_linears_[f]->backward_dw(kcs[f], ctx);
+  if (is_last()) {
+    mlm_head_->backward_dw(kcs[kfac_linears_.size()], ctx);
+    nsp_head_->backward_dw(kcs[kfac_linears_.size() + 1], ctx);
+  }
+  if (release) {
+    stash_sub(bytes_of(kcs));
+    if (arena != nullptr)
+      for (Linear::Cache& kc : kcs) {
+        arena->release(std::move(kc.x));
+        arena->release(std::move(kc.dy));
+      }
+    kfac_stash_.erase(it);
+  }
 }
 
 BertLossBreakdown BertStage::losses(int micro) const {

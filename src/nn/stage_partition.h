@@ -83,8 +83,27 @@ class BertStage {
   // micro — LAMB-only runs, non-refresh steps) the micro's stashes are
   // dropped here instead of held to end of step, keeping peak activation
   // memory at O(in-flight micros) rather than O(n_micro).
+  // `defer_dw` (zero-bubble B pass): every Linear in the stage — the six
+  // tracked per block plus the heads — runs backward_dx instead of
+  // backward, and its {a_l, e_l} pair is harvested into the K-FAC stash
+  // (head caches appended after the tracked indices) regardless of
+  // keep_kfac_stash. The dW GEMMs then run in backward_dw(micro), which
+  // the runtime chains per stage by ascending micro so each weight
+  // coordinate accumulates in the serial trainer's order. Embedding,
+  // LayerNorm and bias grads are cheap and stay here on the critical
+  // path. Incompatible with copy_stashes mode.
   Matrix backward(int micro, const BertBatch& batch, Matrix grad_in,
-                  const ExecContext& ctx, bool keep_kfac_stash = true);
+                  const ExecContext& ctx, bool keep_kfac_stash = true,
+                  bool defer_dw = false);
+
+  // Zero-bubble W pass for one micro: dW += a_lᵀ·e_l for every Linear
+  // whose GEMM backward(defer_dw=true) deferred, reading the harvested
+  // caches. `release` drops the micro's stash afterwards (parked in the
+  // arena) — pass false when curvature tasks still read it this step.
+  // Same thread-safety rule as backward: the runtime serializes this with
+  // the stage's other work through the stage resource token.
+  void backward_dw(int micro, const ExecContext& ctx, bool release,
+                   ArenaAllocator* arena = nullptr);
 
   // Last stage only: the losses recorded by forward(micro).
   BertLossBreakdown losses(int micro) const;

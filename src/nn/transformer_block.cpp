@@ -24,14 +24,18 @@ Matrix TransformerBlock::forward(const Matrix& x, std::size_t batch,
   return ln2_.forward(f, training, ctx);
 }
 
-Matrix TransformerBlock::backward(const Matrix& dy, const ExecContext& ctx) {
+Matrix TransformerBlock::backward(const Matrix& dy, const ExecContext& ctx,
+                                  bool dx_only) {
   const Matrix df = ln2_.backward(dy, ctx);
   // f = h + FFN(h): gradient flows both directly and through the FFN.
-  Matrix dh = w1_.backward(gelu_.backward(w2_.backward(df, ctx), ctx), ctx);
+  const Matrix dg =
+      gelu_.backward(dx_only ? w2_.backward_dx(df, ctx) : w2_.backward(df, ctx),
+                     ctx);
+  Matrix dh = dx_only ? w1_.backward_dx(dg, ctx) : w1_.backward(dg, ctx);
   dh += df;
   const Matrix da = ln1_.backward(dh, ctx);
   // a = x + Attention(x).
-  Matrix dx = attn_.backward(da, ctx);
+  Matrix dx = attn_.backward(da, ctx, dx_only);
   dx += da;
   return dx;
 }

@@ -19,8 +19,11 @@ class TransformerBlock {
   Matrix forward(const Matrix& x, std::size_t batch, std::size_t seq,
                  bool training = true,
                  const ExecContext& ctx = ExecContext::defaults());
+  // `dx_only` defers the six tracked linears' dW GEMMs (zero-bubble B pass;
+  // LayerNorm/GELU grads are cheap and stay on the critical path).
   Matrix backward(const Matrix& dy,
-                  const ExecContext& ctx = ExecContext::defaults());
+                  const ExecContext& ctx = ExecContext::defaults(),
+                  bool dx_only = false);
 
   std::vector<Param*> params();
   std::vector<Linear*> kfac_linears();

@@ -13,7 +13,8 @@ PerfModelResult run_perf_model(const PerfModelInput& in) {
   const ScheduleTraits& traits = traits_of(in.schedule);
   PF_CHECK(traits.flush)
       << in.schedule << " is flushless: the per-step bubble model does not "
-      << "apply (use simulate_async_1f1b for the streaming behaviour)";
+      << "apply (stream it with the async simulator or "
+      << "PipelineRuntime::run_flushless)";
   ScheduleParams sp;
   sp.n_stages = static_cast<int>(in.depth);
   sp.n_micro = static_cast<int>(in.n_micro);
@@ -30,6 +31,12 @@ PerfModelResult run_perf_model(const PerfModelInput& in) {
   r.t_forward = cm.time_forward_stage(shape);
   r.t_backward = in.recompute ? cm.time_backward_stage_recompute(shape)
                               : cm.time_backward_stage(shape);
+  if (traits.split_backward) {
+    // ZB-H1's modeling assumption: dW GEMM ≈ dx GEMM + db reduction, so the
+    // split is 50/50 with the halves summing exactly to the fused cost.
+    r.t_backward_w = 0.5 * r.t_backward;
+    r.t_backward_b = r.t_backward - r.t_backward_w;
+  }
   const std::size_t k = std::max<std::size_t>(1, in.block_diag_k);
   if (k == 1) {
     r.t_curvature = cm.time_curvature_block(shape) *

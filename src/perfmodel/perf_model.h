@@ -46,6 +46,11 @@ struct PerfModelResult {
   // Per-stage work times (seconds).
   double t_forward = 0.0;
   double t_backward = 0.0;   // includes recompute when R
+  // B/W halves of t_backward for split_backward schedules (ZB-H1): the
+  // critical-path dx pass and the deferrable dW pass. Filled with the
+  // simulator's 50/50 modeling split; zero for fused-backward schedules.
+  double t_backward_b = 0.0;
+  double t_backward_w = 0.0;
   double t_curvature = 0.0;  // one micro-batch, all factors of the stage
   double t_inversion = 0.0;  // all factors of the stage
   double t_precondition = 0.0;

@@ -9,19 +9,18 @@
 namespace pf {
 
 long op_key(const PipeOp& op) {
-  // type(1) | pipeline(4) | stage(16 bits) | micro(20 bits)
-  return (((static_cast<long>(op.type == OpType::kBackward) * 4 +
-            op.pipeline) *
-               65536 +
+  // type(0/1/2 = F/B/W) | pipeline(4) | stage(16 bits) | micro(20 bits)
+  return (((static_cast<long>(op.type) * 4 + op.pipeline) * 65536 +
            op.stage) *
               1048576 +
           op.micro);
 }
 
 std::string op_debug(const PipeOp& op) {
-  return format("%s(pl=%d,s=%d,m=%d)",
-                op.type == OpType::kForward ? "F" : "B", op.pipeline,
-                op.stage, op.micro);
+  const char* t = op.type == OpType::kForward
+                      ? "F"
+                      : (op.type == OpType::kBackward ? "B" : "W");
+  return format("%s(pl=%d,s=%d,m=%d)", t, op.pipeline, op.stage, op.micro);
 }
 
 int ScheduleSpec::device_of(int pipeline, int stage) const {
@@ -48,6 +47,8 @@ std::vector<PipeOp> ScheduleSpec::all_ops() const {
       for (int s = 0; s < n_stages; ++s) {
         out.push_back({OpType::kForward, pl, s, m});
         out.push_back({OpType::kBackward, pl, s, m});
+        if (split_backward)
+          out.push_back({OpType::kBackwardWeight, pl, s, m});
       }
     }
   }
@@ -77,10 +78,14 @@ void ScheduleSpec::validate() const {
     return;
   }
   PF_CHECK(static_cast<int>(programs.size()) == n_devices);
-  // Programs must cover every op exactly once, on the right device.
+  // Programs must cover every F/B op exactly once, on the right device.
+  // W ops (split_backward) float outside the programs by construction.
   std::set<long> seen;
+  std::size_t n_w = 0;
   for (int d = 0; d < n_devices; ++d) {
     for (const auto& op : programs[static_cast<std::size_t>(d)]) {
+      PF_CHECK(op.type != OpType::kBackwardWeight)
+          << op_debug(op) << ": W ops float, they never join a program";
       PF_CHECK(device_of(op.pipeline, op.stage) == d)
           << op_debug(op) << " scheduled on wrong device " << d;
       PF_CHECK(seen.insert(op_key(op)).second)
@@ -88,9 +93,11 @@ void ScheduleSpec::validate() const {
     }
   }
   const auto expect = all_ops();
-  PF_CHECK(seen.size() == expect.size())
+  for (const auto& op : expect)
+    if (op.type == OpType::kBackwardWeight) ++n_w;
+  PF_CHECK(seen.size() == expect.size() - n_w)
       << "programs cover " << seen.size() << " ops, expected "
-      << expect.size();
+      << expect.size() - n_w;
 }
 
 }  // namespace pf

@@ -14,7 +14,11 @@
 
 namespace pf {
 
-enum class OpType { kForward, kBackward };
+// kBackwardWeight exists only under split_backward (ZB-H1): kBackward then
+// means the B pass (dx + db, critical path) and kBackwardWeight the
+// deferred dW GEMMs. W ops float — they appear in all_ops() but never in
+// per-device programs; the simulator/runtime slot them into idle time.
+enum class OpType { kForward, kBackward, kBackwardWeight };
 
 struct PipeOp {
   OpType type;
@@ -44,6 +48,10 @@ struct ScheduleSpec {
   std::vector<std::vector<PipeOp>> programs;
   // When true the simulator chooses op order greedily (Chimera).
   bool dynamic_order = false;
+  // Zero-bubble backward split (ZB-H1): backward ops are B-only and every
+  // (pipeline, stage, micro) additionally owns a floating kBackwardWeight
+  // op, absent from the programs (see OpType).
+  bool split_backward = false;
 
   int device_of(int pipeline, int stage) const;
   // All (pipeline, stage) pairs a device owns.

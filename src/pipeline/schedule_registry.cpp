@@ -9,6 +9,7 @@
 #include "src/pipeline/gpipe.h"
 #include "src/pipeline/interleaved_1f1b.h"
 #include "src/pipeline/one_f_one_b.h"
+#include "src/pipeline/zero_bubble.h"
 
 namespace pf {
 
@@ -186,6 +187,32 @@ ScheduleTraits one_f_one_b_flushless_traits() {
   return t;
 }
 
+ScheduleSpec zb_h1_factory(const ScheduleParams& p) {
+  return make_zb_h1(p.n_stages, p.n_micro);
+}
+
+ScheduleTraits zb_h1_traits() {
+  ScheduleTraits t;
+  t.name = "zb-h1";
+  t.description =
+      "1F1B with backward split into B (dx) and deferred W (dW) passes "
+      "(ZB-H1, Qi et al. 2023): W ops float into the drain bubbles";
+  t.split_backward = true;
+  // With the even split T_B = T_W = T_b/2, the warmup ramp still costs
+  // (D-1)·T_f but the drain backwards shrink to their B halves while every
+  // displaced W half lands in a slot that 1F1B left idle:
+  //   T_pipe = (N + D - 1)·T_f + N·T_b      for N >= D
+  // i.e. C_f = N + D - 1, C_b = N — the only residual bubble is the
+  // forward ramp (D-1)·T_f. Exact against the greedy executor for N >= D
+  // (pinned in tests/test_schedule_registry.cpp); for N < D there is not
+  // enough W work to cover the drain and the realized makespan sits above
+  // this closed form (banded in the same test), like chimera's k>1 cases.
+  t.c_f = {1.0, 1.0, -1.0};
+  t.c_b = {1.0, 0.0, 0.0};
+  t.min_stages = 2;
+  return t;
+}
+
 ScheduleTraits interleaved_1f1b_traits() {
   ScheduleTraits t;
   t.name = "interleaved-1f1b";
@@ -221,6 +248,7 @@ std::map<std::string, ScheduleEntry>& registry() {
     m.emplace("1f1b-flushless",
               ScheduleEntry{one_f_one_b_flushless_traits(),
                             &one_f_one_b_flushless_factory});
+    m.emplace("zb-h1", ScheduleEntry{zb_h1_traits(), &zb_h1_factory});
     return m;
   }();
   return reg;
@@ -272,6 +300,8 @@ ScheduleSpec build_schedule(const std::string& name,
       << name << ": spec dynamic_order disagrees with the traits";
   PF_CHECK(spec.n_pipelines == entry.traits.n_pipelines)
       << name << ": spec n_pipelines disagrees with the traits";
+  PF_CHECK(spec.split_backward == entry.traits.split_backward)
+      << name << ": spec split_backward disagrees with the traits";
   spec.validate();
   return spec;
 }

@@ -66,6 +66,9 @@ struct ScheduleTraits {
   // Realized op order comes from the simulator's greedy executor rather
   // than a static per-device program.
   bool dynamic_order = false;
+  // Zero-bubble backward split: backward is a B (dx) pass plus a floating
+  // deferred W (dW) op per (stage, micro) — see OpType::kBackwardWeight.
+  bool split_backward = false;
 
   // Critical path: T_pipe = C_f·T_f + C_b·T_b with per-(virtual-)stage op
   // times T_f/T_b.

@@ -47,6 +47,16 @@ double StepCosts::backward_cost(int stage) const {
   return t_backward * stage_cost_scale[static_cast<std::size_t>(stage)];
 }
 
+double StepCosts::backward_w_cost(int stage) const {
+  PF_ASSERT(backward_w_fraction > 0.0 && backward_w_fraction < 1.0);
+  return backward_cost(stage) * backward_w_fraction;
+}
+
+double StepCosts::backward_b_cost(int stage) const {
+  // Remainder, not a second product: B + W must equal the fused cost.
+  return backward_cost(stage) - backward_w_cost(stage);
+}
+
 double StepSimResult::op_end(const PipeOp& op) const {
   auto it = op_end_times.find(op_key(op));
   PF_CHECK(it != op_end_times.end()) << "op not executed: " << op_debug(op);
@@ -73,6 +83,8 @@ double StepSimResult::last_backward_end(std::size_t device) const {
 StepSimResult simulate_step(const ScheduleSpec& spec, const StepCosts& costs) {
   spec.validate();
   PF_CHECK(costs.t_forward > 0 && costs.t_backward > 0);
+  PF_CHECK(!(spec.dynamic_order && spec.split_backward))
+      << "split_backward needs static programs (W floats, F/B do not)";
   const int D = spec.n_stages;
 
   StepSimResult res(static_cast<std::size_t>(spec.n_devices));
@@ -92,6 +104,29 @@ StepSimResult simulate_step(const ScheduleSpec& spec, const StepCosts& costs) {
   }
   std::vector<std::size_t> head(static_cast<std::size_t>(spec.n_devices), 0);
   std::vector<double> free_at(static_cast<std::size_t>(spec.n_devices), 0.0);
+
+  // Floating W pools (split_backward): per device, one chain per owned
+  // (pipeline, stage) in ascending micro injection order. A chain head is
+  // schedulable once its micro's B pass ends; advancing head-of-chain keeps
+  // dW accumulation ascending — the executable runtime's bitwise contract —
+  // while the greedy loop below slots heads into idle time only (a program
+  // op that can start at the same instant always wins the tie).
+  std::vector<std::vector<std::vector<PipeOp>>> w_chains(
+      static_cast<std::size_t>(spec.n_devices));
+  std::vector<std::vector<std::size_t>> w_heads(
+      static_cast<std::size_t>(spec.n_devices));
+  if (spec.split_backward) {
+    for (int d = 0; d < spec.n_devices; ++d) {
+      const auto du = static_cast<std::size_t>(d);
+      for (const auto& [pl, s] : spec.stages_of_device(d)) {
+        std::vector<PipeOp> chain;
+        for (int m : spec.micros_of_pipeline[static_cast<std::size_t>(pl)])
+          chain.push_back({OpType::kBackwardWeight, pl, s, m});
+        w_heads[du].push_back(0);
+        w_chains[du].push_back(std::move(chain));
+      }
+    }
+  }
 
   // Asynchronous-mode bookkeeping: backwards completed per device since the
   // last device-local update.
@@ -116,6 +151,14 @@ StepSimResult simulate_step(const ScheduleSpec& spec, const StepCosts& costs) {
         if (it == res.op_end_times.end()) return false;
         t = it->second + costs.t_p2p;
       }
+    } else if (op.type == OpType::kBackwardWeight) {
+      // W reads the caches its own B pass harvested; no p2p, no
+      // cross-stage dependency. Chain order handles the ascending-micro
+      // constraint (same device, head-of-chain).
+      const PipeOp dep{OpType::kBackward, op.pipeline, op.stage, op.micro};
+      auto it = res.op_end_times.find(op_key(dep));
+      if (it == res.op_end_times.end()) return false;
+      t = it->second;
     } else {
       const PipeOp own_fwd{OpType::kForward, op.pipeline, op.stage, op.micro};
       auto itf = res.op_end_times.find(op_key(own_fwd));
@@ -135,11 +178,14 @@ StepSimResult simulate_step(const ScheduleSpec& spec, const StepCosts& costs) {
 
   std::size_t remaining = 0;
   for (const auto& v : pending) remaining += v.size();
+  for (const auto& chains : w_chains)
+    for (const auto& c : chains) remaining += c.size();
 
   while (remaining > 0) {
     // Find the globally earliest schedulable (device, op).
     int best_dev = -1;
     std::size_t best_idx = 0;
+    int best_w_chain = -1;  // >= 0: best_op is a floating W chain head
     double best_start = std::numeric_limits<double>::infinity();
     PipeOp best_op{};
     for (int d = 0; d < spec.n_devices; ++d) {
@@ -156,21 +202,41 @@ StepSimResult simulate_step(const ScheduleSpec& spec, const StepCosts& costs) {
           if (best_dev < 0 || better) {
             best_dev = d;
             best_idx = i;
+            best_w_chain = -1;
             best_start = start;
             best_op = pending[du][i];
           }
         }
       } else {
-        if (head[du] >= pending[du].size()) continue;
-        const PipeOp& op = pending[du][head[du]];
-        double when;
-        if (!ready_time(op, &when)) continue;
-        const double start = std::max(when, free_at[du]);
-        if (best_dev < 0 || start < best_start - 1e-15) {
-          best_dev = d;
-          best_idx = head[du];
-          best_start = start;
-          best_op = op;
+        // Program head first: at equal start times the program op wins
+        // and any ready W keeps floating (strictly-earlier-only below).
+        if (head[du] < pending[du].size()) {
+          const PipeOp& op = pending[du][head[du]];
+          double when;
+          if (ready_time(op, &when)) {
+            const double start = std::max(when, free_at[du]);
+            if (best_dev < 0 || start < best_start - 1e-15) {
+              best_dev = d;
+              best_idx = head[du];
+              best_w_chain = -1;
+              best_start = start;
+              best_op = op;
+            }
+          }
+        }
+        for (std::size_t c = 0; c < w_chains[du].size(); ++c) {
+          if (w_heads[du][c] >= w_chains[du][c].size()) continue;
+          const PipeOp& op = w_chains[du][c][w_heads[du][c]];
+          double when;
+          if (!ready_time(op, &when)) continue;
+          const double start = std::max(when, free_at[du]);
+          if (best_dev < 0 || start < best_start - 1e-15) {
+            best_dev = d;
+            best_idx = w_heads[du][c];
+            best_w_chain = static_cast<int>(c);
+            best_start = start;
+            best_op = op;
+          }
         }
       }
     }
@@ -196,16 +262,27 @@ StepSimResult simulate_step(const ScheduleSpec& spec, const StepCosts& costs) {
       pending_update[du] = false;
     }
 
-    const double dur = best_op.type == OpType::kForward
-                           ? costs.forward_cost(best_op.stage)
-                           : costs.backward_cost(best_op.stage);
+    double dur;
+    WorkKind kind;
+    if (best_op.type == OpType::kForward) {
+      dur = costs.forward_cost(best_op.stage);
+      kind = WorkKind::kForward;
+    } else if (best_op.type == OpType::kBackwardWeight) {
+      dur = costs.backward_w_cost(best_op.stage);
+      kind = WorkKind::kBackwardWeight;
+    } else if (spec.split_backward) {
+      dur = costs.backward_b_cost(best_op.stage);
+      kind = WorkKind::kBackward;
+    } else {
+      dur = costs.backward_cost(best_op.stage);
+      kind = WorkKind::kBackward;
+    }
     const double end = best_start + dur;
     res.timeline.add(Interval{
         .device = du,
         .start = best_start,
         .end = end,
-        .kind = best_op.type == OpType::kForward ? WorkKind::kForward
-                                                 : WorkKind::kBackward,
+        .kind = kind,
         .stage = best_op.stage,
         .micro = best_op.micro,
     });
@@ -213,7 +290,9 @@ StepSimResult simulate_step(const ScheduleSpec& spec, const StepCosts& costs) {
     res.op_end_times[op_key(best_op)] = end;
     res.realized_programs[du].push_back(best_op);
     free_at[du] = end;
-    if (spec.dynamic_order) {
+    if (best_w_chain >= 0) {
+      ++w_heads[du][static_cast<std::size_t>(best_w_chain)];
+    } else if (spec.dynamic_order) {
       pending[du].erase(pending[du].begin() +
                         static_cast<std::ptrdiff_t>(best_idx));
     } else {

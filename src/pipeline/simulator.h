@@ -11,6 +11,11 @@
 //    dynamic_order schedules (Chimera) — greedily picks the ready op with
 //    the highest priority (backward first, then lowest micro id, then the
 //    down pipeline) whenever it is idle. The executor is work-conserving.
+//  * split_backward schedules (ZB-H1) additionally float one
+//    BackwardWeight(pl, s, m) op per backward, ready when its own B pass
+//    ends, chained per (pipeline, stage) by ascending micro. A floating W
+//    runs only when it can start strictly before the device's program head
+//    — it fills bubbles, it never displaces the critical path.
 //  * After the last pipeline op, each device runs the step tail:
 //    sync-grad (Chimera: paired with the mirror device D-1-d, starting when
 //    both are done), precondition (PipeFisher only), optimizer update.
@@ -45,8 +50,18 @@ struct StepCosts {
   // barrier. The step tail is skipped in this mode.
   int inline_update_every = 0;
 
+  // Zero-bubble split (split_backward schedules only): fraction of
+  // t_backward spent in the deferred W (dW) pass; the B (dx) pass gets the
+  // remainder so the halves always sum to the fused cost. The dW GEMM and
+  // the dx GEMM + db reduction are the same FLOPs to first order, hence
+  // the 50/50 default — ZB-H1's own modeling assumption.
+  double backward_w_fraction = 0.5;
+
   double forward_cost(int stage) const;
   double backward_cost(int stage) const;
+  // B/W halves of backward_cost(stage); meaningful under split_backward.
+  double backward_b_cost(int stage) const;
+  double backward_w_cost(int stage) const;
 };
 
 class StepSimResult {

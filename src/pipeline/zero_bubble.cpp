@@ -1,0 +1,21 @@
+#include "src/pipeline/zero_bubble.h"
+
+#include "src/pipeline/one_f_one_b.h"
+
+namespace pf {
+
+ScheduleSpec make_zb_h1(int n_stages, int n_micro) {
+  // ZB-H1 keeps 1F1B's static F/B program per device; the split is in the
+  // op semantics, not the program shape. Flipping split_backward re-types
+  // the program's kBackward ops as B passes and adds one floating W op per
+  // (stage, micro) to all_ops() — the simulator/runtime slot those into
+  // realized idle time (chained per stage by ascending micro for the
+  // bitwise gradient-accumulation contract).
+  ScheduleSpec spec = make_1f1b(n_stages, n_micro);
+  spec.name = "zb-h1";
+  spec.split_backward = true;
+  spec.validate();
+  return spec;
+}
+
+}  // namespace pf

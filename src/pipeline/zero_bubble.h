@@ -1,0 +1,18 @@
+// Zero-bubble ZB-H1 schedule (Qi et al. 2023, "Zero Bubble Pipeline
+// Parallelism"): 1F1B's F/B skeleton with backward split into B (activation
+// gradient, critical path) and W (weight gradient, deferrable). The B pass
+// is what unblocks the upstream stage, so with T_b halved the drain ramp
+// shortens; the W halves float into the idle slots 1F1B would have wasted,
+// removing bubbles instead of filling them — the structural counterpoint to
+// PipeFisher, which fills the same slots with K-FAC work.
+#pragma once
+
+#include "src/pipeline/ops.h"
+
+namespace pf {
+
+// Static per-device F/B programs identical in shape to make_1f1b; the W ops
+// exist in all_ops() but float outside the programs (split_backward).
+ScheduleSpec make_zb_h1(int n_stages, int n_micro);
+
+}  // namespace pf

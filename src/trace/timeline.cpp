@@ -11,6 +11,7 @@ const char* work_kind_name(WorkKind k) {
   switch (k) {
     case WorkKind::kForward: return "forward";
     case WorkKind::kBackward: return "backward";
+    case WorkKind::kBackwardWeight: return "backward-w";
     case WorkKind::kRecomputeForward: return "recompute";
     case WorkKind::kCurvatureA: return "curvatureA";
     case WorkKind::kCurvatureB: return "curvatureB";
@@ -33,6 +34,7 @@ char work_kind_glyph(WorkKind k) {
   switch (k) {
     case WorkKind::kForward: return 'F';
     case WorkKind::kBackward: return 'B';
+    case WorkKind::kBackwardWeight: return 'W';
     case WorkKind::kRecomputeForward: return 'f';
     case WorkKind::kCurvatureA: return 'a';
     case WorkKind::kCurvatureB: return 'b';

@@ -15,6 +15,9 @@ namespace pf {
 enum class WorkKind {
   kForward,
   kBackward,
+  // Zero-bubble split (ZB-H1): kBackward is the B (dx) pass, this is the
+  // deferred W (dW) pass slotted into what would otherwise be bubbles.
+  kBackwardWeight,
   kRecomputeForward,
   kCurvatureA,
   kCurvatureB,

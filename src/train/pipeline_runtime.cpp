@@ -7,6 +7,7 @@
 #include "src/common/check.h"
 #include "src/common/strings.h"
 #include "src/optim/lamb.h"
+#include "src/pipeline/one_f_one_b.h"
 #include "src/pipeline/simulator.h"
 
 namespace pf {
@@ -21,9 +22,13 @@ ScheduleParams runtime_params(const PipelineRuntimeConfig& cfg) {
   return p;
 }
 
-// Pipeline ops get their event-order position as priority; step-tail tasks
-// follow; K-FAC work sits above everything so it is only dispatched into
-// lane idle time (realized bubbles).
+// Pipeline ops get their event-order position as priority; deferred W
+// passes (zb-h1) sit above every program position so a lane takes one only
+// when no pipeline op is runnable — the executed analog of the simulator's
+// floating W pools; step-tail tasks follow; K-FAC work sits above
+// everything so it is only dispatched into lane idle time (realized
+// bubbles).
+constexpr long kWeightPriorityBase = 1L << 16;
 constexpr long kTailPriorityBase = 1L << 18;
 constexpr long kKfacPriorityBase = 1L << 20;
 
@@ -60,10 +65,26 @@ PipelineRuntime::PipelineRuntime(BertModel& model, const MlmBatcher& batcher,
       spec_(build_schedule(cfg.schedule, runtime_params(cfg))),
       partition_(model, spec_.n_stages) {
   const ScheduleTraits& traits = traits_of(cfg_.schedule);
-  PF_CHECK(traits.flush)
-      << cfg_.schedule
-      << " is flushless: the runtime trains synchronously (flushless "
-         "streams are simulated by simulate_async_1f1b)";
+  if (!traits.flush) {
+    // Flushless schedules stream through run_flushless() (stale-weight
+    // semantics, device-local inline updates); step()/run() train
+    // synchronously and reject them. The streaming builder supports plain
+    // single-pipeline static programs with a per-tensor base optimizer.
+    PF_CHECK(spec_.n_pipelines == 1 && !spec_.dynamic_order &&
+             !spec_.split_backward)
+        << cfg_.schedule
+        << ": run_flushless() streams single-pipeline static schedules only";
+    PF_CHECK(!cfg_.use_kfac)
+        << cfg_.schedule
+        << ": flushless streaming has no step boundary to anchor K-FAC "
+           "curvature refreshes — use a flush schedule for PipeFisher runs";
+    PF_CHECK(!cfg_.copy_stashes)
+        << cfg_.schedule << ": flushless streaming needs borrow-mode "
+                            "stashes (memory stays O(in-flight micros))";
+  }
+  PF_CHECK(!(spec_.split_backward && cfg_.copy_stashes))
+      << cfg_.schedule << ": the deferred W pass reads the harvested "
+                          "borrow-mode stashes (copy mode blanks a_l)";
   PF_CHECK(spec_.n_pipelines <= 2)
       << cfg_.schedule << " maps " << spec_.n_pipelines
       << " pipelines onto the devices; the executable runtime supports at "
@@ -125,9 +146,13 @@ PipelineRuntime::PipelineRuntime(BertModel& model, const MlmBatcher& batcher,
 }
 
 BertLossBreakdown PipelineRuntime::step() {
+  PF_CHECK(traits_of(cfg_.schedule).flush)
+      << cfg_.schedule
+      << " is flushless: stream it with run_flushless() instead";
   const int S = spec_.n_stages;
   const int N = spec_.n_micro;
   const int D = spec_.n_devices;
+  const bool split = spec_.split_backward;
 
   // --- Step preamble: exactly the serial Trainer's ---------------------
   // Draw the micro-batches in the serial order (same RNG progression).
@@ -176,8 +201,11 @@ BertLossBreakdown PipelineRuntime::step() {
       op_priority[op_key(prog[i])] = static_cast<long>(i);
     planned_ops += prog.size();
   }
-  PF_CHECK(planned_ops == spec_.all_ops().size())
-      << "event order does not cover the schedule's ops";
+  std::size_t n_w_ops = 0;
+  for (const auto& op : spec_.all_ops())
+    if (op.type == OpType::kBackwardWeight) ++n_w_ops;
+  PF_CHECK(planned_ops == spec_.all_ops().size() - n_w_ops)
+      << "event order does not cover the schedule's F/B ops";
 
   std::map<long, std::size_t> op_task;  // op_key -> executor task id
   auto pl_of = [&](int m) { return pipeline_of_micro_[static_cast<std::size_t>(m)]; };
@@ -224,14 +252,18 @@ BertLossBreakdown PipelineRuntime::step() {
       };
     } else {
       // Curvature tasks read the stashes only on refresh steps of K-FAC
-      // stages; otherwise backward releases this micro's activations.
+      // stages; otherwise backward releases this micro's activations —
+      // except under split_backward, where the harvested {a_l, e_l} pairs
+      // must survive until the micro's deferred W pass reads them (the W
+      // task then releases non-curvature stashes itself).
       const bool keep_stash =
           curv_step && engines_[static_cast<std::size_t>(s)] != nullptr;
-      body = [this, stage, ctx, s, m, S, keep_stash, &batches] {
+      body = [this, stage, ctx, s, m, S, keep_stash, split, &batches] {
         Matrix gin;
         if (s + 1 < S) gin = bwd_ch_[static_cast<std::size_t>(s)]->take(m);
         Matrix gout = stage->backward(m, batches[static_cast<std::size_t>(m)],
-                                      std::move(gin), *ctx, keep_stash);
+                                      std::move(gin), *ctx, keep_stash,
+                                      /*defer_dw=*/split);
         if (s > 0)
           bwd_ch_[static_cast<std::size_t>(s - 1)]->send(m, std::move(gout));
       };
@@ -312,11 +344,53 @@ BertLossBreakdown PipelineRuntime::step() {
     }
   }
 
+  // Deferred W passes (split_backward): one task per (stage, micro),
+  // chained per stage in ascending global micro order — the same fold
+  // order the B chain enforces, so every dW coordinate accumulates in the
+  // serial trainer's sequence. Deps: the micro's own B pass (which
+  // harvested the {a_l, e_l} caches) plus the chain predecessor. Priority
+  // kWeightPriorityBase sits above every program position: a lane runs a W
+  // only when none of its pipeline ops is runnable, exactly like the
+  // simulator's floating W pools fill realized idle gaps.
+  if (split) {
+    for (int s = 0; s < S; ++s) {
+      BertStage* stage = &partition_.stage(s);
+      const ExecContext* ctx = &stage_ctx_[static_cast<std::size_t>(s)];
+      ArenaAllocator* arena = arenas_[static_cast<std::size_t>(s)].get();
+      const bool keep_stash =
+          curv_step && engines_[static_cast<std::size_t>(s)] != nullptr;
+      std::size_t prev_w = 0;
+      for (int m = 0; m < N; ++m) {
+        const int pl = pl_of(m);
+        const PipeOp op{OpType::kBackwardWeight, pl, s, m};
+        std::vector<std::size_t> deps = {
+            op_task.at(op_key({OpType::kBackward, pl, s, m}))};
+        if (m > 0) deps.push_back(prev_w);
+        auto body = [stage, ctx, m, keep_stash, arena] {
+          stage->backward_dw(m, *ctx, /*release=*/!keep_stash, arena);
+        };
+        TaskMeta tm;
+        tm.kind = WorkKind::kBackwardWeight;
+        tm.stage = s;
+        tm.micro = m;
+        tm.op = op;
+        tm.is_op = true;
+        const auto lane = static_cast<std::size_t>(spec_.device_of(pl, s));
+        prev_w = add_task(std::move(body), lane, kWeightPriorityBase + m,
+                          std::move(deps), /*resource=*/s, tm);
+        op_task[op_key(op)] = prev_w;
+      }
+    }
+  }
+
   std::vector<std::size_t> last_bwd(static_cast<std::size_t>(S), 0);
   for (int s = 0; s < S; ++s) {
     const int m = N - 1;
-    last_bwd[static_cast<std::size_t>(s)] =
-        op_task.at(op_key({OpType::kBackward, pl_of(m), s, m}));
+    // Under split_backward the gradients are final only after the stage's
+    // last deferred W pass; its chain already folds every earlier W.
+    last_bwd[static_cast<std::size_t>(s)] = op_task.at(op_key(
+        {split ? OpType::kBackwardWeight : OpType::kBackward, pl_of(m), s,
+         m}));
   }
 
   // Step tail per stage: owner-computes gradient finalization (the serial
@@ -576,6 +650,166 @@ TrainTrace PipelineRuntime::run() {
     trace.mlm_loss.push_back(l.mlm);
     trace.nsp_loss.push_back(l.nsp);
   }
+  return trace;
+}
+
+TrainTrace PipelineRuntime::run_flushless() {
+  PF_CHECK(!traits_of(cfg_.schedule).flush)
+      << cfg_.schedule << " flushes at step boundaries: use run()";
+  PF_CHECK(t_ == 0) << "run_flushless() streams once per runtime instance";
+  const int S = spec_.n_stages;
+  const int N = spec_.n_micro;
+  const int D = spec_.n_devices;
+  const int steps = static_cast<int>(cfg_.total_steps);
+  PF_CHECK(steps >= 1);
+  const int G = N * steps;
+
+  // One streaming program over every step: the per-step 1F1B program with
+  // N·steps global micros. Warmup and drain exist only at stream entry and
+  // exit; the interior is the steady state a flush would repeatedly break.
+  ScheduleSpec stream = make_1f1b(S, G);
+  std::vector<std::vector<PipeOp>> order = stream.programs;
+  normalize_backward_order(order);
+
+  // Micro-batches drawn up front in the serial order.
+  std::vector<BertBatch> batches;
+  batches.reserve(static_cast<std::size_t>(G));
+  for (int g = 0; g < G; ++g)
+    batches.push_back(batcher_.next_batch(cfg_.micro_batch_size, data_rng_));
+  for (auto& sp : stage_params_) zero_grads(sp);
+  for (int s = 0; s < S; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    partition_.stage(s).clear_stash(arenas_[si].get());
+    partition_.stage(s).reset_stash_stats();
+  }
+  for (auto& ch : fwd_ch_) ch->clear();
+  for (auto& ch : bwd_ch_) ch->clear();
+
+  fl_fwd_ver_.assign(static_cast<std::size_t>(S),
+                     std::vector<int>(static_cast<std::size_t>(G), 0));
+  fl_bwd_ver_.assign(static_cast<std::size_t>(S),
+                     std::vector<int>(static_cast<std::size_t>(G), 0));
+  // Inline updates applied per stage so far. Only tasks on stage s's lane
+  // touch slot s (head-of-line chained), so plain ints are race-free.
+  std::vector<int> version(static_cast<std::size_t>(S), 0);
+  const double inv = 1.0 / static_cast<double>(N);
+
+  TaskExecutor ex(*pool_, static_cast<std::size_t>(D));
+  std::map<long, std::size_t> op_task;
+  // Creation sweep like step()'s static path: ops join their device chain
+  // in program order, with the stage's inline update spliced in right
+  // after its step-closing backward — everything that reads or writes the
+  // stage's weights stays on one serialized chain.
+  std::vector<std::size_t> next(order.size(), 0);
+  std::vector<bool> has_prev(static_cast<std::size_t>(D), false);
+  std::vector<std::size_t> prev_task(static_cast<std::size_t>(D), 0);
+  std::vector<long> prio(static_cast<std::size_t>(D), 0);
+  std::size_t remaining = 0;
+  for (const auto& p : order) remaining += p.size();
+  while (remaining > 0) {
+    bool progress = false;
+    for (std::size_t d = 0; d < order.size(); ++d) {
+      while (next[d] < order[d].size()) {
+        const PipeOp& op = order[d][next[d]];
+        const int s = op.stage;
+        const int g = op.micro;
+        const auto si = static_cast<std::size_t>(s);
+        std::vector<PipeOp> pdeps;
+        if (op.type == OpType::kForward) {
+          if (s > 0) pdeps.push_back({OpType::kForward, 0, s - 1, g});
+        } else {
+          pdeps.push_back({OpType::kForward, 0, s, g});
+          if (s + 1 < S) pdeps.push_back({OpType::kBackward, 0, s + 1, g});
+        }
+        std::vector<std::size_t> dep_ids;
+        bool ready = true;
+        for (const PipeOp& dep : pdeps) {
+          const auto it = op_task.find(op_key(dep));
+          if (it == op_task.end()) {
+            ready = false;
+            break;
+          }
+          dep_ids.push_back(it->second);
+        }
+        if (!ready) break;
+        if (has_prev[d]) dep_ids.push_back(prev_task[d]);
+        BertStage* stage = &partition_.stage(s);
+        const ExecContext* ctx = &stage_ctx_[si];
+        std::function<void()> body;
+        if (op.type == OpType::kForward) {
+          body = [this, stage, ctx, s, g, S, si, &batches, &version] {
+            fl_fwd_ver_[si][static_cast<std::size_t>(g)] = version[si];
+            Matrix in;
+            if (s > 0) in = fwd_ch_[si - 1]->take(g);
+            Matrix out = stage->forward(
+                g, batches[static_cast<std::size_t>(g)], std::move(in), *ctx);
+            if (s + 1 < S) fwd_ch_[si]->send(g, std::move(out));
+          };
+        } else {
+          // keep_kfac_stash = false: nothing reads the stashes later, so
+          // in-flight memory stays O(D) micros for the whole stream.
+          body = [this, stage, ctx, s, g, S, si, &batches, &version] {
+            fl_bwd_ver_[si][static_cast<std::size_t>(g)] = version[si];
+            Matrix gin;
+            if (s + 1 < S) gin = bwd_ch_[si]->take(g);
+            Matrix gout = stage->backward(
+                g, batches[static_cast<std::size_t>(g)], std::move(gin), *ctx,
+                /*keep_kfac_stash=*/false);
+            if (s > 0) bwd_ch_[si - 1]->send(g, std::move(gout));
+          };
+        }
+        prev_task[d] = ex.add(std::move(body), d, prio[d]++,
+                              std::move(dep_ids), /*resource=*/s);
+        has_prev[d] = true;
+        op_task[op_key(op)] = prev_task[d];
+        ++next[d];
+        --remaining;
+        progress = true;
+        if (op.type == OpType::kBackward && (g + 1) % N == 0) {
+          // Device-local update closing step k for this stage: fold the
+          // accumulated gradients, step the per-stage optimizer at the
+          // step's LR, re-zero for the next step's fold, bump the version.
+          const int k = g / N;
+          auto update = [this, si, k, inv, N, &version] {
+            if (N > 1)
+              for (Param* p : stage_params_[si]) p->g *= inv;
+            stage_opt_[si]->step(stage_params_[si], cfg_.lr.lr(
+                static_cast<std::size_t>(k)));
+            zero_grads(stage_params_[si]);
+            ++version[si];
+          };
+          prev_task[d] = ex.add(std::move(update), d, prio[d]++,
+                                {prev_task[d]}, /*resource=*/s);
+        }
+      }
+    }
+    PF_CHECK(progress) << cfg_.schedule << ": flushless stream deadlocked";
+  }
+
+  ex.run();
+
+  TrainTrace trace;
+  BertStage& last_stage = partition_.stage(S - 1);
+  for (int k = 0; k < steps; ++k) {
+    trace.lr.push_back(cfg_.lr.lr(static_cast<std::size_t>(k)));
+    BertLossBreakdown sum{};
+    for (int m = 0; m < N; ++m) {
+      const auto l = last_stage.losses(k * N + m);
+      sum.total += l.total;
+      sum.mlm += l.mlm;
+      sum.nsp += l.nsp;
+    }
+    trace.loss.push_back(sum.total * inv);
+    trace.mlm_loss.push_back(sum.mlm * inv);
+    trace.nsp_loss.push_back(sum.nsp * inv);
+  }
+  for (int s = 0; s < S; ++s)
+    partition_.stage(s).clear_stash(arenas_[static_cast<std::size_t>(s)].get());
+  for (const auto& ch : fwd_ch_)
+    PF_CHECK(ch->pending() == 0) << ch->name() << ": undelivered activations";
+  for (const auto& ch : bwd_ch_)
+    PF_CHECK(ch->pending() == 0) << ch->name() << ": undelivered gradients";
+  t_ = static_cast<std::size_t>(steps);
   return trace;
 }
 

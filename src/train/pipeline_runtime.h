@@ -112,6 +112,31 @@ class PipelineRuntime {
   // cfg.total_steps steps; trace shape identical to Trainer::run().
   TrainTrace run();
 
+  // PipeDream-style flushless streaming (1f1b-flushless): ONE task graph
+  // over total_steps · n_micro global micros — the per-step 1F1B program
+  // concatenated with no flush between steps — with each stage's optimizer
+  // update inlined into its device chain after the stage's N-th backward of
+  // every step. Later forwards read whatever weight version their stage has
+  // applied by then (the paper's Appendix C.1 stale-weight semantics;
+  // tagged below). Bitwise deterministic across worker counts: every
+  // read/write of a stage's weights — forward, backward, update — runs on
+  // that stage's lane, head-of-line chained. Requires a flushless schedule,
+  // use_kfac = false (no step boundary anchors curvature refreshes), and
+  // streams once per runtime instance. step()/run() reject flushless
+  // schedules; this is their streaming counterpart.
+  TrainTrace run_flushless();
+
+  // Weight-version tags of the last run_flushless(): [stage][global micro]
+  // = inline updates that stage had applied when its forward/backward of
+  // the micro ran. backward_version - forward_version >= 0 is the
+  // PipeDream-style staleness (0 everywhere for a synchronous run).
+  const std::vector<std::vector<int>>& flushless_forward_versions() const {
+    return fl_fwd_ver_;
+  }
+  const std::vector<std::vector<int>>& flushless_backward_versions() const {
+    return fl_bwd_ver_;
+  }
+
   const ScheduleSpec& spec() const { return spec_; }
   int n_model_stages() const { return spec_.n_stages; }
   std::size_t steps_taken() const { return t_; }
@@ -179,6 +204,7 @@ class PipelineRuntime {
   Timeline last_timeline_;
   std::vector<StageMemoryStats> last_memory_stats_;
   double last_wall_seconds_ = 0.0;
+  std::vector<std::vector<int>> fl_fwd_ver_, fl_bwd_ver_;
   std::size_t t_ = 0;
 };
 

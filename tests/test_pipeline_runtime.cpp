@@ -518,13 +518,20 @@ TEST(StagePartition, SingleStepMatchesMonolithicModel) {
           << pm[i]->name << " elem " << e;
 }
 
-TEST(PipelineRuntime, RejectsFlushlessSchedules) {
+TEST(PipelineRuntime, FlushlessSchedulesStreamOnlyThroughRunFlushless) {
   const auto cfg = small_bert(2);
   Rng rng(7);
   BertModel model(cfg, rng);
   Corpus data(cfg);
+  // LAMB-only flushless constructs fine (run_flushless is its entry), but
+  // the synchronous step()/run() path must reject it...
   auto pc = runtime_config("1f1b-flushless", 2, 4, 4, 1, false, 1, 1);
-  EXPECT_THROW(PipelineRuntime(model, data.batcher, pc), Error);
+  PipelineRuntime rt(model, data.batcher, pc);
+  EXPECT_THROW(rt.step(), Error);
+  // ...and K-FAC has no step boundary to anchor curvature refreshes, so a
+  // flushless + use_kfac config is rejected at construction.
+  auto kfac_pc = runtime_config("1f1b-flushless", 2, 4, 4, 1, true, 1, 1);
+  EXPECT_THROW(PipelineRuntime(model, data.batcher, kfac_pc), Error);
 }
 
 TEST(PipelineRuntime, RejectsMoreThanTwoPipelines) {

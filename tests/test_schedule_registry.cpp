@@ -307,6 +307,35 @@ TEST(ScheduleRegistry, TraitsCriticalPathMatchesSimulator) {
       }
     }
   }
+
+  // ZB-H1: T_pipe = (N+D-1)·T_f + N·T_b — the deferred W passes fill the
+  // 1F1B backward-side bubbles exactly. The closed form is EXACT whenever
+  // the pipeline is saturated (N >= D); in the under-filled regime (N < D)
+  // there is not enough W work to cover the drain and the realized makespan
+  // sits above the closed form (<= ~1.5x observed at D=8, N=2) — a band,
+  // like Chimera's deep waves. Either way zb-h1 never loses to 1f1b.
+  const auto& zb = traits_of("zb-h1");
+  EXPECT_TRUE(zb.split_backward);
+  for (int d : {2, 4, 8}) {
+    for (int n : {2, 4, 8, 16}) {
+      const auto p = params(d, n);
+      const auto res = simulate_step(build_schedule("zb-h1", p), costs);
+      const double expect = zb.critical_path_forwards(p) * costs.t_forward +
+                            zb.critical_path_backwards(p) * costs.t_backward;
+      EXPECT_DOUBLE_EQ(zb.critical_path_forwards(p),
+                       static_cast<double>(n + d - 1));
+      EXPECT_DOUBLE_EQ(zb.critical_path_backwards(p), static_cast<double>(n));
+      if (n >= d) {
+        EXPECT_NEAR(res.pipe_makespan, expect, 1e-9)
+            << "zb-h1 D=" << d << " N=" << n;
+      } else {
+        EXPECT_GE(res.pipe_makespan, expect - 1e-9)
+            << "zb-h1 D=" << d << " N=" << n;
+        EXPECT_LE(res.pipe_makespan, 1.5 * expect)
+            << "zb-h1 D=" << d << " N=" << n;
+      }
+    }
+  }
 }
 
 // The one-file recipe: a factory + traits + register_schedule() makes a new

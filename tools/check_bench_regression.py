@@ -21,8 +21,15 @@ its own, more lenient --fallback-threshold (default 50%).
 Only when neither source matches does the script print the shapes it saw
 and exit 0 (skipped, not passed).
 
+A second mode, --validate-notes FILE..., checks that every given bench JSON
+carries a cpu_budget_note (top-level, or context.cpu_budget_note for
+google-benchmark output). The note is the contract that makes committed
+numbers comparable at all — it says which CPU budget produced them — so a
+bench JSON without one fails CI before it can mislead anyone.
+
 Usage: check_bench_regression.py BASELINE CURRENT
            [--threshold 0.30] [--fallback FILE] [--fallback-threshold 0.50]
+       check_bench_regression.py --validate-notes FILE [FILE...]
 """
 
 import argparse
@@ -106,12 +113,44 @@ def compare(baseline, current, threshold, label):
     return failures, compared
 
 
+def validate_notes(paths):
+    """Every bench JSON must say which CPU budget produced it. Returns the
+    exit code: 1 when any file is missing the note or unreadable."""
+    bad = []
+    for path in paths:
+        try:
+            doc = load(path)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"FAIL  {path}: unreadable ({e})")
+            bad.append(path)
+            continue
+        note = doc.get("cpu_budget_note") or \
+            doc.get("context", {}).get("cpu_budget_note")
+        if not isinstance(note, str) or not note.strip():
+            print(f"FAIL  {path}: no cpu_budget_note (top-level or "
+                  "context.cpu_budget_note)")
+            bad.append(path)
+        else:
+            print(f"  ok  {path}")
+    if bad:
+        print(f"\n{len(bad)}/{len(paths)} bench JSONs lack a "
+              "cpu_budget_note — their numbers are not comparable to "
+              "anything; add the note where the file is generated")
+        return 1
+    print(f"\nall {len(paths)} bench JSONs carry a cpu_budget_note")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("baseline",
+    ap.add_argument("--validate-notes", nargs="+", metavar="FILE",
+                    default=None,
+                    help="instead of gating on throughput, check that every "
+                         "given bench JSON carries a cpu_budget_note")
+    ap.add_argument("baseline", nargs="?",
                     help="committed baseline JSON file, or a directory of "
                          "per-runner-shape baselines")
-    ap.add_argument("current")
+    ap.add_argument("current", nargs="?")
     ap.add_argument("--threshold", type=float, default=0.30,
                     help="max tolerated fractional GFLOP/s drop vs a "
                          "committed baseline (default 0.30)")
@@ -123,6 +162,13 @@ def main():
                     help="threshold for the run-to-run fallback comparison "
                          "(default 0.50 — shared runners are noisy)")
     args = ap.parse_args()
+
+    if args.validate_notes is not None:
+        if args.baseline or args.current:
+            ap.error("--validate-notes takes only its own FILE list")
+        return validate_notes(args.validate_notes)
+    if not args.baseline or not args.current:
+        ap.error("BASELINE and CURRENT are required (or use --validate-notes)")
 
     current = load(args.current)
     cur_cpus = num_cpus(current)
