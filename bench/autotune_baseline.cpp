@@ -1,0 +1,194 @@
+// Autotuner baseline: calibrate on the machine at hand, sweep the schedule
+// registry, execute the predicted winner, and cross-check prediction
+// against reality — the simulate-with-CHECK loop closed end to end.
+//
+//   $ ./autotune_baseline [BENCH_autotune.json]
+//
+// The run is the full autotune() pipeline on the bench shape: a short
+// calibration burst (1f1b for fused costs + K-FAC terms at every needed
+// model-stage count, zb-h1 for the B/W split), a pure rank_candidates()
+// sweep over every registered schedule, then a measured window of
+// inverse_interval + 1 steps per viable candidate. Two SLAs are PF_CHECKed
+// every run:
+//
+//   * The winner's executed makespan must sit within a ±15% band of its
+//     calibrated prediction (wider than pipeline_runtime_baseline's 10%
+//     per-row gate because candidates span schedule families the profile
+//     was not fitted on).
+//   * The winner must actually be the fastest executed candidate, within a
+//     5% timing-noise band — predicting a loser is an autotuner bug, not a
+//     measurement artifact, once the band is cleared twice (CI retries
+//     once). Armed only when the executor's threads (workers + 1) fit the
+//     machine's cores: oversubscribed, every candidate serializes onto the
+//     same cores, the executed spread collapses into contention noise, and
+//     which schedule "wins" flips run to run (same regime guard as the
+//     utilization gate in pipeline_runtime_baseline). The gating flag is
+//     recorded in the JSON and the CI assert honors it.
+//
+// The fitted profile is embedded in the JSON verbatim — the committable
+// artifact workflow: fit once, commit, re-rank offline from the artifact.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "src/common/strings.h"
+#include "src/perfmodel/autotune.h"
+
+namespace {
+
+using namespace pf;
+
+BertConfig bench_bert() {
+  BertConfig cfg;
+  cfg.vocab = 48;
+  cfg.d_model = 64;
+  cfg.d_ff = 128;
+  cfg.n_heads = 4;
+  cfg.n_layers = 4;
+  cfg.seq_len = 32;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "BENCH_autotune.json";
+  const auto cfg = bench_bert();
+
+  CorpusConfig cc;
+  cc.vocab = cfg.vocab;
+  SyntheticCorpus corpus(cc);
+  MlmBatcherConfig bc;
+  bc.seq_len = cfg.seq_len;
+  MlmBatcher batcher(corpus, bc);
+
+  AutotuneOptions o;
+  o.n_devices = 4;
+  o.n_micro = 8;
+  o.micro_batch_size = 8;
+  o.workers = 2;
+  o.inverse_interval = 3;
+  o.burst_steps = 4;
+  // Two full amortization cycles after the discarded cold step: on a
+  // shared container per-step spans swing ±10% with contention, and the
+  // winner-fastest SLA compares means across candidates — 6 measured
+  // steps per candidate gets the mean noise under the band.
+  o.measure_steps = 2 * static_cast<std::size_t>(o.inverse_interval) + 1;
+
+  std::printf("autotuning %zu-layer bert (d_model %zu) at D=%d N=%d...\n",
+              cfg.n_layers, cfg.d_model, o.n_devices, o.n_micro);
+  const AutotuneReport report = autotune(cfg, batcher, o);
+  std::printf("calibration burst: %zu steps in %.2f s, %zu profile(s)\n",
+              report.burst_steps_run, report.burst_seconds,
+              report.profiles.size());
+
+  std::printf("%-18s %3s %3s | %12s %10s %8s | %12s\n", "schedule", "S",
+              "N", "pred mk (s)", "s/seq", "util", "exec mk (s)");
+  std::string rows;
+  for (const auto& c : report.ranked) {
+    if (c.viable) {
+      std::printf("%-18s %3d %3d | %12.4g %10.3g %7s%% | %12.4g\n",
+                  c.schedule.c_str(), c.params.n_stages, c.params.n_micro,
+                  c.predicted_makespan, c.predicted_seconds_per_sequence,
+                  format("%.1f", 100.0 * c.predicted_utilization).c_str(),
+                  c.executed_makespan);
+    } else {
+      std::printf("%-18s %3d %3d | skipped: %s\n", c.schedule.c_str(),
+                  c.params.n_stages, c.params.n_micro,
+                  c.skip_reason.c_str());
+    }
+    if (!rows.empty()) rows += ",\n";
+    rows += format(
+        "    {\"schedule\": \"%s\", \"n_stages\": %d, \"n_micro\": %d, "
+        "\"viable\": %s, \"skip_reason\": \"%s\", "
+        "\"predicted_makespan\": %.6g, \"predicted_seconds_per_sequence\": "
+        "%.6g, \"predicted_utilization\": %.4g, \"executed_makespan\": "
+        "%.6g}",
+        c.schedule.c_str(), c.params.n_stages, c.params.n_micro,
+        c.viable ? "true" : "false", c.skip_reason.c_str(),
+        c.predicted_makespan, c.predicted_seconds_per_sequence,
+        c.predicted_utilization, c.executed_makespan);
+  }
+
+  // SLA 1: the winner's realized makespan tracks its prediction.
+  const AutotuneCandidate& win = report.winner();
+  PF_CHECK(win.executed_makespan > 0.0)
+      << "autotune winner was never executed (measure_steps misconfigured)";
+  const double pred_err =
+      std::fabs(win.predicted_makespan - win.executed_makespan) /
+      win.executed_makespan;
+  std::printf(
+      "winner %s S=%d N=%d: predicted %.4g s vs executed %.4g s "
+      "(%.1f%% error)\n",
+      win.schedule.c_str(), win.params.n_stages, win.params.n_micro,
+      win.predicted_makespan, win.executed_makespan, 100.0 * pred_err);
+  PF_CHECK(pred_err <= 0.15)
+      << "winner " << win.schedule << " executed makespan drifted "
+      << 100.0 * pred_err << "% from the calibrated prediction (15% band)";
+
+  // SLA 2: the predicted winner is the executed winner (5% noise band) —
+  // every other measured candidate must not beat it by more than noise.
+  // Only meaningful when the executor's threads fit the machine's cores;
+  // oversubscribed, schedules serialize onto the same cores and their
+  // executed spread is contention noise, not schedule structure.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool gate_fastest =
+      hw == 0 || static_cast<unsigned>(o.workers) + 1 <= hw;
+  if (gate_fastest) {
+    for (const auto& c : report.ranked) {
+      if (!c.viable || c.executed_makespan <= 0.0) continue;
+      PF_CHECK(win.executed_makespan <= 1.05 * c.executed_makespan)
+          << "autotune picked " << win.schedule << " ("
+          << win.executed_makespan << " s) but " << c.schedule << " S="
+          << c.params.n_stages << " executed faster ("
+          << c.executed_makespan << " s) beyond the 5% noise band";
+    }
+  } else {
+    std::printf(
+        "winner-fastest SLA skipped: %d executor threads oversubscribe %u "
+        "hardware cores (executed spread across schedules is contention "
+        "noise here; CI runs this gate on a multi-core runner)\n",
+        o.workers + 1, hw);
+  }
+
+  // The committed profile artifact: the D-stage profile the winner (and
+  // every non-interleaved candidate) was ranked under.
+  const auto prof_it = report.profiles.find(o.n_devices);
+  PF_CHECK(prof_it != report.profiles.end());
+  const std::string profile_json = prof_it->second.to_json();
+
+  const std::string json = format(
+      "{\n  \"shape\": {\"n_devices\": %d, \"n_micro\": %d, "
+      "\"micro_batch\": %zu, \"d_model\": %zu, \"n_layers\": %zu, "
+      "\"workers\": %d, \"inverse_interval\": %d},\n"
+      "  \"cpu_budget_note\": \"the ranking compares wall-clock across "
+      "schedules, so it needs real cores — under a 1-CPU cgroup budget "
+      "every candidate serializes onto the same core and the executed "
+      "spread collapses toward noise; the calibrated profile bakes that "
+      "budget in (its n_threads field), so this artifact's numbers only "
+      "compare against runs with the same CPU budget. The CI artifact "
+      "(BENCH_autotune_ci.json) carries the multi-core ranking and the "
+      "SLA gates.\",\n"
+      "  \"sla_winner_fastest_gated\": %s,\n"
+      "  \"hardware_concurrency\": %u,\n"
+      "  \"burst\": {\"steps\": %zu, \"seconds\": %.4g},\n"
+      "  \"winner\": {\"schedule\": \"%s\", \"n_stages\": %d, "
+      "\"n_micro\": %d, \"predicted_makespan\": %.6g, "
+      "\"executed_makespan\": %.6g, \"prediction_error\": %.4g},\n"
+      "  \"ranked\": [\n%s\n  ],\n"
+      "  \"profile\": %s}\n",
+      o.n_devices, o.n_micro, o.micro_batch_size, cfg.d_model, cfg.n_layers,
+      o.workers, o.inverse_interval, gate_fastest ? "true" : "false", hw,
+      report.burst_steps_run,
+      report.burst_seconds, win.schedule.c_str(), win.params.n_stages,
+      win.params.n_micro, win.predicted_makespan, win.executed_makespan,
+      pred_err, rows.c_str(), profile_json.c_str());
+  FILE* f = std::fopen(path.c_str(), "w");
+  PF_CHECK(f != nullptr) << "cannot open " << path;
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -30,6 +30,7 @@
 
 #include "src/common/strings.h"
 #include "src/optim/lamb.h"
+#include "src/perfmodel/calibration.h"
 #include "src/pipeline/simulator.h"
 #include "src/train/pipeline_runtime.h"
 
@@ -106,7 +107,8 @@ int main(int argc, char** argv) {
     return r;
   };
 
-  auto pipeline_run = [&](const char* schedule, bool use_kfac, int workers) {
+  auto pipeline_run = [&](const char* schedule, bool use_kfac, int workers,
+                          CalibrationAccumulator* acc) {
     Rng rng(7);
     BertModel model(cfg, rng);
     PipelineRuntimeConfig pc;
@@ -120,6 +122,11 @@ int main(int argc, char** argv) {
     pc.stage_threads = 1;
     pc.use_kfac = use_kfac;
     pc.kfac.inverse_interval = 3;
+    if (acc != nullptr)
+      pc.step_observer = [acc, step = std::size_t{0}](
+                             const Timeline& tl) mutable {
+        if (step++ > 0) acc->ingest(tl);  // step 0 pays cold-start costs
+      };
     PipelineRuntime rt(model, batcher, pc);
     TimedRun r;
     const double t0 = now_seconds();
@@ -132,7 +139,10 @@ int main(int argc, char** argv) {
     return r;
   };
 
-  // Simulator side of the crossover (unit §3.3 costs, same shape).
+  // Simulator side of the crossover (unit §3.3 costs, same shape). The
+  // B/W split starts at the 50/50 modeling prior; after the grid runs the
+  // fraction is re-fitted from the executed zb-h1 timelines and the zb-h1
+  // row is re-simulated with the fitted split.
   ScheduleParams sp;
   sp.n_stages = n_stages;
   sp.n_micro = n_micro;
@@ -153,6 +163,11 @@ int main(int argc, char** argv) {
   const auto serial_lamb = serial_run(false);
   const auto serial_kfac = serial_run(true);
 
+  // Every executed zb-h1 cell (LAMB and K-FAC, all worker counts) feeds the
+  // B/W-split fit: the split is a property of the backward math, not of the
+  // optimizer riding the bubbles or the core budget.
+  CalibrationAccumulator zb_acc(n_stages);
+
   std::string rows;
   // seconds_per_step of the (schedule, kfac, workers) cells, for the
   // crossover summary below. Indexed [kfac][schedule_is_zb].
@@ -161,7 +176,8 @@ int main(int argc, char** argv) {
     const auto& serial = use_kfac ? serial_kfac : serial_lamb;
     for (const char* schedule : {"1f1b", "zb-h1"}) {
       for (const int workers : {1, 2, 4}) {
-        const auto pr = pipeline_run(schedule, use_kfac, workers);
+        const auto pr = pipeline_run(schedule, use_kfac, workers,
+                                     schedule[0] == 'z' ? &zb_acc : nullptr);
         PF_CHECK(pr.losses == serial.losses)
             << schedule << " kfac=" << use_kfac << " workers=" << workers
             << " diverged from the serial reference";
@@ -188,6 +204,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Fitted B/W split from the executed zb-h1 timelines, replacing the
+  // 50/50 prior in the crossover simulation. On this shape W (pure dW
+  // GEMMs) is lighter than B (dx GEMMs + attention/norm backward), so the
+  // fitted fraction lands below 0.5 and the zb-h1 closed form — whose
+  // drain is paved with W passes — shifts accordingly.
+  PF_CHECK(zb_acc.steps_ingested() > 0);
+  // n_threads = 0: samples are merged across worker counts, so no single
+  // concurrency describes them; only the B/W fraction is consumed here.
+  const CalibratedCosts zb_prof = zb_acc.fit(/*n_threads=*/0);
+  const double fitted_wf = zb_prof.backward_w_fraction;
+  PF_CHECK(fitted_wf > 0.0 && fitted_wf < 1.0)
+      << "fitted backward_w_fraction " << fitted_wf
+      << " is not a valid split";
+  StepCosts fitted_costs;
+  fitted_costs.backward_w_fraction = fitted_wf;
+  const auto sim_zb_fit =
+      simulate_step(build_schedule("zb-h1", sp), fitted_costs);
+  const double bubble_zb_fit = total_bubble_time(sim_zb_fit);
+  std::printf(
+      "fitted B/W split from %zu executed zb-h1 steps: W fraction %.3f "
+      "(prior 0.5) — zb-h1 makespan %.1f (bubble %.1f) under the fitted "
+      "split\n",
+      zb_acc.steps_ingested(), fitted_wf, sim_zb_fit.pipe_makespan,
+      bubble_zb_fit);
+
   const std::string json = format(
       "{\n  \"shape\": {\"n_stages\": %d, \"n_micro\": %d, "
       "\"micro_batch\": %zu, \"steps\": %zu, \"d_model\": %zu, "
@@ -199,10 +240,15 @@ int main(int argc, char** argv) {
       "(BENCH_zero_bubble_ci.json) carries the multi-core numbers and the "
       "SLA gate. Compare only against runs with the same CPU budget.\",\n"
       "  \"simulator\": {\"t_forward\": %.3g, \"t_backward\": %.3g, "
-      "\"backward_w_fraction\": %.3g,\n"
+      "\"backward_w_fraction_prior\": %.3g, "
+      "\"backward_w_fraction_fitted\": %.4g,\n"
+      "    \"fitted_from_executed_zb_h1_steps\": %zu,\n"
       "    \"makespan_1f1b\": %.6g, \"bubble_1f1b\": %.6g,\n"
       "    \"makespan_zb_h1\": %.6g, \"bubble_zb_h1\": %.6g,\n"
-      "    \"bubble_removed_fraction\": %.4g},\n"
+      "    \"makespan_zb_h1_fitted_split\": %.6g, "
+      "\"bubble_zb_h1_fitted_split\": %.6g,\n"
+      "    \"bubble_removed_fraction\": %.4g, "
+      "\"bubble_removed_fraction_fitted_split\": %.4g},\n"
       "  \"crossover\": {\"note\": \"lamb = nothing to fill bubbles with, "
       "removal (zb-h1) wins; kfac = curvature work already rides the "
       "bubbles (PipeFisher), filling ties removal and keeps the optimizer "
@@ -213,10 +259,13 @@ int main(int argc, char** argv) {
       "  \"runs\": {\n%s\n  }\n}\n",
       n_stages, n_micro, micro_batch, steps, cfg.d_model, cfg.n_layers,
       costs.t_forward, costs.t_backward, costs.backward_w_fraction,
-      sim_1f1b.pipe_makespan, bubble_1f1b, sim_zb.pipe_makespan, bubble_zb,
-      1.0 - bubble_zb / bubble_1f1b, at2[0][1] / at2[0][0],
-      at2[1][1] / at2[1][0], serial_lamb.seconds_per_step,
-      serial_kfac.seconds_per_step, rows.c_str());
+      fitted_wf, zb_acc.steps_ingested(), sim_1f1b.pipe_makespan,
+      bubble_1f1b, sim_zb.pipe_makespan, bubble_zb,
+      sim_zb_fit.pipe_makespan, bubble_zb_fit,
+      1.0 - bubble_zb / bubble_1f1b, 1.0 - bubble_zb_fit / bubble_1f1b,
+      at2[0][1] / at2[0][0], at2[1][1] / at2[1][0],
+      serial_lamb.seconds_per_step, serial_kfac.seconds_per_step,
+      rows.c_str());
   FILE* f = std::fopen(path.c_str(), "w");
   PF_CHECK(f != nullptr) << "cannot open " << path;
   std::fputs(json.c_str(), f);

@@ -34,6 +34,11 @@ bool higher_priority(const PipeOp& a, const PipeOp& b,
 }  // namespace
 
 double StepCosts::forward_cost(int stage) const {
+  if (!stage_forward_scale.empty()) {
+    PF_ASSERT(stage >= 0 &&
+              static_cast<std::size_t>(stage) < stage_forward_scale.size());
+    return t_forward * stage_forward_scale[static_cast<std::size_t>(stage)];
+  }
   if (stage_cost_scale.empty()) return t_forward;
   PF_ASSERT(stage >= 0 &&
             static_cast<std::size_t>(stage) < stage_cost_scale.size());
@@ -41,6 +46,11 @@ double StepCosts::forward_cost(int stage) const {
 }
 
 double StepCosts::backward_cost(int stage) const {
+  if (!stage_backward_scale.empty()) {
+    PF_ASSERT(stage >= 0 &&
+              static_cast<std::size_t>(stage) < stage_backward_scale.size());
+    return t_backward * stage_backward_scale[static_cast<std::size_t>(stage)];
+  }
   if (stage_cost_scale.empty()) return t_backward;
   PF_ASSERT(stage >= 0 &&
             static_cast<std::size_t>(stage) < stage_cost_scale.size());

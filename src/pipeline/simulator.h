@@ -44,6 +44,14 @@ struct StepCosts {
   // discussion) scale forward/backward of stage s by stage_cost_scale[s].
   std::vector<double> stage_cost_scale;
 
+  // Optional SEPARATE per-stage multipliers for forward and backward (size
+  // n_stages; empty = fall back to stage_cost_scale for both). Fitted
+  // profiles need this: realized stage costs are not fwd/bwd-proportional
+  // — stage 0 carries the embedding, the last stage the heads + loss —
+  // so CalibratedCosts::to_step_costs() fills these from the trace.
+  std::vector<double> stage_forward_scale;
+  std::vector<double> stage_backward_scale;
+
   // Asynchronous pipelines (Appendix C.1): when > 0, each device runs a
   // device-local optimizer update (duration t_optimizer per owned stage)
   // inline after every `inline_update_every` backwards — no flush, no
@@ -54,7 +62,12 @@ struct StepCosts {
   // t_backward spent in the deferred W (dW) pass; the B (dx) pass gets the
   // remainder so the halves always sum to the fused cost. The dW GEMM and
   // the dx GEMM + db reduction are the same FLOPs to first order, hence
-  // the 50/50 default — ZB-H1's own modeling assumption.
+  // the 50/50 default — ZB-H1's own modeling assumption. The default is a
+  // MODELING prior, not a measurement: on this codebase the B pass also
+  // carries all non-linear backward work (attention, norms, activations,
+  // embedding scatter), so the executed split fitted from zb-h1 timelines
+  // (CalibratedCosts::backward_w_fraction, perfmodel/calibration.h) is
+  // well below 0.5 — BENCH_zero_bubble.json records the fitted value.
   double backward_w_fraction = 0.5;
 
   double forward_cost(int stage) const;

@@ -22,39 +22,6 @@ ScheduleParams runtime_params(const PipelineRuntimeConfig& cfg) {
   return p;
 }
 
-// Pipeline ops get their event-order position as priority; deferred W
-// passes (zb-h1) sit above every program position so a lane takes one only
-// when no pipeline op is runnable — the executed analog of the simulator's
-// floating W pools; step-tail tasks follow; K-FAC work sits above
-// everything so it is only dispatched into lane idle time (realized
-// bubbles).
-constexpr long kWeightPriorityBase = 1L << 16;
-constexpr long kTailPriorityBase = 1L << 18;
-constexpr long kKfacPriorityBase = 1L << 20;
-
-// Rewrites each device's op order so that, within every (pipeline, stage)
-// group, the backwards visit micros in ascending order — the gradient-
-// accumulation order the bitwise contract requires (see the header). 1F1B
-// and the greedy orders are already ascending per stage; GPipe's LIFO
-// backward drain becomes FIFO (same critical path under uniform costs; the
-// activation stash is keyed by micro, so LIFO buys nothing here).
-void normalize_backward_order(std::vector<std::vector<PipeOp>>& programs) {
-  for (auto& prog : programs) {
-    std::map<std::pair<int, int>, std::vector<std::size_t>> group_slots;
-    for (std::size_t i = 0; i < prog.size(); ++i)
-      if (prog[i].type == OpType::kBackward)
-        group_slots[{prog[i].pipeline, prog[i].stage}].push_back(i);
-    for (auto& [key, slots] : group_slots) {
-      std::vector<int> micros;
-      micros.reserve(slots.size());
-      for (const std::size_t p : slots) micros.push_back(prog[p].micro);
-      std::sort(micros.begin(), micros.end());
-      for (std::size_t k = 0; k < slots.size(); ++k)
-        prog[slots[k]].micro = micros[k];
-    }
-  }
-}
-
 }  // namespace
 
 PipelineRuntime::PipelineRuntime(BertModel& model, const MlmBatcher& batcher,
@@ -145,6 +112,13 @@ PipelineRuntime::PipelineRuntime(BertModel& model, const MlmBatcher& batcher,
   last_memory_stats_.resize(static_cast<std::size_t>(S));
 }
 
+StepPlan PipelineRuntime::make_step_plan(bool curv_step, bool inv_step) const {
+  std::vector<std::size_t> factors(static_cast<std::size_t>(spec_.n_stages), 0);
+  for (std::size_t s = 0; s < factors.size(); ++s)
+    if (engines_[s] != nullptr) factors[s] = engines_[s]->n_layers();
+  return build_step_plan(spec_, device_order_, factors, curv_step, inv_step);
+}
+
 BertLossBreakdown PipelineRuntime::step() {
   PF_CHECK(traits_of(cfg_.schedule).flush)
       << cfg_.schedule
@@ -179,392 +153,149 @@ BertLossBreakdown PipelineRuntime::step() {
   for (auto& ch : fwd_ch_) ch->clear();
   for (auto& ch : bwd_ch_) ch->clear();
 
-  // --- Build the step's task graph -------------------------------------
+  // --- Attach bodies to the step plan and hand it to the executor ------
+  // The graph itself (lanes, priorities, resources, dependency edges) is
+  // built by build_step_plan(); this loop only supplies the work. Executor
+  // ids equal plan indices by construction — asserted below — which is
+  // what lets the perfmodel calibration layer replay the identical plan in
+  // virtual time.
+  const StepPlan plan = make_step_plan(curv_step, inv_step);
+  const double inv = 1.0 / static_cast<double>(N);
   TaskExecutor ex(*pool_, static_cast<std::size_t>(D));
   std::vector<TaskMeta> meta;
-  auto add_task = [&](std::function<void()> fn, std::size_t lane,
-                      long priority, std::vector<std::size_t> deps,
-                      int resource, TaskMeta m) -> std::size_t {
-    const std::size_t id =
-        ex.add(std::move(fn), lane, priority, std::move(deps), resource);
-    PF_ASSERT(id == meta.size());
-    m.device = lane;
-    meta.push_back(m);
-    return id;
-  };
-
-  // Event-order position of every op on its device = its dispatch priority.
-  std::map<long, long> op_priority;
-  std::size_t planned_ops = 0;
-  for (const auto& prog : device_order_) {
-    for (std::size_t i = 0; i < prog.size(); ++i)
-      op_priority[op_key(prog[i])] = static_cast<long>(i);
-    planned_ops += prog.size();
-  }
-  std::size_t n_w_ops = 0;
-  for (const auto& op : spec_.all_ops())
-    if (op.type == OpType::kBackwardWeight) ++n_w_ops;
-  PF_CHECK(planned_ops == spec_.all_ops().size() - n_w_ops)
-      << "event order does not cover the schedule's F/B ops";
-
-  std::map<long, std::size_t> op_task;  // op_key -> executor task id
-  auto pl_of = [&](int m) { return pipeline_of_micro_[static_cast<std::size_t>(m)]; };
-
-  // Pipeline-op dependencies, expressed over PipeOps:
-  //   forward(pl, s, m):  forward(pl, s-1, m)            [activation]
-  //   backward(pl, s, m): forward(pl, s, m)              [stashed caches]
-  //                       backward(pl, s+1, m)           [grad-activation]
-  //                       backward(*, s, prev micro)     [grad fold order]
-  //   static schedules:   the device's previous program op [event order]
-  auto op_deps = [&](const PipeOp& op) {
-    std::vector<PipeOp> deps;
-    if (op.type == OpType::kForward) {
-      if (op.stage > 0)
-        deps.push_back({OpType::kForward, op.pipeline, op.stage - 1, op.micro});
-    } else {
-      deps.push_back({OpType::kForward, op.pipeline, op.stage, op.micro});
-      if (op.stage + 1 < S)
-        deps.push_back(
-            {OpType::kBackward, op.pipeline, op.stage + 1, op.micro});
-      if (op.micro > 0)
-        deps.push_back(
-            {OpType::kBackward, pl_of(op.micro - 1), op.stage, op.micro - 1});
-    }
-    return deps;
-  };
-
-  auto make_op_task = [&](const PipeOp& op, std::vector<std::size_t> deps) {
-    const int s = op.stage;
-    const int m = op.micro;
-    BertStage* stage = &partition_.stage(s);
-    const ExecContext* ctx = &stage_ctx_[static_cast<std::size_t>(s)];
-    const auto lane =
-        static_cast<std::size_t>(spec_.device_of(op.pipeline, s));
-    std::function<void()> body;
-    if (op.type == OpType::kForward) {
-      body = [this, stage, ctx, s, m, S, &batches] {
-        Matrix in;
-        if (s > 0) in = fwd_ch_[static_cast<std::size_t>(s - 1)]->take(m);
-        Matrix out = stage->forward(m, batches[static_cast<std::size_t>(m)],
-                                    std::move(in), *ctx);
-        if (s + 1 < S)
-          fwd_ch_[static_cast<std::size_t>(s)]->send(m, std::move(out));
-      };
-    } else {
-      // Curvature tasks read the stashes only on refresh steps of K-FAC
-      // stages; otherwise backward releases this micro's activations —
-      // except under split_backward, where the harvested {a_l, e_l} pairs
-      // must survive until the micro's deferred W pass reads them (the W
-      // task then releases non-curvature stashes itself).
-      const bool keep_stash =
-          curv_step && engines_[static_cast<std::size_t>(s)] != nullptr;
-      body = [this, stage, ctx, s, m, S, keep_stash, split, &batches] {
-        Matrix gin;
-        if (s + 1 < S) gin = bwd_ch_[static_cast<std::size_t>(s)]->take(m);
-        Matrix gout = stage->backward(m, batches[static_cast<std::size_t>(m)],
-                                      std::move(gin), *ctx, keep_stash,
-                                      /*defer_dw=*/split);
-        if (s > 0)
-          bwd_ch_[static_cast<std::size_t>(s - 1)]->send(m, std::move(gout));
-      };
-    }
-    TaskMeta tm;
-    tm.kind = op.type == OpType::kForward ? WorkKind::kForward
-                                          : WorkKind::kBackward;
-    tm.stage = s;
-    tm.micro = m;
-    tm.op = op;
-    tm.is_op = true;
-    op_task[op_key(op)] = add_task(std::move(body), lane,
-                                   op_priority.at(op_key(op)),
-                                   std::move(deps), /*resource=*/s, tm);
-  };
-
-  // Create op tasks in a topological order (the executor requires
-  // dependencies to exist before their dependents).
-  if (spec_.dynamic_order) {
-    // Greedy schedules execute by priority, not program chains, so any
-    // topological order works for creation: forwards by (micro, stage),
-    // then backwards by (micro asc, stage desc) — every dependency above
-    // (upstream forward, own forward, downstream backward, previous-micro
-    // backward) precedes its dependent in this order.
-    for (int m = 0; m < N; ++m)
-      for (int s = 0; s < S; ++s) {
-        const PipeOp op{OpType::kForward, pl_of(m), s, m};
-        std::vector<std::size_t> dep_ids;
-        for (const PipeOp& dep : op_deps(op))
-          dep_ids.push_back(op_task.at(op_key(dep)));
-        make_op_task(op, std::move(dep_ids));
-      }
-    for (int m = 0; m < N; ++m)
-      for (int s = S - 1; s >= 0; --s) {
-        const PipeOp op{OpType::kBackward, pl_of(m), s, m};
-        std::vector<std::size_t> dep_ids;
-        for (const PipeOp& dep : op_deps(op))
-          dep_ids.push_back(op_task.at(op_key(dep)));
-        make_op_task(op, std::move(dep_ids));
-      }
-  } else {
-    // Static schedules honor their programs exactly: each op additionally
-    // depends on the previous op of its device program (head-of-line), so
-    // the realized order IS the planned order. Creation sweeps the
-    // programs; a schedule whose program fights the gradient-fold order
-    // (normalize_backward_order prevents this for the built-ins) fails
-    // loudly instead of deadlocking.
-    std::vector<std::size_t> next_in_prog(device_order_.size(), 0);
-    std::size_t remaining = planned_ops;
-    while (remaining > 0) {
-      bool progress = false;
-      for (std::size_t d = 0; d < device_order_.size(); ++d) {
-        while (next_in_prog[d] < device_order_[d].size()) {
-          const PipeOp& op = device_order_[d][next_in_prog[d]];
-          std::vector<PipeOp> deps = op_deps(op);
-          if (next_in_prog[d] > 0)
-            deps.push_back(device_order_[d][next_in_prog[d] - 1]);
-          std::vector<std::size_t> dep_ids;
-          bool ready = true;
-          for (const PipeOp& dep : deps) {
-            const auto it = op_task.find(op_key(dep));
-            if (it == op_task.end()) {
-              ready = false;
-              break;
-            }
-            dep_ids.push_back(it->second);
-          }
-          if (!ready) break;
-          make_op_task(op, std::move(dep_ids));
-          ++next_in_prog[d];
-          --remaining;
-          progress = true;
-        }
-      }
-      PF_CHECK(progress)
-          << cfg_.schedule
-          << ": event order and gradient-fold order form a cycle";
-    }
-  }
-
-  // Deferred W passes (split_backward): one task per (stage, micro),
-  // chained per stage in ascending global micro order — the same fold
-  // order the B chain enforces, so every dW coordinate accumulates in the
-  // serial trainer's sequence. Deps: the micro's own B pass (which
-  // harvested the {a_l, e_l} caches) plus the chain predecessor. Priority
-  // kWeightPriorityBase sits above every program position: a lane runs a W
-  // only when none of its pipeline ops is runnable, exactly like the
-  // simulator's floating W pools fill realized idle gaps.
-  if (split) {
-    for (int s = 0; s < S; ++s) {
-      BertStage* stage = &partition_.stage(s);
-      const ExecContext* ctx = &stage_ctx_[static_cast<std::size_t>(s)];
-      ArenaAllocator* arena = arenas_[static_cast<std::size_t>(s)].get();
-      const bool keep_stash =
-          curv_step && engines_[static_cast<std::size_t>(s)] != nullptr;
-      std::size_t prev_w = 0;
-      for (int m = 0; m < N; ++m) {
-        const int pl = pl_of(m);
-        const PipeOp op{OpType::kBackwardWeight, pl, s, m};
-        std::vector<std::size_t> deps = {
-            op_task.at(op_key({OpType::kBackward, pl, s, m}))};
-        if (m > 0) deps.push_back(prev_w);
-        auto body = [stage, ctx, m, keep_stash, arena] {
-          stage->backward_dw(m, *ctx, /*release=*/!keep_stash, arena);
-        };
-        TaskMeta tm;
-        tm.kind = WorkKind::kBackwardWeight;
-        tm.stage = s;
-        tm.micro = m;
-        tm.op = op;
-        tm.is_op = true;
-        const auto lane = static_cast<std::size_t>(spec_.device_of(pl, s));
-        prev_w = add_task(std::move(body), lane, kWeightPriorityBase + m,
-                          std::move(deps), /*resource=*/s, tm);
-        op_task[op_key(op)] = prev_w;
-      }
-    }
-  }
-
-  std::vector<std::size_t> last_bwd(static_cast<std::size_t>(S), 0);
-  for (int s = 0; s < S; ++s) {
-    const int m = N - 1;
-    // Under split_backward the gradients are final only after the stage's
-    // last deferred W pass; its chain already folds every earlier W.
-    last_bwd[static_cast<std::size_t>(s)] = op_task.at(op_key(
-        {split ? OpType::kBackwardWeight : OpType::kBackward, pl_of(m), s,
-         m}));
-  }
-
-  // Step tail per stage: owner-computes gradient finalization (the serial
-  // trainer's g *= 1/n_micro), then K-FAC preconditions, then the stage's
-  // base optimizer step.
-  const double inv = 1.0 / static_cast<double>(N);
-  std::vector<std::size_t> grad_final(static_cast<std::size_t>(S), 0);
-  for (int s = 0; s < S; ++s) {
-    const auto owner = static_cast<std::size_t>(spec_.device_of(0, s));
-    auto body = [this, s, inv, N] {
-      if (N > 1)
-        for (Param* p : stage_params_[static_cast<std::size_t>(s)])
-          p->g *= inv;
-    };
-    TaskMeta tm;
-    tm.kind = WorkKind::kSyncGrad;
-    tm.stage = s;
-    grad_final[static_cast<std::size_t>(s)] =
-        add_task(std::move(body), owner, kTailPriorityBase + s,
-                 {last_bwd[static_cast<std::size_t>(s)]}, /*resource=*/-1, tm);
-  }
-
-  // K-FAC work items, BubbleTask-shaped (the executable analog of
-  // core/kfac_work.cpp's generation rules + core/bubble_assigner's
-  // readiness dispatch). kfac_plan_ mirrors every task for introspection;
-  // realized durations are filled in after the run.
+  meta.reserve(plan.tasks.size());
   kfac_plan_.clear();
   std::vector<std::size_t> kfac_exec_id;
-  std::vector<std::vector<std::size_t>> stage_precond(
-      static_cast<std::size_t>(S));
-  long kfac_seq = 0;
-  auto add_kfac = [&](BubbleTask shape, std::function<void()> body,
-                      std::vector<std::size_t> extra_deps, int resource) {
-    shape.id = kfac_plan_.size();
-    std::vector<std::size_t> deps = std::move(extra_deps);
-    for (const std::size_t d : shape.deps) deps.push_back(kfac_exec_id[d]);
-    TaskMeta tm;
-    tm.kind = shape.kind;
-    tm.stage = shape.stage;
-    tm.micro = shape.micro;
-    tm.layer = shape.layer;
-    tm.factor = shape.factor;
-    const std::size_t id =
-        add_task(std::move(body), shape.device,
-                 kKfacPriorityBase + kfac_seq++, std::move(deps), resource, tm);
-    kfac_exec_id.push_back(id);
-    kfac_plan_.push_back(std::move(shape));
-    return kfac_plan_.size() - 1;
-  };
+  // plan index -> index in kfac_plan_ (valid for K-FAC kinds only).
+  std::vector<std::size_t> kfac_index(plan.tasks.size(), 0);
 
-  for (int s = 0; s < S; ++s) {
-    KfacEngine* engine = engines_[static_cast<std::size_t>(s)].get();
-    if (engine == nullptr) continue;
+  for (std::size_t i = 0; i < plan.tasks.size(); ++i) {
+    const PlannedTask& pt = plan.tasks[i];
+    const int s = pt.stage;
+    const int m = pt.micro;
+    const auto si = static_cast<std::size_t>(s);
     BertStage* stage = &partition_.stage(s);
-    const auto owner = static_cast<std::size_t>(spec_.device_of(0, s));
-    for (std::size_t f = 0; f < engine->n_layers(); ++f) {
-      std::size_t commit_id = 0;
-      bool has_commit = false;
-      if (curv_step) {
-        // Curvature per (factor, micro): A after the forward, B after the
-        // backward, each chained per factor in ascending micro order so the
-        // pending sums fold in the serial order.
-        std::size_t prev_a = 0, prev_b = 0;
-        bool chain_a = false, chain_b = false;
-        for (int m = 0; m < N; ++m) {
-          const int pl = pl_of(m);
-          const auto dev = static_cast<std::size_t>(spec_.device_of(pl, s));
-          BubbleTask ca;
-          ca.device = dev;
-          ca.kind = WorkKind::kCurvatureA;
-          ca.stage = s;
-          ca.micro = m;
-          // Trace labels only (block, linear-within-block); the 6-per-
-          // block layout is asserted loudly by BertStagePartition.
-          ca.layer = static_cast<int>(f / 6);
-          ca.factor = static_cast<int>(f % 6);
-          if (chain_a) ca.deps.push_back(prev_a);
-          prev_a = add_kfac(
-              ca,
-              [engine, stage, f, m] {
-                engine->accumulate_curvature_a(f, stage->kfac_input(m, f));
-              },
-              {op_task.at(op_key({OpType::kForward, pl, s, m}))},
-              /*resource=*/s);
-          chain_a = true;
-
-          BubbleTask cb = ca;
-          cb.deps.clear();
-          cb.kind = WorkKind::kCurvatureB;
-          if (chain_b) cb.deps.push_back(prev_b);
-          prev_b = add_kfac(
-              cb,
-              [engine, stage, f, m] {
-                engine->accumulate_curvature_b(f,
-                                               stage->kfac_output_grad(m, f));
-              },
-              {op_task.at(op_key({OpType::kBackward, pl, s, m}))},
-              /*resource=*/s);
-          chain_b = true;
-        }
-        BubbleTask cm;
-        cm.device = owner;
-        // The EMA fold merges the factor's per-micro contributions before
-        // inversion — the single-process analog of sync-curvature, and
-        // distinct from the curvature GEMMs in the executed trace.
-        cm.kind = WorkKind::kSyncCurvature;
-        cm.stage = s;
-        cm.layer = static_cast<int>(f / 6);
-        cm.factor = static_cast<int>(f % 6);
-        cm.deps = {prev_a, prev_b};
-        cm.splittable = false;
-        commit_id = add_kfac(
-            cm, [engine, f] { engine->commit_curvature_layer(f); }, {},
-            /*resource=*/-1);
-        has_commit = true;
+    const ExecContext* ctx = &stage_ctx_[si];
+    KfacEngine* engine = engines_[si].get();
+    // Factor index within the stage's engine, from the (block, linear)
+    // trace labels — the inverse of the plan builder's f -> (f/6, f%6).
+    const std::size_t f =
+        pt.layer >= 0 ? static_cast<std::size_t>(pt.layer) * 6 +
+                            static_cast<std::size_t>(pt.factor)
+                      : 0;
+    // Curvature tasks read the stashes only on refresh steps of K-FAC
+    // stages; otherwise backward releases this micro's activations —
+    // except under split_backward, where the harvested {a_l, e_l} pairs
+    // must survive until the micro's deferred W pass reads them (the W
+    // task then releases non-curvature stashes itself).
+    const bool keep_stash = curv_step && engine != nullptr;
+    std::function<void()> body;
+    switch (pt.kind) {
+      case WorkKind::kForward:
+        body = [this, stage, ctx, s, m, S, &batches] {
+          Matrix in;
+          if (s > 0) in = fwd_ch_[static_cast<std::size_t>(s - 1)]->take(m);
+          Matrix out = stage->forward(m, batches[static_cast<std::size_t>(m)],
+                                      std::move(in), *ctx);
+          if (s + 1 < S)
+            fwd_ch_[static_cast<std::size_t>(s)]->send(m, std::move(out));
+        };
+        break;
+      case WorkKind::kBackward:
+        body = [this, stage, ctx, s, m, S, keep_stash, split, &batches] {
+          Matrix gin;
+          if (s + 1 < S) gin = bwd_ch_[static_cast<std::size_t>(s)]->take(m);
+          Matrix gout = stage->backward(m, batches[static_cast<std::size_t>(m)],
+                                        std::move(gin), *ctx, keep_stash,
+                                        /*defer_dw=*/split);
+          if (s > 0)
+            bwd_ch_[static_cast<std::size_t>(s - 1)]->send(m, std::move(gout));
+        };
+        break;
+      case WorkKind::kBackwardWeight: {
+        ArenaAllocator* arena = arenas_[si].get();
+        body = [stage, ctx, m, keep_stash, arena] {
+          stage->backward_dw(m, *ctx, /*release=*/!keep_stash, arena);
+        };
+        break;
       }
-      std::size_t precond_gate = 0;
-      bool has_gate = false;
-      if (inv_step) {
-        BubbleTask ia;
-        ia.device = owner;
-        ia.kind = WorkKind::kInversionA;
-        ia.stage = s;
-        ia.layer = static_cast<int>(f / 6);
-        ia.factor = static_cast<int>(f % 6);
-        ia.splittable = false;
-        if (has_commit) ia.deps.push_back(commit_id);
-        const std::size_t inv_a = add_kfac(
-            ia, [engine, f] { engine->update_inverse_factor(f, false); }, {},
-            /*resource=*/-1);
-        BubbleTask ib = ia;
-        ib.kind = WorkKind::kInversionB;
-        ib.deps = {inv_a};
-        precond_gate = add_kfac(
-            ib, [engine, f] { engine->update_inverse_factor(f, true); }, {},
-            /*resource=*/-1);
-        has_gate = true;
-      } else if (has_commit) {
-        precond_gate = commit_id;
-        has_gate = true;
-      }
-      // Precondition every step (stale inverses allowed), after the stage's
-      // gradients are final.
-      BubbleTask pc;
-      pc.device = owner;
-      pc.kind = WorkKind::kPrecondition;
-      pc.stage = s;
-      pc.layer = static_cast<int>(f / 6);
-      pc.factor = static_cast<int>(f % 6);
-      pc.splittable = false;
-      if (has_gate) pc.deps.push_back(precond_gate);
-      const std::size_t pcid = add_kfac(
-          pc, [engine, f] { engine->precondition_layer(f); },
-          {grad_final[static_cast<std::size_t>(s)]}, /*resource=*/-1);
-      stage_precond[static_cast<std::size_t>(s)].push_back(
-          kfac_exec_id[pcid]);
+      case WorkKind::kSyncGrad:
+        body = [this, s, inv, N] {
+          if (N > 1)
+            for (Param* p : stage_params_[static_cast<std::size_t>(s)])
+              p->g *= inv;
+        };
+        break;
+      case WorkKind::kCurvatureA:
+        PF_CHECK(engine != nullptr);
+        body = [engine, stage, f, m] {
+          engine->accumulate_curvature_a(f, stage->kfac_input(m, f));
+        };
+        break;
+      case WorkKind::kCurvatureB:
+        PF_CHECK(engine != nullptr);
+        body = [engine, stage, f, m] {
+          engine->accumulate_curvature_b(f, stage->kfac_output_grad(m, f));
+        };
+        break;
+      case WorkKind::kSyncCurvature:
+        PF_CHECK(engine != nullptr);
+        body = [engine, f] { engine->commit_curvature_layer(f); };
+        break;
+      case WorkKind::kInversionA:
+        PF_CHECK(engine != nullptr);
+        body = [engine, f] { engine->update_inverse_factor(f, false); };
+        break;
+      case WorkKind::kInversionB:
+        PF_CHECK(engine != nullptr);
+        body = [engine, f] { engine->update_inverse_factor(f, true); };
+        break;
+      case WorkKind::kPrecondition:
+        PF_CHECK(engine != nullptr);
+        body = [engine, f] { engine->precondition_layer(f); };
+        break;
+      case WorkKind::kOptimizerUpdate:
+        body = [this, s, lr] {
+          stage_opt_[static_cast<std::size_t>(s)]->step(
+              stage_params_[static_cast<std::size_t>(s)], lr);
+        };
+        break;
+      default:
+        PF_CHECK(false) << "unexpected kind in step plan";
     }
-  }
-
-  // Per-stage optimizer update closes the step.
-  for (int s = 0; s < S; ++s) {
-    const auto owner = static_cast<std::size_t>(spec_.device_of(0, s));
-    std::vector<std::size_t> deps = {grad_final[static_cast<std::size_t>(s)]};
-    for (const std::size_t p : stage_precond[static_cast<std::size_t>(s)])
-      deps.push_back(p);
-    auto body = [this, s, lr] {
-      stage_opt_[static_cast<std::size_t>(s)]->step(
-          stage_params_[static_cast<std::size_t>(s)], lr);
-    };
+    const std::size_t id =
+        ex.add(std::move(body), pt.lane, pt.priority, pt.deps, pt.resource);
+    PF_ASSERT(id == i);
     TaskMeta tm;
-    tm.kind = WorkKind::kOptimizerUpdate;
-    tm.stage = s;
-    add_task(std::move(body), owner, kTailPriorityBase + S + s,
-             std::move(deps), /*resource=*/s, tm);
+    tm.device = pt.lane;
+    tm.kind = pt.kind;
+    tm.stage = pt.stage;
+    tm.micro = pt.micro;
+    tm.layer = pt.layer;
+    tm.factor = pt.factor;
+    tm.op = pt.op;
+    tm.is_op = pt.is_op;
+    meta.push_back(tm);
+
+    // Mirror K-FAC tasks into the BubbleTask-shaped introspection plan
+    // (core/kfac_work.h); realized durations are filled in after the run.
+    if (is_kfac_kind(pt.kind)) {
+      BubbleTask bt;
+      bt.id = kfac_plan_.size();
+      bt.device = pt.lane;
+      bt.kind = pt.kind;
+      bt.stage = pt.stage;
+      bt.micro = pt.micro;
+      bt.layer = pt.layer;
+      bt.factor = pt.factor;
+      bt.splittable = pt.splittable;
+      for (const std::size_t d : pt.deps)
+        if (is_kfac_kind(plan.tasks[d].kind))
+          bt.deps.push_back(kfac_index[d]);
+      kfac_index[i] = bt.id;
+      kfac_exec_id.push_back(i);
+      kfac_plan_.push_back(std::move(bt));
+    }
   }
 
   // --- Execute ----------------------------------------------------------
@@ -605,6 +336,7 @@ BertLossBreakdown PipelineRuntime::step() {
     kfac_plan_[i].earliest_start = rec.start;
     kfac_plan_[i].duration = rec.end - rec.start;
   }
+  if (cfg_.step_observer) cfg_.step_observer(last_timeline_);
 
   // --- Step epilogue: losses in micro order, stash cleanup --------------
   BertLossBreakdown total{};

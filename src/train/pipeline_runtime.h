@@ -67,6 +67,7 @@
 #include "src/nn/stage_partition.h"
 #include "src/optim/kfac_optimizer.h"
 #include "src/pipeline/schedule_registry.h"
+#include "src/pipeline/step_plan.h"
 #include "src/train/trainer.h"
 
 namespace pf {
@@ -98,6 +99,12 @@ struct PipelineRuntimeConfig {
   // Base optimizer, instantiated once per stage (LAMB by default, per-
   // tensor like the serial reference).
   std::function<std::unique_ptr<Optimizer>()> base_optimizer;
+  // Duration-aggregation hook: called after every synchronous step() with
+  // the realized wall-clock Timeline. This is how executed durations flow
+  // into the perfmodel calibration fit (CalibrationAccumulator::ingest)
+  // without the caller having to poll last_executed_timeline() between
+  // steps of run(). Not called by run_flushless() (no per-step timeline).
+  std::function<void(const Timeline&)> step_observer;
 };
 
 class PipelineRuntime {
@@ -140,6 +147,18 @@ class PipelineRuntime {
   const ScheduleSpec& spec() const { return spec_; }
   int n_model_stages() const { return spec_.n_stages; }
   std::size_t steps_taken() const { return t_; }
+
+  // The exact task graph step() would execute for a step with the given
+  // K-FAC refresh flags: every lane, priority, resource token and
+  // dependency edge, minus the bodies. step() itself attaches bodies to
+  // this plan (executor ids == plan indices), so a calibrated virtual-time
+  // replay of the plan (perfmodel/calibration.h) predicts the same
+  // structure reality runs.
+  StepPlan make_step_plan(bool curv_step, bool inv_step) const;
+  // Threads that drain the step's task graph: the runtime pool's workers
+  // plus the main thread, which participates in TaskExecutor::run(). The
+  // concurrency cap a calibrated prediction should replay under.
+  std::size_t executor_threads() const { return pool_->n_threads() + 1; }
 
   // --- Introspection (tests, benches, the example's report) -------------
   // Planned per-device op order (the registry's programs, or the greedy

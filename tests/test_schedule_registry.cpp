@@ -300,9 +300,21 @@ TEST(ScheduleRegistry, TraitsCriticalPathMatchesSimulator) {
         EXPECT_NEAR(res.pipe_makespan, expect, 1e-9) << "chimera D=" << d;
       } else {
         // For deeper waves (N = k·D, k > 1) the greedy executor's realized
-        // path drifts around the closed form (both directions, ≤ ~11%
-        // observed); the traits stay a faithful model, not an exact replay.
-        EXPECT_NEAR(res.pipe_makespan, expect, 0.15 * expect)
+        // path drifts around the closed form in BOTH directions — the
+        // greedy order can beat the form (it overlaps the extra waves'
+        // fills into the drain) or lose to it (priority inversions between
+        // the up and down pipelines). Measured over this exact grid:
+        //   D= 4: +3.6% (k=2)  +5.0% (k=3)
+        //   D= 8: +8.3% (k=2)  -3.6% (k=3)
+        //   D=16: +10.5% (k=2) -1.7% (k=3)
+        // Pinned as an explicit asymmetric band with a little headroom:
+        // [-5%, +12%]. A tightening of the greedy executor toward the
+        // N = k·D ideal would shrink the +12% side, but would also change
+        // the realized Chimera programs the runtime's bitwise grids pin —
+        // so the band is documented, not "fixed".
+        EXPECT_GE(res.pipe_makespan, (1.0 - 0.05) * expect)
+            << "chimera D=" << d << " N=" << k * d;
+        EXPECT_LE(res.pipe_makespan, (1.0 + 0.12) * expect)
             << "chimera D=" << d << " N=" << k * d;
       }
     }
