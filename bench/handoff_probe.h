@@ -1,0 +1,52 @@
+// Shared bench helper: measure one-way boundary-handoff latency of a
+// Channel backend by ping-ponging a tiny tensor between two threads over
+// a channel pair (A->B and B->A), exactly the send/recv code path both
+// backends run in the pipeline. Each sample is RTT/2 of one keyed
+// round-trip — the realized consumer-side handoff + wakeup latency the
+// calibration layer calls t_handoff. Used by transport_baseline (p50/p95
+// recording) and pipeline_runtime_baseline (the fitted ring-vs-mutex
+// t_handoff gate).
+#pragma once
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/comm/stage_channel.h"
+#include "src/linalg/matrix.h"
+
+namespace pf_bench {
+
+// One-way latency samples (seconds), `iters` round-trips after `warmup`
+// unrecorded ones. The echo thread consumes from `ab` and returns the
+// payload on `ba`; keys ascend so reorder boxes stay empty.
+inline std::vector<double> ping_pong_samples(pf::Channel& ab, pf::Channel& ba,
+                                             int iters, int warmup = 64) {
+  const int total = iters + warmup;
+  std::thread echo([&] {
+    for (int i = 0; i < total; ++i) {
+      pf::Matrix m = ab.recv(i, /*timeout_seconds=*/60.0);
+      ba.send(i, std::move(m));
+    }
+  });
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(iters));
+  pf::Matrix payload(1, 8);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload.data()[i] = static_cast<double>(i);
+  for (int i = 0; i < total; ++i) {
+    pf::Matrix out = payload;  // fresh copy each round (send moves it away)
+    const auto t0 = std::chrono::steady_clock::now();
+    ab.send(i, std::move(out));
+    pf::Matrix back = ba.recv(i, /*timeout_seconds=*/60.0);
+    const double rtt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (i >= warmup) samples.push_back(rtt / 2.0);
+    payload = std::move(back);
+  }
+  echo.join();
+  return samples;
+}
+
+}  // namespace pf_bench

@@ -42,6 +42,9 @@
 #include <thread>
 #include <vector>
 
+#include "bench/handoff_probe.h"
+#include "src/comm/tensor_wire.h"
+#include "src/comm/transport_channel.h"
 #include "src/common/stats.h"
 #include "src/common/strings.h"
 #include "src/optim/lamb.h"
@@ -337,6 +340,41 @@ int main(int argc, char** argv) {
       static_cast<double>(copy_peak) / static_cast<double>(borrow_peak),
       sum_recycled(borrow_run));
 
+  // Boundary-handoff calibration, per transport: ping-pong samples
+  // (bench/handoff_probe.h — the exact send/recv path the runtime's
+  // channels run) fed through CalibrationAccumulator::add_handoff_sample,
+  // fitted in isolation per backend. Gate: the lock-free shm ring's fitted
+  // t_handoff must not exceed the mutex channel's — the whole reason the
+  // ring exists is to take the condvar wake off the boundary-crossing
+  // critical path.
+  double handoff_mutex = 0.0, handoff_ring = 0.0;
+  {
+    const int iters = 1000;
+    StageChannel mu_ab("cal-mutex[a->b]"), mu_ba("cal-mutex[b->a]");
+    CalibrationAccumulator mu_acc(n_stages);
+    for (const double s : pf_bench::ping_pong_samples(mu_ab, mu_ba, iters))
+      mu_acc.add_handoff_sample(s);
+    handoff_mutex = mu_acc.fit(1).t_handoff;
+    const std::size_t slot_bytes = wire_bytes(1, 8);
+    SharedRegion reg_ab(ShmRing::required_bytes(2, slot_bytes));
+    SharedRegion reg_ba(ShmRing::required_bytes(2, slot_bytes));
+    TransportChannel sh_ab("cal-ring[a->b]",
+                           ShmRing::create(reg_ab.data(), 2, slot_bytes));
+    TransportChannel sh_ba("cal-ring[b->a]",
+                           ShmRing::create(reg_ba.data(), 2, slot_bytes));
+    CalibrationAccumulator sh_acc(n_stages);
+    for (const double s : pf_bench::ping_pong_samples(sh_ab, sh_ba, iters))
+      sh_acc.add_handoff_sample(s);
+    handoff_ring = sh_acc.fit(1).t_handoff;
+    std::printf(
+        "fitted t_handoff: mutex channel %.2f us, shm ring %.2f us\n",
+        handoff_mutex * 1e6, handoff_ring * 1e6);
+    PF_CHECK(handoff_ring <= handoff_mutex)
+        << "fitted shm-ring t_handoff (" << handoff_ring * 1e6
+        << " us) exceeds the mutex channel's (" << handoff_mutex * 1e6
+        << " us)";
+  }
+
   const std::string json = format(
       "{\n  \"shape\": {\"schedule\": \"%s\", \"n_stages\": %d, "
       "\"n_micro\": %d, \"micro_batch\": %zu, \"steps\": %zu, "
@@ -348,12 +386,15 @@ int main(int argc, char** argv) {
       "numbers. Compare only against runs with the same CPU budget.\",\n"
       "  \"sequential_seconds_per_step\": %.6g,\n"
       "  \"simulator_predicted_utilization\": %.4g,\n"
+      "  \"fitted_t_handoff_us\": {\"mutex_channel\": %.3f, "
+      "\"shm_ring\": %.3f},\n"
       "  \"stash\": {\"copy_peak_stash_bytes\": %zu, "
       "\"borrow_peak_stash_bytes\": %zu, \"shrink_factor\": %.4g, "
       "\"borrow_arena_recycled_per_step\": %zu},\n"
       "  \"pipeline\": {\n%s\n  }\n}\n",
       schedule, n_stages, n_micro, micro_batch, steps, cfg.d_model,
-      cfg.n_layers, serial.seconds_per_step, sim_util, copy_peak,
+      cfg.n_layers, serial.seconds_per_step, sim_util, handoff_mutex * 1e6,
+      handoff_ring * 1e6, copy_peak,
       borrow_peak,
       static_cast<double>(copy_peak) / static_cast<double>(borrow_peak),
       sum_recycled(borrow_run), rows.c_str());

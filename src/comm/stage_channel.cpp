@@ -36,8 +36,17 @@ Matrix StageChannel::recv(int micro, double timeout_seconds) {
   const bool arrived = cv_.wait_for(
       lock, std::chrono::duration<double>(timeout_seconds),
       [&] { return box_.contains(micro); });
-  PF_CHECK(arrived) << name_ << ": recv(" << micro << ") timed out after "
-                    << timeout_seconds << "s";
+  if (!arrived) {
+    // Name the boundary and what IS here: a protocol bug (consumer
+    // dispatched before its producer) diagnoses fastest from the set of
+    // micros that did arrive and were never claimed.
+    std::string pending_keys;
+    for (const auto& [k, v] : box_)
+      pending_keys += (pending_keys.empty() ? "" : ", ") + std::to_string(k);
+    PF_CHECK(false) << name_ << ": recv(" << micro << ") timed out after "
+                    << timeout_seconds << "s; pending micros: ["
+                    << pending_keys << "]";
+  }
   auto it = box_.find(micro);
   Matrix out = std::move(it->second);
   box_.erase(it);

@@ -1,6 +1,6 @@
-// Stage-boundary handover channel for the executable pipeline runtime.
+// Stage-boundary handover channels for the executable pipeline runtime.
 //
-// One StageChannel carries one direction of one stage boundary: forward
+// One channel carries one direction of one stage boundary: forward
 // activations stage s -> s+1, or grad-activations stage s+1 -> s. Payloads
 // are keyed by micro-batch id (globally unique within a step, across
 // pipelines — Chimera's two pipelines share the model boundary, so one
@@ -12,8 +12,17 @@
 // that turns a protocol bug (a consumer dispatched before its producer)
 // into a pf::Error instead of a hang.
 //
-// The channel records the order in which micro-batches were handed over;
-// tests pin this realized handover order against the schedule
+// `Channel` is the abstract contract; two transports implement it:
+//   * StageChannel (this file) — in-process mutex + condvar box, the
+//     default when producer and consumer share an address space;
+//   * TransportChannel (comm/transport_channel.h) — a lock-free SPSC
+//     shared-memory ring carrying serialized tensors, usable in-process or
+//     across fork()ed stage processes (train/multiproc.h).
+// PipelineRuntime and the serving engine program against Channel, so they
+// run unchanged over either backend (`transport` config / PF_TRANSPORT).
+//
+// Channels record the order in which micro-batches were handed over; tests
+// pin this realized handover order against the schedule
 // (tests/test_pipeline_runtime.cpp).
 #pragma once
 
@@ -27,30 +36,47 @@
 
 namespace pf {
 
-class StageChannel {
+class Channel {
  public:
-  explicit StageChannel(std::string name = "channel");
+  virtual ~Channel() = default;
 
   // Deposits the payload for `micro`. Throws on a duplicate key (a
   // double-send means the schedule executed an op twice).
-  void send(int micro, Matrix payload);
+  virtual void send(int micro, Matrix payload) = 0;
 
   // Removes and returns the payload for `micro`; throws if absent.
-  Matrix take(int micro);
+  virtual Matrix take(int micro) = 0;
 
   // Blocking variant: waits up to `timeout_seconds` for the payload.
-  Matrix recv(int micro, double timeout_seconds = 60.0);
+  virtual Matrix recv(int micro, double timeout_seconds = 60.0) = 0;
 
-  bool has(int micro) const;
-  std::size_t pending() const;
+  virtual bool has(int micro) const = 0;
+  // Payloads sent and not yet taken (counts in-flight wire messages too).
+  virtual std::size_t pending() const = 0;
 
   // Micro ids in send() order — the realized handover order.
-  std::vector<int> send_order() const;
+  virtual std::vector<int> send_order() const = 0;
   // Drops pending payloads and the send log (step-entry reset after a
   // failed step, so stale handovers cannot masquerade as duplicates).
-  void clear();
+  virtual void clear() = 0;
 
-  const std::string& name() const { return name_; }
+  virtual const std::string& name() const = 0;
+};
+
+// The in-process transport: a mutex-guarded micro-keyed box with a condvar
+// for the blocking recv().
+class StageChannel : public Channel {
+ public:
+  explicit StageChannel(std::string name = "channel");
+
+  void send(int micro, Matrix payload) override;
+  Matrix take(int micro) override;
+  Matrix recv(int micro, double timeout_seconds = 60.0) override;
+  bool has(int micro) const override;
+  std::size_t pending() const override;
+  std::vector<int> send_order() const override;
+  void clear() override;
+  const std::string& name() const override { return name_; }
 
  private:
   std::string name_;

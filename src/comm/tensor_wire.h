@@ -1,0 +1,60 @@
+// Wire format for tensors crossing a process boundary (comm/shm_ring.h).
+//
+// One message = one micro-keyed Matrix: a fixed 32-byte header (magic,
+// micro id, rows, cols) followed by rows·cols doubles memcpy'd straight
+// from the row-major backing store. Raw byte copies are the whole codec —
+// NaN payloads, signed zeros and denormals cross the wire bit-for-bit,
+// which is what lets the multi-process runtime (train/multiproc.h) keep
+// the serial Trainer's bitwise contract.
+//
+// serialize_tensor writes into caller-provided storage (a mapped ring
+// slot — the zero-copy half of the transport: the only copy between
+// producer Matrix and consumer Matrix is the one unavoidable memcpy into
+// shared memory and the one out). deserialize_tensor validates the magic,
+// the header length and the payload length against the header's shape and
+// throws pf::Error on any mismatch, so a truncated or torn message
+// surfaces as a protocol error instead of a garbage gradient.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/linalg/matrix.h"
+
+namespace pf {
+
+// Fixed-size message header. Serialized via memcpy of the individual
+// fields (not the struct) so padding bytes never reach the wire.
+struct WireHeader {
+  static constexpr std::uint64_t kMagic = 0x5046'5749'5245'3031ULL;  // PFWIRE01
+  std::uint64_t magic = kMagic;
+  std::int64_t micro = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+};
+
+inline constexpr std::size_t kWireHeaderBytes = 32;
+
+// Bytes serialize_tensor will write for this matrix.
+std::size_t wire_bytes(const Matrix& m);
+// Bytes for a rows×cols payload without materializing it (ring sizing).
+std::size_t wire_bytes(std::size_t rows, std::size_t cols);
+
+// Serializes `m` keyed by `micro` into dst[0, capacity). Returns the bytes
+// written (== wire_bytes(m)). Throws pf::Error when capacity is too small
+// — the transport sizes slots for the largest boundary tensor up front, so
+// a failure here means a mis-sized ring, not a runtime race.
+std::size_t serialize_tensor(int micro, const Matrix& m, unsigned char* dst,
+                             std::size_t capacity);
+
+struct WireMessage {
+  int micro = 0;
+  Matrix payload;
+};
+
+// Parses one message from src[0, len). Throws pf::Error on a short
+// header, wrong magic, or len != header-implied size (truncation and
+// trailing garbage are both protocol errors).
+WireMessage deserialize_tensor(const unsigned char* src, std::size_t len);
+
+}  // namespace pf

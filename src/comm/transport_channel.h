@@ -1,0 +1,83 @@
+// Channel implementation over the lock-free shared-memory ring — the wire
+// behind comm/stage_channel.h's micro-keyed contract.
+//
+// A TransportChannel is one endpoint handle onto one ShmRing
+// (boundary+direction). The producer side serializes the Matrix straight
+// into the acquired ring slot (tensor_wire.h — the only copies on the
+// whole path are the memcpy into shared memory and the one out); the
+// consumer side drains arrived messages into a local reorder box keyed by
+// micro id, because schedules consume micros in their own order while the
+// ring is strictly FIFO.
+//
+// Endpoint state (the send log, the reorder box, wait-latency samples) is
+// process-local: in-process both lanes share one TransportChannel object;
+// across fork() each process's inherited copy becomes its own endpoint
+// over the same ring, so send_order() reports what THIS process sent and
+// pending() counts the local box plus in-flight wire messages.
+//
+// SPSC contract inherited from the ring: one sending thread, one receiving
+// thread per channel. Every single-pipeline schedule satisfies this (the
+// producer stage's lane is the unique sender); the runtime PF_CHECKs
+// n_pipelines == 1 before selecting this transport. The small endpoint
+// mutexes below only guard the process-local bookkeeping against
+// introspection calls (pending()/send_order() from the main thread after a
+// run) — the cross-thread/cross-process handoff itself is the lock-free
+// ring.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/comm/shm_ring.h"
+#include "src/comm/stage_channel.h"
+
+namespace pf {
+
+class TransportChannel : public Channel {
+ public:
+  // `ring` is a view over a region some creator formatted (the runtime or
+  // the multiproc launcher). `send_timeout_seconds` bounds ring-full waits.
+  TransportChannel(std::string name, ShmRing ring,
+                   double send_timeout_seconds = 60.0);
+
+  void send(int micro, Matrix payload) override;
+  Matrix take(int micro) override;
+  Matrix recv(int micro, double timeout_seconds = 60.0) override;
+  bool has(int micro) const override;
+  std::size_t pending() const override;
+  std::vector<int> send_order() const override;
+  void clear() override;
+  const std::string& name() const override { return name_; }
+
+  // Seconds recv() spent blocked per call that actually waited — the
+  // realized handoff latency seen by this consumer endpoint (feeds the
+  // multiproc per-boundary stats and the calibration accumulator).
+  std::vector<double> recv_wait_seconds() const;
+
+ private:
+  // Moves every message already on the wire into the reorder box.
+  void drain_available() const;
+
+  std::string name_;
+  mutable ShmRing ring_;
+  double send_timeout_;
+
+  mutable std::mutex send_mu_;  // producer-endpoint bookkeeping
+  std::vector<int> order_;
+  std::set<int> sent_;
+
+  mutable std::mutex box_mu_;  // consumer-endpoint bookkeeping
+  mutable std::map<int, Matrix> box_;
+  mutable std::vector<double> waits_;
+};
+
+// Transport selection: "" resolves through the PF_TRANSPORT environment
+// variable, then defaults to "inproc". Valid values: "inproc" (mutex
+// StageChannel), "shm" (TransportChannel over a ShmRing). Throws pf::Error
+// on anything else.
+std::string resolve_transport(const std::string& requested);
+
+}  // namespace pf

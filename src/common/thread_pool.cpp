@@ -1,12 +1,38 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <exception>
+#include <memory>
+#include <utility>
 
 #include "src/common/check.h"
 
 namespace pf {
+
+namespace {
+// Depth, not flag: parallel_for can nest (a chunk body may open its own
+// inner loop — the serial fast path usually catches it, but nothing
+// forbids a real nested fan-out).
+thread_local int tl_parallel_for_depth = 0;
+
+// Tasks reaching the queue via parallel_for carry their own try/catch;
+// exceptions escaping here come from raw submit() tasks, which must not be
+// allowed to kill the worker (std::terminate).
+void run_task_noexcept(const std::function<void()>& task) {
+  try {
+    task();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pf::ThreadPool: exception escaped a submitted task: %s\n",
+                 e.what());
+  } catch (...) {
+    std::fprintf(stderr, "pf::ThreadPool: exception escaped a submitted task\n");
+  }
+}
+}  // namespace
+
+bool ThreadPool::in_parallel_for() { return tl_parallel_for_depth > 0; }
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
   workers_.reserve(n_threads);
@@ -23,23 +49,6 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-namespace {
-// Tasks reaching the queue via parallel_for carry their own try/catch;
-// exceptions escaping here come from raw submit() tasks, which must not be
-// allowed to kill the worker (std::terminate) or surface inside an
-// unrelated parallel_for caller that happens to help-drain the queue.
-void run_task_noexcept(const std::function<void()>& task) {
-  try {
-    task();
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "pf::ThreadPool: exception escaped a submitted task: %s\n",
-                 e.what());
-  } catch (...) {
-    std::fprintf(stderr, "pf::ThreadPool: exception escaped a submitted task\n");
-  }
-}
-}  // namespace
-
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -52,18 +61,6 @@ void ThreadPool::worker_loop() {
     }
     run_task_noexcept(task);
   }
-}
-
-bool ThreadPool::run_one_task() {
-  std::function<void()> task;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.empty()) return false;
-    task = std::move(queue_.front());
-    queue_.pop_front();
-  }
-  run_task_noexcept(task);
-  return true;
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -85,61 +82,70 @@ void ThreadPool::parallel_for(
     return;
   }
 
+  // Chunk-claiming: a shared counter hands out chunk ids; the caller and
+  // the helper tasks below loop claiming until none remain. Whoever is
+  // late (queue backed up, few workers) simply claims nothing — helpers
+  // never touch any other loop's work, and the caller never executes
+  // unrelated queue tasks.
   struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::size_t n_chunks = 0;
+    std::size_t total = 0, base = 0, extra = 0;
+    std::function<void(std::size_t, std::size_t)> fn;
     std::mutex mu;
-    std::condition_variable done;
-    std::size_t remaining;
+    std::condition_variable done_cv;
+    std::size_t done = 0;
     std::exception_ptr error;
-  } shared;
-  shared.remaining = n_chunks - 1;
+  };
+  // shared_ptr: helper tasks may still sit in the queue (and no-op) after
+  // the caller returned.
+  auto shared = std::make_shared<Shared>();
+  shared->n_chunks = n_chunks;
+  shared->total = total;
+  shared->base = total / n_chunks;
+  shared->extra = total % n_chunks;
+  shared->fn = fn;
 
-  const std::size_t base = total / n_chunks;
-  const std::size_t extra = total % n_chunks;
-  // Chunk c covers base(+1 for the first `extra` chunks) indices.
-  auto chunk_bounds = [&](std::size_t c) {
-    const std::size_t begin = c * base + std::min(c, extra);
-    return std::pair<std::size_t, std::size_t>{
-        begin, begin + base + (c < extra ? 1 : 0)};
+  auto claim_loop = [](const std::shared_ptr<Shared>& s) {
+    ++tl_parallel_for_depth;
+    std::size_t ran = 0;
+    std::exception_ptr first_error;
+    for (;;) {
+      const std::size_t c = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= s->n_chunks) break;
+      // Chunk c covers base(+1 for the first `extra` chunks) indices.
+      const std::size_t begin = c * s->base + std::min(c, s->extra);
+      const std::size_t end = begin + s->base + (c < s->extra ? 1 : 0);
+      try {
+        s->fn(begin, end);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+      ++ran;
+    }
+    --tl_parallel_for_depth;
+    if (ran > 0 || first_error) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      if (first_error && !s->error) s->error = first_error;
+      s->done += ran;
+      // Notify under the lock: once done == n_chunks the caller may
+      // destroy its reference, but `s` itself outlives via shared_ptr.
+      if (s->done == s->n_chunks) s->done_cv.notify_all();
+    }
   };
 
-  for (std::size_t c = 1; c < n_chunks; ++c) {
-    const auto [begin, end] = chunk_bounds(c);
-    submit([&, begin, end] {
-      try {
-        fn(begin, end);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(shared.mu);
-        if (!shared.error) shared.error = std::current_exception();
-      }
-      // Notify under the lock: once remaining hits 0 the caller may destroy
-      // `shared`, so the task must be done with it before the lock drops.
-      std::lock_guard<std::mutex> lock(shared.mu);
-      --shared.remaining;
-      shared.done.notify_all();
-    });
-  }
+  // One helper per worker (capped by the chunks beyond the caller's first
+  // claim); a zero-worker pool skips the queue — the caller claims every
+  // chunk itself, so the documented degenerate mode still holds.
+  const std::size_t helpers = std::min(n_chunks - 1, n_threads());
+  for (std::size_t i = 0; i < helpers; ++i)
+    submit([shared, claim_loop] { claim_loop(shared); });
 
-  // The caller takes the first chunk, then helps drain the queue (which may
-  // hold its own chunks when the pool is small or busy) instead of blocking.
-  try {
-    const auto [begin, end] = chunk_bounds(0);
-    fn(begin, end);
-  } catch (...) {
-    std::lock_guard<std::mutex> lock(shared.mu);
-    if (!shared.error) shared.error = std::current_exception();
-  }
-  for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(shared.mu);
-      if (shared.remaining == 0) break;
-    }
-    if (!run_one_task()) {
-      std::unique_lock<std::mutex> lock(shared.mu);
-      shared.done.wait(lock, [&] { return shared.remaining == 0; });
-      break;
-    }
-  }
-  if (shared.error) std::rethrow_exception(shared.error);
+  claim_loop(shared);
+
+  std::unique_lock<std::mutex> lock(shared->mu);
+  shared->done_cv.wait(lock, [&] { return shared->done == shared->n_chunks; });
+  if (shared->error) std::rethrow_exception(shared->error);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -2,10 +2,16 @@
 // factor work).
 //
 // The pool is deliberately minimal: a task queue, N workers, and a blocking
-// parallel_for that splits an index range into contiguous chunks. The calling
-// thread always executes the first chunk itself and helps drain the queue
-// while waiting, so parallel_for never deadlocks — even on a pool with zero
-// workers or when called from inside a pool task.
+// parallel_for that splits an index range into contiguous chunks. Chunks
+// are claimed from a shared atomic counter by the calling thread and by
+// helper tasks enqueued on the pool — the caller only ever executes chunks
+// of ITS OWN loop, never unrelated queued work. (The previous design had
+// the caller help-drain the whole queue while waiting, which meant a
+// forward's parallel_for could execute a blocking task some other
+// subsystem had submitted — the serving engine's admission pump; see
+// RequestQueue::wait_pop.) parallel_for still never deadlocks on a pool
+// with zero workers or when called from inside a pool task: the caller
+// claims every remaining chunk itself.
 #pragma once
 
 #include <condition_variable>
@@ -32,7 +38,9 @@ class ThreadPool {
   // Runs fn(begin, end) over [0, total) split into n_chunks contiguous,
   // balanced chunks and blocks until every chunk finished. The first
   // exception thrown by fn is rethrown on the calling thread after all
-  // chunks complete. n_chunks is clamped to [1, total].
+  // chunks complete. n_chunks is clamped to [1, total]. The chunk -> index
+  // range map is fixed up front (which THREAD runs a chunk is not), so any
+  // loop whose chunks write disjoint outputs is bitwise thread-neutral.
   void parallel_for(std::size_t total, std::size_t n_chunks,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
@@ -41,15 +49,19 @@ class ThreadPool {
   // parallel_for chunks propagate exceptions to their caller instead.
   void submit(std::function<void()> task);
 
+  // True while the current thread is executing parallel_for chunks (as the
+  // caller or as a pool worker running a helper task). Blocking operations
+  // assert against this — a chunk body must never park its thread on an
+  // unbounded external condition (RequestQueue::wait_pop PF_CHECKs it),
+  // because every sibling chunk behind it in the claim loop would stall.
+  static bool in_parallel_for();
+
   // Process-wide pool shared by the parallel linalg kernels. Sized to the
   // hardware concurrency, created on first use.
   static ThreadPool& global();
 
  private:
   void worker_loop();
-  // Pops and runs one queued task if available. Returns false when the queue
-  // was empty.
-  bool run_one_task();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -229,8 +229,14 @@ void CalibrationAccumulator::ingest(const Timeline& timeline) {
   ++steps_;
 }
 
+void CalibrationAccumulator::add_handoff_sample(double seconds) {
+  PF_CHECK(seconds >= 0.0) << "negative handoff sample";
+  handoff_samples_.push_back(seconds);
+}
+
 CalibratedCosts CalibrationAccumulator::fit(int n_threads) const {
-  PF_CHECK(steps_ > 0) << "fit() before any timeline was ingested";
+  PF_CHECK(steps_ > 0 || !handoff_samples_.empty())
+      << "fit() before any timeline or handoff sample was ingested";
   CalibratedCosts c;
   c.n_stages = n_stages_;
   c.n_threads = n_threads;

@@ -126,6 +126,13 @@ class CalibrationAccumulator {
 
   void ingest(const Timeline& timeline);
 
+  // Directly measured boundary-handoff latency (seconds) — e.g. the
+  // transport bench's ping-pong over a channel backend — folded into the
+  // same sample pool ingest() fills from timeline gaps. fit() reads a low
+  // percentile of the pool, so a handoff-only accumulator (no timelines)
+  // is a valid way to fit t_handoff for one transport in isolation.
+  void add_handoff_sample(double seconds);
+
   std::size_t steps_ingested() const { return steps_; }
 
   // Fit the profile. `n_threads` records the executor concurrency the

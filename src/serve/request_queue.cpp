@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
 
 namespace pf {
 
@@ -65,6 +66,16 @@ std::vector<InferRequest> RequestQueue::wait_pop(std::size_t max_n,
   PF_CHECK(max_n >= 1 && min_n >= 1 && min_n <= max_n)
       << "wait_pop needs 1 <= min_n <= max_n, got min_n=" << min_n
       << " max_n=" << max_n;
+  // Non-reentrant from parallel_for chunks: a chunk body parking this
+  // thread on live traffic would stall every sibling chunk of the loop
+  // (and, before the chunk-claiming rewrite of ThreadPool::parallel_for,
+  // a forward's helper could end up EXECUTING the blocking admission pump
+  // — the old stage_threads = 1 serving pin). Admission must run as its
+  // own executor task, never inside a data-parallel loop.
+  PF_CHECK(!ThreadPool::in_parallel_for())
+      << "RequestQueue::wait_pop called from inside a parallel_for chunk — "
+         "blocking admission must be a task of its own, not nested in a "
+         "data-parallel loop";
   std::unique_lock<std::mutex> lk(mu_);
   const bool ok = cv_.wait_for(
       lk, std::chrono::duration<double>(timeout_seconds),

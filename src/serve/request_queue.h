@@ -66,6 +66,14 @@ class RequestQueue {
   // pf::Error after `timeout_seconds` without the condition holding, so a
   // stuck producer surfaces as an error instead of a hang (same policy as
   // StageChannel::recv).
+  //
+  // NON-REENTRANT from data-parallel loops: calling this from inside a
+  // ThreadPool::parallel_for chunk is PF_CHECKed as a bug. parallel_for's
+  // chunk-claiming rewrite already guarantees a compute loop never
+  // *executes* someone else's blocking admission task; this assert closes
+  // the remaining hole (a chunk body blocking on live traffic itself),
+  // which together makes serving with stage_threads > 1 safe under live
+  // producers.
   std::vector<InferRequest> wait_pop(std::size_t max_n, std::size_t min_n = 1,
                                      double timeout_seconds = 60.0);
 

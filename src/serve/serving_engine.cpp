@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 
+#include "src/comm/tensor_wire.h"
 #include "src/common/check.h"
 #include "src/common/strings.h"
 
@@ -90,9 +91,24 @@ ServingEngine::ServingEngine(BertModel& model, const ServingEngineConfig& cfg)
   for (int s = 0; s < cfg.n_stages; ++s)
     stage_ctx_.emplace_back(cfg.stage_threads, cfg.stage_threads,
                             RngPartition::kSequential, pool_.get());
-  for (int s = 0; s + 1 < cfg.n_stages; ++s)
-    fwd_ch_.push_back(std::make_unique<StageChannel>(
-        format("serve-fwd[%d->%d]", s, s + 1)));
+  transport_ = resolve_transport(cfg.transport);
+  // Ring sizing mirrors the training runtime: the largest boundary tensor
+  // is the full-batch (max_batch · seq_len) × d_model activation, and at
+  // most `inflight_` micros can have an un-consumed handoff per boundary.
+  const std::size_t slot_bytes =
+      wire_bytes(cfg.max_batch * seq_len_, model.config().d_model);
+  const std::size_t ring_slots = inflight_ + 1;
+  for (int s = 0; s + 1 < cfg.n_stages; ++s) {
+    const std::string name = format("serve-fwd[%d->%d]", s, s + 1);
+    if (transport_ == "inproc") {
+      fwd_ch_.push_back(std::make_unique<StageChannel>(name));
+    } else {
+      regions_.emplace_back(ShmRing::required_bytes(ring_slots, slot_bytes));
+      fwd_ch_.push_back(std::make_unique<TransportChannel>(
+          name, ShmRing::create(regions_.back().data(), ring_slots,
+                                slot_bytes, name)));
+    }
+  }
 }
 
 void ServingEngine::add_admission(TaskExecutor& ex, RunState& rs,

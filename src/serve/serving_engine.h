@@ -23,10 +23,13 @@
 // admissions are chained (Admit(m+1) depends on Admit(m)), a blocking pop
 // can only start when lane 0 has no runnable forward, and no new lane-0
 // forward can become ready until it returns: queue waits never block
-// compute. (Caveat: with stage_threads > 1 under LIVE traffic, a
-// forward's parallel_for may help-drain a pool task that runs a blocking
-// admission; keep stage_threads = 1 for live serving. Replay mode — queue
-// closed before run() — never blocks.)
+// compute. stage_threads > 1 is safe under LIVE traffic too:
+// ThreadPool::parallel_for's chunk-claiming design means a forward's
+// data-parallel fan-out only ever executes its own chunks (never an
+// unrelated queued task like a blocking admission pump), and
+// RequestQueue::wait_pop PF_CHECKs it is never called from inside a
+// chunk. (Historically the help-drain design forced a stage_threads = 1
+// pin for live serving.)
 //
 // In-flight gating: Admit(m) additionally depends on the completion of
 // micro m - max_inflight, bounding slot usage to max_batch · max_inflight
@@ -46,6 +49,7 @@
 #include <vector>
 
 #include "src/comm/stage_channel.h"
+#include "src/comm/transport_channel.h"
 #include "src/common/task_executor.h"
 #include "src/nn/stage_partition.h"
 #include "src/serve/batcher.h"
@@ -68,10 +72,15 @@ struct ServingEngineConfig {
   // Pool worker threads (the calling thread always participates; 0 = a
   // deterministic serial run on the caller).
   int workers = 0;
-  // Threads per stage forward (ExecContext); keep 1 for live traffic (see
-  // file comment).
+  // Threads per stage forward (ExecContext). Bitwise-neutral, and safe
+  // under live traffic at any value (see file comment).
   int stage_threads = 1;
   BatchPolicy policy = BatchPolicy::kContinuous;
+  // Boundary transport: "" resolves through PF_TRANSPORT, default
+  // "inproc"; "shm" hands activations over lock-free SPSC rings
+  // (comm/transport_channel.h) — forward-only serving is single-pipeline
+  // by construction, so every config is eligible.
+  std::string transport;
   int pad_id = 0;
   // Admission waits this long for requests before erroring (replay queues
   // never wait; live producers that stall longer are a bug, same policy as
@@ -147,7 +156,9 @@ class ServingEngine {
   BertStagePartition partition_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<ExecContext> stage_ctx_;
-  std::vector<std::unique_ptr<StageChannel>> fwd_ch_;  // s -> s+1
+  std::string transport_;                         // resolved backend
+  std::vector<SharedRegion> regions_;             // ring storage (shm only)
+  std::vector<std::unique_ptr<Channel>> fwd_ch_;  // s -> s+1
 };
 
 }  // namespace pf

@@ -4,6 +4,7 @@
 #include <map>
 #include <utility>
 
+#include "src/comm/tensor_wire.h"
 #include "src/common/check.h"
 #include "src/common/strings.h"
 #include "src/optim/lamb.h"
@@ -85,12 +86,32 @@ PipelineRuntime::PipelineRuntime(BertModel& model, const MlmBatcher& batcher,
                                   : static_cast<std::size_t>(spec_.n_devices);
   pool_ = std::make_unique<ThreadPool>(workers);
 
+  transport_ = resolve_transport(cfg_.transport);
+  if (transport_ == "shm") {
+    PF_CHECK(spec_.n_pipelines == 1)
+        << cfg_.schedule << ": the shm transport's rings are SPSC — "
+        << spec_.n_pipelines
+        << " pipelines put two producer devices on one boundary channel; "
+           "use transport = inproc";
+  }
+  // Largest tensor a boundary carries: the (micro_batch · seq_len) × d_model
+  // activation (grad-activations share the shape). At most n_micro messages
+  // are in flight per boundary+direction, so a ring of n_micro slots means
+  // the producer never blocks on a full ring within one step.
+  const std::size_t slot_bytes = wire_bytes(
+      cfg_.micro_batch_size * model.config().seq_len, model.config().d_model);
+  const std::size_t ring_slots = static_cast<std::size_t>(spec_.n_micro);
+  auto make_channel = [&](const std::string& name) -> std::unique_ptr<Channel> {
+    if (transport_ == "inproc") return std::make_unique<StageChannel>(name);
+    regions_.emplace_back(ShmRing::required_bytes(ring_slots, slot_bytes));
+    return std::make_unique<TransportChannel>(
+        name,
+        ShmRing::create(regions_.back().data(), ring_slots, slot_bytes, name));
+  };
   const int S = spec_.n_stages;
   for (int s = 0; s + 1 < S; ++s) {
-    fwd_ch_.push_back(std::make_unique<StageChannel>(
-        format("fwd[%d->%d]", s, s + 1)));
-    bwd_ch_.push_back(std::make_unique<StageChannel>(
-        format("bwd[%d->%d]", s + 1, s)));
+    fwd_ch_.push_back(make_channel(format("fwd[%d->%d]", s, s + 1)));
+    bwd_ch_.push_back(make_channel(format("bwd[%d->%d]", s + 1, s)));
   }
   for (int s = 0; s < S; ++s) {
     BertStage& st = partition_.stage(s);

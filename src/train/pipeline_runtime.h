@@ -60,6 +60,7 @@
 #include <memory>
 
 #include "src/comm/stage_channel.h"
+#include "src/comm/transport_channel.h"
 #include "src/common/arena.h"
 #include "src/common/task_executor.h"
 #include "src/core/kfac_work.h"
@@ -99,6 +100,12 @@ struct PipelineRuntimeConfig {
   // Base optimizer, instantiated once per stage (LAMB by default, per-
   // tensor like the serial reference).
   std::function<std::unique_ptr<Optimizer>()> base_optimizer;
+  // Boundary transport: "" resolves through PF_TRANSPORT then defaults to
+  // "inproc" (mutex StageChannel). "shm" hands boundary tensors over
+  // lock-free shared-memory rings (comm/transport_channel.h) — bitwise
+  // identical payloads, single-pipeline schedules only (the rings are
+  // SPSC; Chimera puts two producer devices on one boundary).
+  std::string transport;
   // Duration-aggregation hook: called after every synchronous step() with
   // the realized wall-clock Timeline. This is how executed durations flow
   // into the perfmodel calibration fit (CalibrationAccumulator::ingest)
@@ -147,6 +154,8 @@ class PipelineRuntime {
   const ScheduleSpec& spec() const { return spec_; }
   int n_model_stages() const { return spec_.n_stages; }
   std::size_t steps_taken() const { return t_; }
+  // Resolved boundary transport ("inproc" or "shm").
+  const std::string& transport() const { return transport_; }
 
   // The exact task graph step() would execute for a step with the given
   // K-FAC refresh flags: every lane, priority, resource token and
@@ -215,8 +224,10 @@ class PipelineRuntime {
   std::vector<std::vector<Param*>> stage_params_;
   std::vector<std::unique_ptr<KfacEngine>> engines_;   // per stage, may be null
   std::vector<std::unique_ptr<Optimizer>> stage_opt_;
-  std::vector<std::unique_ptr<StageChannel>> fwd_ch_;  // boundary s -> s+1
-  std::vector<std::unique_ptr<StageChannel>> bwd_ch_;  // boundary s+1 -> s
+  std::string transport_;                         // resolved backend
+  std::vector<SharedRegion> regions_;             // ring storage (shm only)
+  std::vector<std::unique_ptr<Channel>> fwd_ch_;  // boundary s -> s+1
+  std::vector<std::unique_ptr<Channel>> bwd_ch_;  // boundary s+1 -> s
   std::vector<BubbleTask> kfac_plan_;
   std::vector<TaskMeta> last_meta_;
   std::vector<TaskExecutor::Record> last_records_;

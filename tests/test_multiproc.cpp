@@ -1,0 +1,180 @@
+// Multi-process stage placement (src/train/multiproc.h): forked
+// one-process-per-device training over the shm-ring transport must be
+// bitwise-identical — losses AND final parameters — to both the
+// in-process runtime (shm transport) and the serial Trainer, across
+// schedules, stage counts, and optimizers.
+//
+// These tests fork(). They are deliberately NOT in test_transport.cpp:
+// the TSan CI job runs that binary, and forking a TSan'd multi-threaded
+// parent is undefined-behavior territory. CI runs this file in the
+// regular and multi-process job legs only.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/optim/lamb.h"
+#include "src/train/multiproc.h"
+#include "src/train/trainer.h"
+
+namespace pf {
+namespace {
+
+BertConfig small_bert() {
+  BertConfig cfg;
+  cfg.vocab = 36;
+  cfg.d_model = 16;
+  cfg.d_ff = 32;
+  cfg.n_heads = 2;
+  cfg.n_layers = 4;
+  cfg.seq_len = 12;
+  return cfg;
+}
+
+struct Corpus {
+  SyntheticCorpus corpus;
+  MlmBatcher batcher;
+  explicit Corpus(const BertConfig& cfg)
+      : corpus([&] {
+          CorpusConfig cc;
+          cc.vocab = cfg.vocab;
+          return cc;
+        }()),
+        batcher(corpus, [&] {
+          MlmBatcherConfig bc;
+          bc.seq_len = cfg.seq_len;
+          return bc;
+        }()) {}
+};
+
+struct RunResult {
+  std::vector<double> losses;
+  std::vector<std::vector<double>> params;
+};
+
+constexpr int kMicros = 4;
+constexpr std::size_t kMicroBatch = 2;
+constexpr std::size_t kSteps = 2;
+
+RunResult serial_reference(const BertConfig& cfg, bool use_kfac) {
+  Rng rng(7);
+  BertModel model(cfg, rng);
+  Corpus data(cfg);
+  TrainerConfig tc;
+  tc.batch_size = kMicroBatch;
+  tc.accumulation_steps = kMicros;
+  tc.total_steps = kSteps;
+  tc.schedule = PolyWarmupSchedule(1e-2, 0, kSteps);
+  std::unique_ptr<Optimizer> opt;
+  if (use_kfac) {
+    KfacOptimizerOptions o;
+    o.inverse_interval = 3;
+    o.per_micro_curvature = true;
+    opt = std::make_unique<KfacOptimizer>(model.kfac_linears(),
+                                          std::make_unique<Lamb>(), o);
+  } else {
+    opt = std::make_unique<Lamb>();
+  }
+  Trainer trainer(model, data.batcher, std::move(opt), tc);
+  RunResult r;
+  r.losses = trainer.run().loss;
+  for (Param* p : model.params())
+    r.params.emplace_back(p->w.data(), p->w.data() + p->w.size());
+  return r;
+}
+
+PipelineRuntimeConfig runtime_config(const std::string& schedule, int stages,
+                                     bool use_kfac) {
+  PipelineRuntimeConfig pc;
+  pc.schedule = schedule;
+  pc.n_stages = stages;
+  pc.n_micro = kMicros;
+  pc.micro_batch_size = kMicroBatch;
+  pc.total_steps = kSteps;
+  pc.lr = PolyWarmupSchedule(1e-2, 0, kSteps);
+  pc.use_kfac = use_kfac;
+  pc.kfac.inverse_interval = 3;
+  return pc;
+}
+
+void expect_bitwise(const RunResult& a, const RunResult& b,
+                    const std::string& label) {
+  ASSERT_EQ(a.losses.size(), b.losses.size()) << label;
+  for (std::size_t i = 0; i < a.losses.size(); ++i)
+    EXPECT_EQ(a.losses[i], b.losses[i]) << label << " loss step " << i;
+  ASSERT_EQ(a.params.size(), b.params.size()) << label;
+  for (std::size_t p = 0; p < a.params.size(); ++p)
+    EXPECT_EQ(a.params[p], b.params[p]) << label << " tensor " << p;
+}
+
+// Runs the forked launcher, the in-process runtime over the shm transport,
+// and the serial Trainer; demands all three agree bitwise.
+void check_grid_point(const std::string& schedule, int stages, bool use_kfac) {
+  SCOPED_TRACE(schedule + " stages=" + std::to_string(stages) +
+               (use_kfac ? " kfac" : " lamb"));
+  const BertConfig cfg = small_bert();
+
+  // Forked run first: fork() from a parent that has not spun up pools yet.
+  MultiprocConfig mcfg;
+  mcfg.runtime = runtime_config(schedule, stages, use_kfac);
+  Rng rng(7);
+  BertModel model(cfg, rng);
+  Corpus data(cfg);
+  const MultiprocResult mp = run_multiproc(model, data.batcher, mcfg);
+  RunResult mp_r;
+  mp_r.losses = mp.trace.loss;
+  mp_r.params = mp.params;
+
+  // Launcher bookkeeping sanity.
+  EXPECT_GT(mp.n_processes, 0);
+  EXPECT_LE(mp.n_processes, stages);
+  EXPECT_GT(mp.wall_seconds, 0.0);
+  ASSERT_EQ(mp_r.losses.size(), kSteps);
+
+  Rng rng2(7);
+  BertModel model2(cfg, rng2);
+  Corpus data2(cfg);
+  PipelineRuntimeConfig pc = mcfg.runtime;
+  pc.transport = "shm";
+  PipelineRuntime rt(model2, data2.batcher, pc);
+  RunResult ip_r;
+  ip_r.losses = rt.run().loss;
+  for (Param* p : model2.params())
+    ip_r.params.emplace_back(p->w.data(), p->w.data() + p->w.size());
+
+  expect_bitwise(mp_r, ip_r, "multiproc vs in-process");
+  expect_bitwise(mp_r, serial_reference(cfg, use_kfac), "multiproc vs serial");
+}
+
+TEST(Multiproc, GpipeTwoStagesLamb) { check_grid_point("gpipe", 2, false); }
+TEST(Multiproc, GpipeTwoStagesKfac) { check_grid_point("gpipe", 2, true); }
+TEST(Multiproc, GpipeFourStagesLamb) { check_grid_point("gpipe", 4, false); }
+TEST(Multiproc, OneFOneBTwoStagesLamb) { check_grid_point("1f1b", 2, false); }
+TEST(Multiproc, OneFOneBTwoStagesKfac) { check_grid_point("1f1b", 2, true); }
+TEST(Multiproc, OneFOneBFourStagesKfac) { check_grid_point("1f1b", 4, true); }
+TEST(Multiproc, InterleavedTwoStagesKfac) {
+  check_grid_point("interleaved-1f1b", 2, true);
+}
+TEST(Multiproc, ZeroBubbleTwoStagesLamb) { check_grid_point("zb-h1", 2, false); }
+TEST(Multiproc, ZeroBubbleTwoStagesKfac) { check_grid_point("zb-h1", 2, true); }
+
+TEST(Multiproc, HandoffStatsCoverEveryBoundaryDirection) {
+  const BertConfig cfg = small_bert();
+  MultiprocConfig mcfg;
+  mcfg.runtime = runtime_config("1f1b", 2, false);
+  Rng rng(7);
+  BertModel model(cfg, rng);
+  Corpus data(cfg);
+  const MultiprocResult mp = run_multiproc(model, data.batcher, mcfg);
+  // One forward and one backward ring per interior boundary.
+  ASSERT_EQ(mp.handoff.size(), 2u * (2 - 1));
+  for (const auto& h : mp.handoff) {
+    EXPECT_FALSE(h.channel.empty());
+    EXPECT_GE(h.wait_p95, h.wait_p50);
+    EXPECT_GE(h.wait_p50, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace pf
